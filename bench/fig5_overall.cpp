@@ -1,0 +1,102 @@
+// Figure 5: end-to-end inference speedup over PyTorch eager for the eight
+// imperative-tensor-program workloads, under all compared compilation
+// pipelines, on both the consumer and the data-center platform.
+//
+// Paper shape to reproduce: TensorSSA is fastest on every workload; up to
+// ~1.79x and ~1.34x on average over the *best* baseline; NLP / attention
+// gains exceed CV gains.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace tssa;
+using bench::endToEndUs;
+using bench::runSim;
+using runtime::DeviceSpec;
+using runtime::PipelineKind;
+
+void printFigure5(const DeviceSpec& device) {
+  std::printf("\n=== Figure 5: speedup over eager (end-to-end), %s ===\n",
+              device.name.c_str());
+  std::printf("%-10s", "workload");
+  for (PipelineKind kind : runtime::allPipelines())
+    std::printf(" %15s", std::string(pipelineName(kind)).c_str());
+  std::printf(" %12s\n", "vs-best-base");
+  bench::printRule(10 + 16 * 5 + 13);
+
+  workloads::WorkloadConfig config;
+  config.batch = 1;
+  config.seqLen = 64;
+
+  std::vector<double> vsBestAll;
+  double maxVsBest = 0;
+  for (const std::string& name : workloads::workloadNames()) {
+    workloads::Workload w = workloads::buildWorkload(name, config);
+    std::map<PipelineKind, double> e2e;
+    double eagerImp = 0;
+    for (PipelineKind kind : runtime::allPipelines()) {
+      bench::SimResult r = runSim(w, kind, device);
+      if (kind == PipelineKind::Eager) eagerImp = r.imperativeUs;
+      e2e[kind] = 0;  // fill after eagerImp known (eager measured first)
+      e2e[kind] = r.imperativeUs;
+    }
+    for (auto& [kind, us] : e2e)
+      us = endToEndUs(name, eagerImp, config.batch, us);
+
+    std::printf("%-10s", name.c_str());
+    double bestBaseline = 1e300;
+    for (PipelineKind kind : runtime::allPipelines()) {
+      const double speedup = e2e[PipelineKind::Eager] / e2e[kind];
+      std::printf(" %14.2fx", speedup);
+      if (kind != PipelineKind::Eager && kind != PipelineKind::TensorSsa)
+        bestBaseline = std::min(bestBaseline, e2e[kind]);
+    }
+    const double vsBest = bestBaseline / e2e[PipelineKind::TensorSsa];
+    vsBestAll.push_back(vsBest);
+    maxVsBest = std::max(maxVsBest, vsBest);
+    std::printf(" %11.2fx\n", vsBest);
+  }
+  std::printf("%-10s vs best baseline: geomean %.2fx, max %.2fx  "
+              "(paper: 1.34x avg, 1.79x max)\n",
+              "summary", bench::geomean(vsBestAll), maxVsBest);
+}
+
+/// Real-CPU-time benchmark of the actual executor (compile once, run many).
+void BM_PipelineRun(benchmark::State& state, std::string workload,
+                    PipelineKind kind) {
+  workloads::WorkloadConfig config;
+  config.batch = 1;
+  config.seqLen = 32;
+  workloads::Workload w = workloads::buildWorkload(workload, config);
+  runtime::Pipeline pipeline(kind, *w.graph, DeviceSpec::dataCenter());
+  for (auto _ : state) {
+    auto out = pipeline.run(w.inputs);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["kernel_launches"] =
+      static_cast<double>(pipeline.profiler().kernelLaunches());
+  state.counters["sim_us"] = pipeline.profiler().simTimeUs();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure5(DeviceSpec::consumer());
+  printFigure5(DeviceSpec::dataCenter());
+
+  for (const std::string& name : tssa::workloads::workloadNames()) {
+    for (PipelineKind kind :
+         {PipelineKind::Eager, PipelineKind::TensorSsa}) {
+      benchmark::RegisterBenchmark(
+          (name + "/" + std::string(pipelineName(kind))).c_str(),
+          [name, kind](benchmark::State& s) { BM_PipelineRun(s, name, kind); })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(3);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

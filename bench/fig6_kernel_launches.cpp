@@ -1,0 +1,75 @@
+// Figure 6: kernel-launch counts during execution of each workload's
+// imperative region under every compared system.
+//
+// Paper shape to reproduce: TensorSSA launches the fewest kernels for most
+// workloads; on NASRNN and seq2seq Dynamo+Inductor can launch as few or
+// fewer (trace-time loop unrolling fuses whole cells), yet TensorSSA remains
+// faster end-to-end (Python dispatch overhead + layout effects).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace tssa;
+using bench::runSim;
+using runtime::DeviceSpec;
+using runtime::PipelineKind;
+
+void printFigure6() {
+  std::printf("\n=== Figure 6: kernel launch counts (imperative region) ===\n");
+  std::printf("%-10s", "workload");
+  for (PipelineKind kind : runtime::allPipelines())
+    std::printf(" %15s", std::string(pipelineName(kind)).c_str());
+  std::printf("\n");
+  bench::printRule(10 + 16 * 5);
+
+  workloads::WorkloadConfig config;
+  config.batch = 1;
+  config.seqLen = 64;
+  const DeviceSpec device = DeviceSpec::dataCenter();
+
+  for (const std::string& name : workloads::workloadNames()) {
+    workloads::Workload w = workloads::buildWorkload(name, config);
+    std::printf("%-10s", name.c_str());
+    std::vector<std::int64_t> counts;
+    for (PipelineKind kind : runtime::allPipelines()) {
+      bench::SimResult r = runSim(w, kind, device);
+      std::printf(" %15lld", static_cast<long long>(r.launches));
+      counts.push_back(r.launches);
+    }
+    std::printf("\n");
+  }
+  std::printf("(columns follow the paper: eager, TS+NNC, TS+nvFuser, "
+              "Dynamo+Inductor, TensorSSA)\n");
+}
+
+void BM_CountLaunches(benchmark::State& state, std::string workload) {
+  workloads::WorkloadConfig config;
+  config.seqLen = 32;
+  workloads::Workload w = workloads::buildWorkload(workload, config);
+  runtime::Pipeline pipeline(PipelineKind::TensorSsa, *w.graph,
+                             DeviceSpec::dataCenter());
+  for (auto _ : state) {
+    auto out = pipeline.run(w.inputs);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["launches"] =
+      static_cast<double>(pipeline.profiler().kernelLaunches());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure6();
+  for (const std::string& name : tssa::workloads::workloadNames()) {
+    benchmark::RegisterBenchmark(
+        ("launches/" + name).c_str(),
+        [name](benchmark::State& s) { BM_CountLaunches(s, name); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 7: TensorSSA speedup over eager (end-to-end) at different batch
+// sizes, for the six workloads the paper sweeps.
+//
+// Paper shape to reproduce: speedup *grows* with batch for SSD, FCOS and
+// seq2seq (the memory-intensive imperative share grows), and *shrinks* for
+// YOLOv3, YOLACT and Attention (the compute-intensive share grows).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace tssa;
+using bench::endToEndUs;
+using bench::runSim;
+using runtime::DeviceSpec;
+using runtime::PipelineKind;
+
+const std::vector<std::int64_t> kBatches = {1, 2, 4, 8, 16};
+const std::vector<std::string> kWorkloads = {"yolov3", "ssd",     "yolact",
+                                             "fcos",   "seq2seq", "attention"};
+
+void printFigure7() {
+  std::printf("\n=== Figure 7: TensorSSA speedup over eager vs batch size "
+              "(end-to-end, data-center) ===\n");
+  std::printf("%-10s", "workload");
+  for (std::int64_t b : kBatches) std::printf("  batch=%-6lld",
+                                              static_cast<long long>(b));
+  std::printf("  trend\n");
+  bench::printRule(10 + 14 * static_cast<int>(kBatches.size()) + 7);
+
+  const DeviceSpec device = DeviceSpec::dataCenter();
+  for (const std::string& name : kWorkloads) {
+    std::printf("%-10s", name.c_str());
+    double eagerBatch1 = 0;
+    std::vector<double> speedups;
+    for (std::int64_t batch : kBatches) {
+      workloads::WorkloadConfig config;
+      config.batch = batch;
+      config.seqLen = 32;
+      workloads::Workload w = workloads::buildWorkload(name, config);
+      const bench::SimResult eager = runSim(w, PipelineKind::Eager, device);
+      const bench::SimResult tssa = runSim(w, PipelineKind::TensorSsa, device);
+      if (batch == 1) eagerBatch1 = eager.imperativeUs;
+      const double speedup =
+          endToEndUs(name, eagerBatch1, batch, eager.imperativeUs) /
+          endToEndUs(name, eagerBatch1, batch, tssa.imperativeUs);
+      speedups.push_back(speedup);
+      std::printf("  %-11.2fx", speedup);
+    }
+    std::printf("  %s\n", speedups.back() > speedups.front() ? "UP" : "DOWN");
+  }
+  std::printf("(paper: SSD/FCOS/seq2seq trend UP; YOLOv3/YOLACT/Attention "
+              "trend DOWN)\n");
+}
+
+void BM_TensorSsaBatch(benchmark::State& state, std::string workload) {
+  workloads::WorkloadConfig config;
+  config.batch = state.range(0);
+  config.seqLen = 16;
+  workloads::Workload w = workloads::buildWorkload(workload, config);
+  runtime::Pipeline pipeline(PipelineKind::TensorSsa, *w.graph,
+                             DeviceSpec::dataCenter());
+  for (auto _ : state) {
+    auto out = pipeline.run(w.inputs);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure7();
+  for (const std::string& name : kWorkloads) {
+    benchmark::RegisterBenchmark(
+        ("batch_scaling/" + name).c_str(),
+        [name](benchmark::State& s) { BM_TensorSsaBatch(s, name); })
+        ->Arg(1)
+        ->Arg(4)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

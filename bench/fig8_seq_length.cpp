@@ -1,0 +1,102 @@
+// Figure 8: latency of the NLP and attention workloads at different
+// sequence lengths, per pipeline.
+//
+// Paper shape to reproduce: latency grows linearly with sequence length for
+// every system, and TensorSSA is the lowest curve at every length.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace tssa;
+using bench::endToEndUs;
+using bench::runSim;
+using runtime::DeviceSpec;
+using runtime::PipelineKind;
+
+const std::vector<std::int64_t> kSeqLens = {16, 32, 64, 128, 256};
+const std::vector<std::string> kWorkloads = {"nasrnn", "lstm", "seq2seq",
+                                             "attention"};
+
+void printFigure8() {
+  std::printf("\n=== Figure 8: latency (ms, end-to-end) vs sequence length "
+              "(data-center) ===\n");
+  const DeviceSpec device = DeviceSpec::dataCenter();
+  for (const std::string& name : kWorkloads) {
+    std::printf("\n%s:\n", name.c_str());
+    std::printf("%-16s", "seq_len");
+    for (std::int64_t s : kSeqLens)
+      std::printf(" %9lld", static_cast<long long>(s));
+    std::printf("\n");
+    bench::printRule(16 + 10 * static_cast<int>(kSeqLens.size()));
+
+    // Batch-1 eager at the default length anchors the backbone model.
+    double eagerAnchor = -1;
+    std::map<PipelineKind, std::vector<double>> rows;
+    for (std::int64_t seq : kSeqLens) {
+      workloads::WorkloadConfig config;
+      config.batch = 1;
+      config.seqLen = seq;
+      workloads::Workload w = workloads::buildWorkload(name, config);
+      for (PipelineKind kind : runtime::allPipelines()) {
+        bench::SimResult r = runSim(w, kind, device);
+        if (kind == PipelineKind::Eager && eagerAnchor < 0)
+          eagerAnchor = r.imperativeUs;
+        rows[kind].push_back(
+            endToEndUs(name, eagerAnchor, 1, r.imperativeUs) / 1000.0);
+      }
+    }
+    bool tssaLowestEverywhere = true;
+    for (PipelineKind kind : runtime::allPipelines()) {
+      std::printf("%-16s", std::string(pipelineName(kind)).c_str());
+      for (std::size_t i = 0; i < kSeqLens.size(); ++i) {
+        std::printf(" %9.2f", rows[kind][i]);
+        if (kind != PipelineKind::TensorSsa &&
+            rows[PipelineKind::TensorSsa][i] > rows[kind][i]) {
+          tssaLowestEverywhere = false;
+        }
+      }
+      std::printf("\n");
+    }
+    const auto& t = rows[PipelineKind::TensorSsa];
+    // Linearity probe: compare growth of successive doublings.
+    const double growth1 = t[2] / t[1];
+    const double growth2 = t[3] / t[2];
+    std::printf("  TensorSSA lowest at every length: %s; doubling growth "
+                "%.2f / %.2f (linear ~= 2.0)\n",
+                tssaLowestEverywhere ? "yes" : "NO", growth1, growth2);
+  }
+}
+
+void BM_SeqLen(benchmark::State& state, std::string workload,
+               PipelineKind kind) {
+  workloads::WorkloadConfig config;
+  config.seqLen = state.range(0);
+  workloads::Workload w = workloads::buildWorkload(workload, config);
+  runtime::Pipeline pipeline(kind, *w.graph, DeviceSpec::dataCenter());
+  for (auto _ : state) {
+    auto out = pipeline.run(w.inputs);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure8();
+  for (const std::string& name : kWorkloads) {
+    benchmark::RegisterBenchmark(
+        ("seq_scaling/" + name + "/TensorSSA").c_str(),
+        [name](benchmark::State& s) {
+          BM_SeqLen(s, name, PipelineKind::TensorSsa);
+        })
+        ->Arg(16)
+        ->Arg(64)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

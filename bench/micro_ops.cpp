@@ -1,0 +1,116 @@
+// Micro-benchmarks: tensor-library primitives, interpreter dispatch, and the
+// analytic device model's per-op pricing (sanity anchors for the figures).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/ir/builder.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/random.h"
+
+namespace {
+
+using namespace tssa;
+
+void BM_TensorAdd(benchmark::State& state) {
+  Rng rng(1);
+  Tensor a = rng.uniform({state.range(0)});
+  Tensor b = rng.uniform({state.range(0)});
+  for (auto _ : state) {
+    Tensor c = ops::add(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TensorAdd)->Arg(1024)->Arg(65536);
+
+void BM_TensorSigmoid(benchmark::State& state) {
+  Rng rng(2);
+  Tensor a = rng.uniform({state.range(0)});
+  for (auto _ : state) {
+    Tensor c = ops::sigmoid(a);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TensorSigmoid)->Arg(1024)->Arg(65536);
+
+void BM_TensorMatmul(benchmark::State& state) {
+  Rng rng(3);
+  const std::int64_t n = state.range(0);
+  Tensor a = rng.uniform({n, n});
+  Tensor b = rng.uniform({n, n});
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(128);
+
+void BM_ViewSelectCopy(benchmark::State& state) {
+  Rng rng(4);
+  Tensor a = rng.uniform({64, 256});
+  Tensor src = rng.uniform({256});
+  for (auto _ : state) {
+    a.select(0, 7).copy_(src);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_ViewSelectCopy);
+
+void BM_StridedSliceFill(benchmark::State& state) {
+  Tensor a = Tensor::zeros({1 << 16});
+  for (auto _ : state) {
+    a.slice(0, 1, 1 << 16, 2).fill_(Scalar(1.0));
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_StridedSliceFill);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(5);
+  Tensor a = rng.uniform({64, 256});
+  for (auto _ : state) {
+    Tensor s = ops::softmax(a, 1);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_InterpreterDispatch(benchmark::State& state) {
+  // A tiny pure graph: measures per-node interpreter overhead.
+  ir::Graph g;
+  ir::Value* a = g.addInput(ir::Type::tensor(), "a");
+  ir::IRBuilder b(g);
+  ir::Value* v = a;
+  for (int i = 0; i < 16; ++i) v = b.relu(v);
+  g.addOutput(v);
+  runtime::Interpreter interp;
+  std::vector<runtime::RtValue> in{runtime::RtValue(Tensor::ones({8}))};
+  for (auto _ : state) {
+    auto out = interp.run(g, in);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_InterpreterDispatch);
+
+void printDeviceModelAnchors() {
+  std::printf("\n=== Device-model anchors (per-kernel cost in us) ===\n");
+  for (const auto& device : {runtime::DeviceSpec::consumer(),
+                             runtime::DeviceSpec::dataCenter()}) {
+    std::printf("%-18s launch=%.1fus", device.name.c_str(),
+                device.launchOverheadUs);
+    std::printf("  1MB-memcpy=%.2fus", device.kernelTimeUs(1 << 20, 0));
+    std::printf("  1GFLOP=%.1fus\n", device.kernelTimeUs(0, 1'000'000'000));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printDeviceModelAnchors();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

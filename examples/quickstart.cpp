@@ -1,0 +1,117 @@
+// Quickstart: the paper's running examples, end to end.
+//
+//   1. Build the Figure-1 program (a view mutated in place).
+//   2. Build the Figure-4 program (mutation inside a loop) and walk it
+//      through every stage of the TensorSSA pipeline, printing the IR after
+//      each pass — the printed forms correspond to Figure 4 (b)-(e).
+//   3. Execute the original and the compiled program and show that results
+//      are identical while kernel launches collapse.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "src/core/dce.h"
+#include "src/core/fusion.h"
+#include "src/core/inplace_reuse.h"
+#include "src/core/lower_inplace.h"
+#include "src/core/parallelize.h"
+#include "src/core/tensor_ssa.h"
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+#include "src/runtime/pipeline.h"
+
+using namespace tssa;
+using ir::Block;
+using ir::Graph;
+using ir::IRBuilder;
+using ir::Node;
+using ir::Type;
+using ir::Value;
+using runtime::RtValue;
+
+namespace {
+
+void figure1() {
+  std::printf("=== Figure 1: a tensor view mutated in place ===\n\n");
+  // A = zeros(2,2); B = A[0]; B.copy_(C)  -->  A is implicitly mutated.
+  Tensor a = Tensor::zeros({2, 2});
+  Tensor bView = a.select(0, 0);
+  Tensor c = Tensor::fromData({7, 8}, {2});
+  bView.copy_(c);
+  std::printf("after B.copy_(C), A = %s\n", a.toString().c_str());
+  std::printf("(B shares A's storage: %s)\n\n",
+              bView.sharesStorageWith(a) ? "yes" : "no");
+}
+
+std::unique_ptr<Graph> buildFigure4() {
+  // b = b.clone(); for i in range(n): b[i] = b[i] + 1
+  auto g = std::make_unique<Graph>();
+  Value* b0 = g->addInput(Type::tensor(DType::Float32), "b");
+  Value* n = g->addInput(Type::integer(), "n");
+  IRBuilder bld(*g);
+  Value* b1 = bld.clone(b0);
+  Node* loop = bld.makeLoop(n, {});
+  Block* body = loop->block(0);
+  IRBuilder inner(*g);
+  inner.setInsertionPointToEnd(body);
+  Value* i = body->param(0);
+  Value* bi = inner.select(b1, 0, i);
+  Value* sum = inner.add(bi, inner.constTensor(Tensor::ones({})));
+  inner.copy_(inner.select(b1, 0, i), sum);
+  g->addOutput(b1);
+  ir::verify(*g);
+  return g;
+}
+
+void figure4() {
+  std::printf("=== Figure 4: functionalizing a loop mutation ===\n\n");
+  auto g = buildFigure4();
+  std::printf("--- (b) graph-level IR of the imperative program ---\n%s\n",
+              toString(*g).c_str());
+
+  core::lowerInplaceOps(*g);
+  auto stats = core::convertToTensorSSA(*g);
+  std::printf("--- (e) after TensorSSA conversion (%s) ---\n%s\n",
+              stats.toString().c_str(), toString(*g).c_str());
+
+  const std::size_t parallel = core::parallelizeLoops(*g);
+  core::hoistConstants(*g);
+  const std::size_t groups =
+      core::fuseKernels(*g, core::FusionPolicy::tensorssa());
+  core::markInplaceAssigns(*g);
+  core::eliminateDeadCode(*g);
+  ir::verify(*g);
+  std::printf(
+      "--- after horizontal parallelization (%zu loop(s)) and vertical "
+      "fusion (%zu group(s)) ---\n%s\n",
+      parallel, groups, toString(*g).c_str());
+}
+
+void comparePipelines() {
+  std::printf("=== Executing Figure 4 under every pipeline ===\n\n");
+  auto g = buildFigure4();
+  std::vector<RtValue> inputs{RtValue(Tensor::fromData({10, 20, 30, 40}, {4})),
+                              RtValue(Scalar(std::int64_t{4}))};
+  for (runtime::PipelineKind kind : runtime::allPipelines()) {
+    runtime::Pipeline p(kind, *g);
+    auto out = p.run(inputs);
+    std::printf("%-16s result=%s  kernels=%lld  modelled=%.1fus\n",
+                std::string(pipelineName(kind)).c_str(),
+                out[0].tensor().toString(8).c_str(),
+                static_cast<long long>(p.profiler().kernelLaunches()),
+                p.profiler().simTimeUs());
+  }
+  std::printf("\nAll pipelines compute [11, 21, 31, 41]; TensorSSA does it "
+              "in the fewest kernel launches.\n");
+}
+
+}  // namespace
+
+int main() {
+  figure1();
+  figure4();
+  comparePipelines();
+  return 0;
+}

@@ -1,0 +1,254 @@
+#include "src/analysis/alias_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace tssa::analysis {
+
+using ir::Block;
+using ir::Graph;
+using ir::Node;
+using ir::OpKind;
+using ir::Value;
+
+namespace {
+
+/// Simple union-find over values.
+class UnionFind {
+ public:
+  std::size_t find(const Value* v) {
+    auto it = id_.find(v);
+    if (it == id_.end()) {
+      const std::size_t fresh = parent_.size();
+      id_[v] = fresh;
+      parent_.push_back(fresh);
+      return fresh;
+    }
+    return findRoot(it->second);
+  }
+
+  void unite(const Value* a, const Value* b) {
+    const std::size_t ra = find(a);
+    const std::size_t rb = find(b);
+    if (ra != rb) parent_[ra] = rb;
+  }
+
+  bool connected(const Value* a, const Value* b) {
+    return find(a) == find(b);
+  }
+
+ private:
+  std::size_t findRoot(std::size_t i) {
+    while (parent_[i] != i) {
+      parent_[i] = parent_[parent_[i]];
+      i = parent_[i];
+    }
+    return i;
+  }
+
+  std::unordered_map<const Value*, std::size_t> id_;
+  std::vector<std::size_t> parent_;
+};
+
+void collectEdges(const Block& block, std::vector<AliasEdge>& edges) {
+  for (const Node* node : block) {
+    const OpKind kind = node->kind();
+    if (ir::isViewOp(kind)) {
+      edges.push_back({node->output(0), node->input(0), AliasEdgeKind::Memory});
+    } else if (ir::isMutationOp(kind)) {
+      // The returned value aliases the mutated operand (identity view).
+      edges.push_back({node->output(0), node->input(0), AliasEdgeKind::Memory});
+    } else if (kind == OpKind::ListConstruct) {
+      for (const Value* in : node->inputs())
+        edges.push_back({node->output(0), in, AliasEdgeKind::Container});
+    } else if (kind == OpKind::ListIndex) {
+      edges.push_back(
+          {node->output(0), node->input(0), AliasEdgeKind::Container});
+    } else if (kind == OpKind::If) {
+      for (std::size_t i = 0; i < node->numOutputs(); ++i) {
+        for (const Block* b : node->blocks()) {
+          edges.push_back({node->output(i), b->returns()[i],
+                           AliasEdgeKind::ControlFlow});
+        }
+      }
+    } else if (kind == OpKind::Loop || kind == OpKind::ParallelMap) {
+      const Block* body = node->block(0);
+      for (std::size_t i = 0; i < node->numOutputs(); ++i) {
+        edges.push_back({node->output(i), body->returns()[i],
+                         AliasEdgeKind::ControlFlow});
+        edges.push_back({body->param(i + 1), node->input(i + 1),
+                         AliasEdgeKind::ControlFlow});
+        edges.push_back({body->param(i + 1), body->returns()[i],
+                         AliasEdgeKind::ControlFlow});
+      }
+    }
+    for (const Block* b : node->blocks()) collectEdges(*b, edges);
+  }
+}
+
+/// Collects every mutation node under `block` in program order.
+void collectMutations(const Block& block, std::vector<Node*>& out) {
+  for (Node* node : block) {
+    if (ir::isMutationOp(node->kind())) out.push_back(node);
+    for (Block* b : node->blocks()) collectMutations(*b, out);
+  }
+}
+
+/// Collects every view-producing node under `block` in program order.
+void collectViewNodes(const Block& block, std::vector<Node*>& out) {
+  for (Node* node : block) {
+    if (ir::isViewOp(node->kind())) out.push_back(node);
+    for (Block* b : node->blocks()) collectViewNodes(*b, out);
+  }
+}
+
+/// Collects ListConstruct nodes in program order.
+void collectListNodes(const Block& block, std::vector<Node*>& out) {
+  for (Node* node : block) {
+    if (node->kind() == OpKind::ListConstruct) out.push_back(node);
+    for (Block* b : node->blocks()) collectListNodes(*b, out);
+  }
+}
+
+/// Innermost Loop/ParallelMap block enclosing `n`, or nullptr.
+const Block* enclosingLoopBlock(const Node* n) {
+  for (const Block* b = n->owningBlock(); b != nullptr;
+       b = b->owningNode() ? b->owningNode()->owningBlock() : nullptr) {
+    const Node* owner = b->owningNode();
+    if (owner != nullptr && (owner->kind() == OpKind::Loop ||
+                             owner->kind() == OpKind::ParallelMap)) {
+      return b;
+    }
+  }
+  return nullptr;
+}
+
+/// True when `a` and `b` are both nested (at any depth) inside one common
+/// loop body — mutation effects can then wrap around iterations.
+bool shareEnclosingLoop(const Node* a, const Node* b) {
+  for (const Block* la = enclosingLoopBlock(a); la != nullptr;
+       la = la->owningNode() ? enclosingLoopBlock(la->owningNode()) : nullptr) {
+    if (la->encloses(b->owningBlock())) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AliasInfo AliasInfo::analyze(Graph& graph) {
+  AliasInfo info;
+  collectEdges(*graph.topBlock(), info.edges_);
+
+  // May-alias: union over all edge kinds.
+  UnionFind may;
+  for (const AliasEdge& e : info.edges_) may.unite(e.from, e.to);
+
+  // Memory components: follow the unique memory out-edge to the root.
+  std::unordered_map<const Value*, const Value*> memParent;
+  for (const AliasEdge& e : info.edges_) {
+    if (e.kind == AliasEdgeKind::Memory) memParent[e.from] = e.to;
+  }
+  std::function<const Value*(const Value*)> rootOf =
+      [&](const Value* v) -> const Value* {
+    auto it = memParent.find(v);
+    return it == memParent.end() ? v : rootOf(it->second);
+  };
+  for (const auto& [from, to] : memParent) {
+    info.memRoot_[from] = rootOf(from);
+    info.memRoot_[to] = rootOf(to);
+  }
+  for (const AliasEdge& e : info.edges_) {
+    info.mayGroup_[e.from] = may.find(e.from);
+    info.mayGroup_[e.to] = may.find(e.to);
+  }
+
+  // ---- T-set extraction -----------------------------------------------------
+  std::unordered_map<const Value*, std::size_t> setOfOrigin;
+  auto setFor = [&](Value* origin) -> TensorSet& {
+    auto it = setOfOrigin.find(origin);
+    if (it == setOfOrigin.end()) {
+      setOfOrigin[origin] = info.sets_.size();
+      info.sets_.push_back(TensorSet{});
+      info.sets_.back().origin = origin;
+      return info.sets_.back();
+    }
+    return info.sets_[it->second];
+  };
+
+  std::vector<Node*> viewNodes;
+  collectViewNodes(*graph.topBlock(), viewNodes);
+  for (Node* v : viewNodes) {
+    Value* origin =
+        const_cast<Value*>(info.memoryRoot(v->output(0)));
+    setFor(origin).views.push_back(v->output(0));
+  }
+  std::vector<Node*> mutations;
+  collectMutations(*graph.topBlock(), mutations);
+  for (Node* m : mutations) {
+    Value* origin = const_cast<Value*>(info.memoryRoot(m->input(0)));
+    TensorSet& set = setFor(origin);
+    set.mutations.push_back(m);
+    // The mutation's returned alias is part of V as well.
+    set.views.push_back(m->output(0));
+  }
+
+  // ---- Functionalizability --------------------------------------------------
+  std::vector<Node*> listNodes;
+  collectListNodes(*graph.topBlock(), listNodes);
+
+  for (TensorSet& set : info.sets_) {
+    if (set.mutations.empty()) {
+      set.functionalizable = false;
+      set.reason = "no mutation (already functional)";
+      continue;
+    }
+    // Container hazard: a list holding one of our aliases observes mutations
+    // that happen after the list is built (or may wrap around a shared loop).
+    bool hazard = false;
+    for (const Node* lc : listNodes) {
+      bool holdsAlias = false;
+      for (const Value* in : lc->inputs()) {
+        if (in == set.origin || info.mustAlias(in, set.origin)) {
+          holdsAlias = true;
+          break;
+        }
+      }
+      if (!holdsAlias) continue;
+      for (const Node* m : set.mutations) {
+        if (!m->isBefore(lc) || shareEnclosingLoop(m, lc)) {
+          hazard = true;
+          set.reason = "container holds alias observed by later mutation";
+          break;
+        }
+      }
+      if (hazard) break;
+    }
+    if (hazard) {
+      set.functionalizable = false;
+      continue;
+    }
+    set.functionalizable = true;
+    set.reason = "memory-dependency sub-graph (must-alias)";
+  }
+  return info;
+}
+
+bool AliasInfo::mayAlias(const Value* a, const Value* b) const {
+  if (a == b) return true;
+  auto ia = mayGroup_.find(a);
+  auto ib = mayGroup_.find(b);
+  if (ia == mayGroup_.end() || ib == mayGroup_.end()) return false;
+  return ia->second == ib->second;
+}
+
+bool AliasInfo::mustAlias(const Value* a, const Value* b) const {
+  if (a == b) return true;
+  return memoryRoot(a) == memoryRoot(b);
+}
+
+const Value* AliasInfo::memoryRoot(const Value* v) const {
+  auto it = memRoot_.find(v);
+  return it == memRoot_.end() ? v : it->second;
+}
+
+}  // namespace tssa::analysis

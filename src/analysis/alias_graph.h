@@ -1,0 +1,79 @@
+// Tensor-level alias analysis (paper §2.3).
+//
+// Builds the alias graph of a graph-level IR program: a directed graph over
+// tensor Values whose points-to edges record the three dependency classes of
+// the paper — memory (views), control flow (block args/returns), and
+// container (lists). From the memory-dependency sub-graphs it extracts the
+// T-sets of Eq. (1)-(2):
+//
+//     T := (t, V, M)
+//
+// where `t` is the origin tensor owning the storage, `V` all values reachable
+// from `t` through view edges, and `M` every Mutate operator whose target is
+// in {t} ∪ V. Each T-set is additionally classified as functionalizable or
+// not (with a reason), implementing the paper's restriction to sub-graphs
+// that consist solely of must-alias memory dependencies.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace tssa::analysis {
+
+enum class AliasEdgeKind : std::uint8_t {
+  Memory,       ///< p is a view of q (or the returned alias of a mutation)
+  ControlFlow,  ///< p is a block argument of q / q is a block return of p
+  Container,    ///< a list q contains p
+};
+
+struct AliasEdge {
+  const ir::Value* from = nullptr;
+  const ir::Value* to = nullptr;
+  AliasEdgeKind kind = AliasEdgeKind::Memory;
+};
+
+/// One memory-dependent sub-graph, Eq. (1)-(2) of the paper.
+struct TensorSet {
+  /// The origin tensor that owns the storage.
+  ir::Value* origin = nullptr;
+  /// All aliasing values reachable from `origin` via view edges (including
+  /// mutation-returned aliases), in program order of their definitions.
+  std::vector<ir::Value*> views;
+  /// All mutation nodes writing into this storage, in program order.
+  std::vector<ir::Node*> mutations;
+  /// Whether the TensorSSA conversion may functionalize this set.
+  bool functionalizable = false;
+  /// Human-readable reason when not functionalizable.
+  std::string reason;
+};
+
+class AliasInfo {
+ public:
+  /// Analyzes `graph` (which must be verified IR).
+  static AliasInfo analyze(ir::Graph& graph);
+
+  const std::vector<AliasEdge>& edges() const { return edges_; }
+  const std::vector<TensorSet>& sets() const { return sets_; }
+  std::vector<TensorSet>& sets() { return sets_; }
+
+  /// Values connected by any chain of alias edges (any kind, undirected).
+  bool mayAlias(const ir::Value* a, const ir::Value* b) const;
+  /// Values connected purely by memory edges: in our structured setting each
+  /// view has exactly one points-to edge, so memory connectivity is
+  /// must-alias (paper §2.3).
+  bool mustAlias(const ir::Value* a, const ir::Value* b) const;
+
+  /// The origin tensor of `v`'s memory component (v itself if it is one).
+  const ir::Value* memoryRoot(const ir::Value* v) const;
+
+ private:
+  std::vector<AliasEdge> edges_;
+  std::vector<TensorSet> sets_;
+  std::unordered_map<const ir::Value*, const ir::Value*> memRoot_;
+  std::unordered_map<const ir::Value*, std::size_t> mayGroup_;
+};
+
+}  // namespace tssa::analysis

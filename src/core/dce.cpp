@@ -1,0 +1,61 @@
+#include "src/core/dce.h"
+
+namespace tssa::core {
+
+using ir::Block;
+using ir::Graph;
+using ir::Node;
+using ir::OpKind;
+
+bool hasSideEffects(const ir::Node& node) {
+  if (ir::isMutationOp(node.kind())) return true;
+  // Update is annotation the renaming pass still needs; never DCE it.
+  if (node.kind() == OpKind::Update) return true;
+  for (const Block* b : node.blocks()) {
+    for (const Node* n : *b) {
+      if (hasSideEffects(*n)) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+std::size_t dceBlock(Block& block) {
+  std::size_t removed = 0;
+  // Reverse order so consumers die before producers.
+  auto nodes = block.nodesSnapshot();
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    Node* node = *it;
+    if (node->isDestroyed()) continue;
+    bool unused = true;
+    for (const ir::Value* out : node->outputs()) {
+      if (out->hasUses()) {
+        unused = false;
+        break;
+      }
+    }
+    if (unused && !hasSideEffects(*node)) {
+      node->destroy();
+      ++removed;
+      continue;
+    }
+    for (Block* b : node->blocks()) removed += dceBlock(*b);
+  }
+  return removed;
+}
+
+}  // namespace
+
+std::size_t eliminateDeadCode(Graph& graph) {
+  std::size_t total = 0;
+  // Iterate to fixpoint: removing a consumer can free its producers.
+  while (true) {
+    const std::size_t removed = dceBlock(*graph.topBlock());
+    total += removed;
+    if (removed == 0) break;
+  }
+  return total;
+}
+
+}  // namespace tssa::core

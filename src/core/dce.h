@@ -1,0 +1,19 @@
+// Dead code elimination for graph-level IR.
+#pragma once
+
+#include <cstddef>
+
+#include "src/ir/ir.h"
+
+namespace tssa::core {
+
+/// True when executing `node` can be observed other than through its
+/// outputs: it mutates storage, or contains something that does.
+bool hasSideEffects(const ir::Node& node);
+
+/// Removes nodes whose outputs are all unused and that have no side effects
+/// (including recursively inside control-flow bodies). Returns the number of
+/// nodes removed.
+std::size_t eliminateDeadCode(ir::Graph& graph);
+
+}  // namespace tssa::core

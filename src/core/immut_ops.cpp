@@ -1,0 +1,51 @@
+#include "src/core/immut_ops.h"
+
+namespace tssa::core {
+
+using ir::IRBuilder;
+using ir::Node;
+using ir::OpKind;
+using ir::Value;
+
+Value* makeAccessOp(IRBuilder& builder, Value* base, const Node& viewNode) {
+  std::vector<Value*> inputs{base};
+  for (std::size_t i = 1; i < viewNode.numInputs(); ++i)
+    inputs.push_back(viewNode.input(i));
+  Node* access = builder.emitNode(OpKind::Access, std::move(inputs), 1);
+  for (const auto& [name, value] : viewNode.attrs().all())
+    access->attrs().set(name, value);
+  access->attrs().set("view",
+                      Scalar(static_cast<std::int64_t>(viewNode.kind())));
+  return access->output();
+}
+
+Value* makeAssignOp(IRBuilder& builder, Value* base, Value* src,
+                    const Node* viewNode) {
+  std::vector<Value*> inputs{base, src};
+  OpKind viewKind = OpKind::Identity;
+  if (viewNode != nullptr) {
+    viewKind = viewNode->kind();
+    for (std::size_t i = 1; i < viewNode->numInputs(); ++i)
+      inputs.push_back(viewNode->input(i));
+  }
+  Node* assign = builder.emitNode(OpKind::Assign, std::move(inputs), 1);
+  if (viewNode != nullptr) {
+    for (const auto& [name, value] : viewNode->attrs().all())
+      assign->attrs().set(name, value);
+  }
+  assign->attrs().set("view", Scalar(static_cast<std::int64_t>(viewKind)));
+  assign->output()->setType(base->type());
+  return assign->output();
+}
+
+Value* rewriteViewToAccess(ir::Graph& graph, Node* viewNode) {
+  IRBuilder builder(graph);
+  builder.setInsertionPoint(viewNode);
+  Value* access = makeAccessOp(builder, viewNode->input(0), *viewNode);
+  access->setDebugName(viewNode->output(0)->debugName());
+  viewNode->output(0)->replaceAllUsesWith(access);
+  viewNode->destroy();
+  return access;
+}
+
+}  // namespace tssa::core

@@ -1,0 +1,24 @@
+// Construction helpers for the immutable TensorSSA operators
+// (immut::access / immut::assign, Definitions 3.3-3.4).
+#pragma once
+
+#include "src/ir/builder.h"
+
+namespace tssa::core {
+
+/// Creates `immut::access(base, <dynamic view operands>)` carrying the view
+/// rule of `viewNode` (its kind, attributes, and non-base operands).
+ir::Value* makeAccessOp(ir::IRBuilder& builder, ir::Value* base,
+                        const ir::Node& viewNode);
+
+/// Creates `immut::assign(base, src, <dynamic view operands>)` carrying the
+/// view rule of `viewNode`; a null `viewNode` means the identity rule
+/// (whole-tensor assignment).
+ir::Value* makeAssignOp(ir::IRBuilder& builder, ir::Value* base,
+                        ir::Value* src, const ir::Node* viewNode);
+
+/// Replaces a view node by the equivalent immut::access (same base and
+/// operands); RAUWs its output and destroys it. Returns the access value.
+ir::Value* rewriteViewToAccess(ir::Graph& graph, ir::Node* viewNode);
+
+}  // namespace tssa::core

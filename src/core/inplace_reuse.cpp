@@ -1,0 +1,96 @@
+#include "src/core/inplace_reuse.h"
+
+namespace tssa::core {
+
+using ir::Block;
+using ir::Node;
+using ir::OpKind;
+using ir::Value;
+
+namespace {
+
+/// True when `v` is guaranteed to own fresh storage no one else aliases:
+/// produced by a factory/clone/pure-compute/Access/Assign/FusionGroup node.
+bool ownsFreshStorage(const Value* v) {
+  const Node* def = v->definingNode();
+  if (def == nullptr) return false;  // params handled separately
+  if (def->kind() == OpKind::Constant) return false;  // shared weights
+  if (ir::isViewOp(def->kind())) return false;        // aliases its base
+  if (ir::isMutationOp(def->kind())) return false;
+  // Factories, clone, elementwise, Access (materializing copy), Assign
+  // (fresh or donated-chain version), FusionGroup results... all own their
+  // storage lineage.
+  return true;
+}
+
+/// All uses of `v` other than `consumer` have already executed when
+/// `consumer` runs: plain uses strictly before it in the same block. A block
+/// return or a nested-block use would still observe the old version.
+bool isLastUse(const Node* consumer, const Value* v) {
+  for (const ir::Use& use : v->uses()) {
+    if (use.user == consumer) continue;
+    if (use.user->kind() == OpKind::Return) return false;
+    if (use.user->owningBlock() != consumer->owningBlock()) return false;
+    if (!use.user->isBefore(consumer)) return false;
+  }
+  return true;
+}
+
+/// Decides donation by walking the ownership chain outward: through
+/// FusionGroup parameters to the group's operand, and through loop-carried
+/// parameters to the loop's initial value. Every hop requires the value to
+/// be dead after its consumer at that level.
+bool donatable(const Node* consumer, const Value* value) {
+  const Node* c = consumer;
+  const Value* v = value;
+  for (int hop = 0; hop < 16; ++hop) {  // depth bound (defensive)
+    if (!isLastUse(c, v)) return false;
+    if (!v->isParam()) return ownsFreshStorage(v);
+
+    const Block* block = v->paramBlock();
+    const Node* owner = block->owningNode();
+    if (owner == nullptr) return false;  // graph input: caller-owned
+
+    if (owner->kind() == OpKind::FusionGroup) {
+      // The body param mirrors the group operand; continue at group level.
+      c = owner;
+      v = owner->input(v->defIndex());
+      continue;
+    }
+    if (owner->kind() == OpKind::Loop || owner->kind() == OpKind::ParallelMap) {
+      if (v->defIndex() == 0) return false;  // induction variable
+      const std::size_t slot = v->defIndex() - 1;
+      // The carried-back version must own the storage lineage (it is the
+      // assign chain's fresh/donated result).
+      const Value* carried = block->returns()[slot];
+      if (carried != v && !carried->isParam() && !ownsFreshStorage(carried))
+        return false;
+      // Continue with the loop's initial value at the loop's level.
+      c = owner;
+      v = owner->input(slot + 1);
+      continue;
+    }
+    return false;  // If-blocks etc.: be conservative
+  }
+  return false;
+}
+
+std::size_t markInBlock(Block& block) {
+  std::size_t marked = 0;
+  for (Node* node : block) {
+    for (Block* b : node->blocks()) marked += markInBlock(*b);
+    if (node->kind() != OpKind::Assign) continue;
+    if (!donatable(node, node->input(0))) continue;
+    node->attrs().set("inplace", Scalar(true));
+    ++marked;
+  }
+  return marked;
+}
+
+}  // namespace
+
+std::size_t markInplaceAssigns(ir::Graph& graph) {
+  return markInBlock(*graph.topBlock());
+}
+
+}  // namespace tssa::core

@@ -1,0 +1,31 @@
+// Copy-on-write elision for immut::assign (buffer donation).
+//
+// Naively, Assign(base, src, [.]) materializes a full new version of `base`
+// per write — functionalization would turn a loop of column writes into
+// O(n^2) traffic. When the base version is *dead after the assign* (its only
+// use is the assign itself), the kernel may write into the base buffer in
+// place; versioning remains purely nominal. This is the standard buffer-
+// donation optimization every functional tensor compiler performs (XLA
+// aliasing, Inductor buffer reuse, NNC memory planning), and it is what the
+// paper alludes to with "the layout of the tensor data can become a
+// performance-friendly dense type".
+//
+// Safety: the base must be the assign's only consumer-visible version, and
+// must be provably fresh storage (not a constant, not a graph input, not a
+// view of something else). For loop-carried parameters the loop's initial
+// value must itself be dead-after-loop fresh storage.
+#pragma once
+
+#include <cstddef>
+
+#include "src/ir/ir.h"
+
+namespace tssa::core {
+
+/// Marks eligible immut::assign nodes with attribute inplace=true.
+/// Run AFTER fusion (no pass may reorder reads past a donated write once
+/// marking has happened); the analysis follows ownership through FusionGroup
+/// parameters and loop-carried values. Returns the number of assigns marked.
+std::size_t markInplaceAssigns(ir::Graph& graph);
+
+}  // namespace tssa::core

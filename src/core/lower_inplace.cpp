@@ -1,0 +1,66 @@
+#include "src/core/lower_inplace.h"
+
+#include "src/ir/builder.h"
+
+namespace tssa::core {
+
+using ir::Block;
+using ir::Graph;
+using ir::IRBuilder;
+using ir::Node;
+using ir::OpKind;
+using ir::Value;
+
+namespace {
+
+std::size_t lowerInBlock(Graph& graph, Block& block) {
+  std::size_t lowered = 0;
+  for (Node* node : block.nodesSnapshot()) {
+    for (Block* b : node->blocks()) lowered += lowerInBlock(graph, *b);
+    if (!ir::isMutationOp(node->kind()) || node->kind() == OpKind::Copy_)
+      continue;
+
+    IRBuilder builder(graph);
+    builder.setInsertionPoint(node);
+    Value* target = node->input(0);
+    Value* computed = nullptr;
+    switch (node->kind()) {
+      case OpKind::Fill_:
+      case OpKind::Zero_: {
+        Value* scalar = node->kind() == OpKind::Fill_ ? node->input(1)
+                                                      : builder.constFloat(0.0);
+        const DType dt = scalar->type().kind() == ir::TypeKind::Int
+                             ? DType::Int64
+                             : DType::Float32;
+        computed = builder.full({}, scalar, dt);
+        break;
+      }
+      default: {
+        // Same operands, pure equivalent kind, same attributes.
+        const OpKind pure = ir::pureEquivalent(node->kind());
+        TSSA_CHECK(pure != node->kind(),
+                   "no pure equivalent for " << opName(node->kind()));
+        std::vector<Value*> inputs(node->inputs().begin(),
+                                   node->inputs().end());
+        Node* pureNode = builder.emitNode(pure, std::move(inputs), 1);
+        for (const auto& [name, value] : node->attrs().all())
+          pureNode->attrs().set(name, value);
+        computed = pureNode->output();
+        break;
+      }
+    }
+    Node* copyNode = builder.copy_(target, computed);
+    node->output(0)->replaceAllUsesWith(copyNode->output(0));
+    node->destroy();
+    ++lowered;
+  }
+  return lowered;
+}
+
+}  // namespace
+
+std::size_t lowerInplaceOps(Graph& graph) {
+  return lowerInBlock(graph, *graph.topBlock());
+}
+
+}  // namespace tssa::core

@@ -1,0 +1,22 @@
+// Canonicalizes in-place operators to pure-compute + aten::copy_.
+//
+// After this pass, `aten::copy_` is the only Mutate operator (Definition 3.2)
+// left in the program, so the TensorSSA conversion (Algorithm 1) needs to
+// handle exactly one mutation form:
+//
+//   v.add_(o)             ->  t = aten::add(v, o);          copy_(v, t)
+//   v.sigmoid_()          ->  t = aten::sigmoid(v);         copy_(v, t)
+//   v.masked_fill_(m, s)  ->  t = aten::masked_fill(v,m,s); copy_(v, t)
+//   v.fill_(s) / zero_()  ->  t = aten::full([], s);        copy_(v, t)
+#pragma once
+
+#include <cstddef>
+
+#include "src/ir/ir.h"
+
+namespace tssa::core {
+
+/// Rewrites every non-copy_ mutation; returns the number rewritten.
+std::size_t lowerInplaceOps(ir::Graph& graph);
+
+}  // namespace tssa::core

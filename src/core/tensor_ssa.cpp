@@ -1,0 +1,392 @@
+#include "src/core/tensor_ssa.h"
+
+#include <deque>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/analysis/alias_graph.h"
+#include "src/core/dce.h"
+#include "src/core/immut_ops.h"
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+
+namespace tssa::core {
+
+using analysis::AliasInfo;
+using analysis::TensorSet;
+using ir::Block;
+using ir::Graph;
+using ir::IRBuilder;
+using ir::Node;
+using ir::OpKind;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+Node* makeUpdate(IRBuilder& builder, Value* newVersion, Value* oldVersion) {
+  return builder.emitNode(OpKind::Update, {newVersion, oldVersion}, 0);
+}
+
+// ---- Mutation-effect reachability -------------------------------------------------
+
+/// Innermost loop body enclosing `n`, or nullptr.
+const Block* enclosingLoopBody(const Node* n) {
+  for (const Block* b = n->owningBlock(); b != nullptr;
+       b = b->owningNode() ? b->owningNode()->owningBlock() : nullptr) {
+    const Node* owner = b->owningNode();
+    if (owner != nullptr && (owner->kind() == OpKind::Loop ||
+                             owner->kind() == OpKind::ParallelMap)) {
+      return b;
+    }
+  }
+  return nullptr;
+}
+
+/// True when the effect of mutation `n` can be observed by `use`: the use
+/// executes after the mutation in straight-line program order, is a block
+/// return that completes after it, or sits in a loop iteration following the
+/// mutation (wrap-around through a common enclosing loop).
+bool mutationReaches(const Node* n, const ir::Use& use) {
+  const Node* user = use.user;
+  if (user->kind() == OpKind::Return) {
+    const Block* b = user->owningBlock();
+    if (b->encloses(n->owningBlock())) return true;
+    const Node* owner = b->owningNode();
+    return owner != nullptr && n->isBefore(owner);
+  }
+  if (n->isBefore(user)) return true;
+  for (const Block* loop = enclosingLoopBody(n); loop != nullptr;
+       loop = loop->owningNode() != nullptr
+                  ? enclosingLoopBody(loop->owningNode())
+                  : nullptr) {
+    if (loop->encloses(user->owningBlock())) return true;
+  }
+  return false;
+}
+
+// ---- RewriteMutation (Algorithm 1, lines 1-16) -----------------------------------
+
+class MutationRewriter {
+ public:
+  MutationRewriter(Graph& graph, ConversionStats& stats)
+      : graph_(graph), stats_(stats) {}
+
+  void rewriteSet(const TensorSet& set) {
+    for (Node* mutation : set.mutations) {
+      rewriteMutation(set, mutation);
+      ++stats_.mutationsRemoved;
+    }
+    // All views of the functionalized set become immutable Accesses
+    // (after renaming; recorded for the final phase).
+    for (Value* v : set.views) {
+      Node* def = v->definingNode();
+      if (def != nullptr && ir::isViewOp(def->kind()))
+        viewsToRewrite_.insert(def);
+    }
+  }
+
+  const std::unordered_set<Node*>& viewsToRewrite() const {
+    return viewsToRewrite_;
+  }
+
+ private:
+  void rewriteMutation(const TensorSet& set, Node* mutation) {
+    TSSA_CHECK(mutation->kind() == OpKind::Copy_,
+               "run lowerInplaceOps first: found "
+                   << opName(mutation->kind()));
+    Value* target = mutation->input(0);
+    Value* source = mutation->input(1);
+
+    IRBuilder builder(graph_);
+    builder.setInsertionPoint(mutation);
+
+    // ---- Pass up: rebuild a new version of the origin tensor ----
+    // First an identity Assign at the target view's level (the data of the
+    // whole view is replaced by `source`, broadcast if needed) ...
+    Value* current = makeAssignOp(builder, target, source, /*viewNode=*/nullptr);
+    // ... then fold the new data back through each view step toward the
+    // origin: x' = Assign(x, v', [.]) per Algorithm 1 line 11.
+    Value* x = target;
+    while (x != set.origin) {
+      Node* def = x->definingNode();
+      TSSA_CHECK(def != nullptr && ir::isViewOp(def->kind()),
+                 "view path of %" << x->id() << " broken at "
+                                  << (def ? std::string(opName(def->kind()))
+                                          : std::string("<param>")));
+      Value* parent = def->input(0);
+      current = makeAssignOp(builder, parent, current, def);
+      x = parent;
+    }
+    Value* newOrigin = current;
+
+    // The mutation's returned alias is the mutated view itself; redirect its
+    // uses before computing which values the mutation's effect reaches.
+    mutation->output(0)->replaceAllUsesWith(target);
+
+    // ---- Pass down: re-access the views that dominate the mutation and
+    // whose value is observed after it (directly, via a block return, or in
+    // a later loop iteration).
+    const auto needed = computeNeeded(set, mutation);
+    traversal(set, set.origin, newOrigin, mutation, builder, needed);
+
+    mutation->destroy();
+  }
+
+  /// Values of the T-set whose version must be advanced past mutation `n`,
+  /// closed over view-path ancestors (a re-Accessed child needs its parent's
+  /// new version as the base).
+  std::unordered_set<const Value*> computeNeeded(const TensorSet& set,
+                                                 const Node* n) const {
+    std::unordered_set<const Value*> needed;
+    auto observed = [&](const Value* v) {
+      for (const ir::Use& use : v->uses()) {
+        if (use.user->kind() == OpKind::Update) continue;  // annotations
+        if (use.user == n) continue;                       // the mutation itself
+        if (mutationReaches(n, use)) return true;
+      }
+      return false;
+    };
+    std::vector<Value*> all = set.views;
+    all.push_back(set.origin);
+    for (Value* v : all) {
+      if (!observed(v)) continue;
+      // Mark v and every ancestor on its view path up to the origin.
+      for (Value* x = v; needed.insert(x).second && x != set.origin;) {
+        Node* def = x->definingNode();
+        if (def == nullptr ||
+            (!ir::isViewOp(def->kind()) && !ir::isMutationOp(def->kind()))) {
+          break;
+        }
+        x = def->input(0);
+      }
+      needed.insert(set.origin);
+    }
+    return needed;
+  }
+
+  /// Algorithm 1, Traversal (lines 1-7): Update(x', x), then recursively
+  /// re-Access the views of x that dominate N.
+  void traversal(const TensorSet& set, Value* x, Value* xNew, Node* n,
+                 IRBuilder& builder,
+                 const std::unordered_set<const Value*>& needed) {
+    if (needed.count(x) == 0) return;
+    makeUpdate(builder, xNew, x);
+    ++stats_.updatesInserted;
+    for (Value* viewVal : set.views) {
+      if (needed.count(viewVal) == 0) continue;
+      Node* def = viewVal->definingNode();
+      if (def == nullptr || !ir::isViewOp(def->kind())) continue;
+      if (def->input(0) != x) continue;
+      if (!def->dominates(n)) continue;
+      Value* reaccessed = makeAccessOp(builder, xNew, *def);
+      traversal(set, viewVal, reaccessed, n, builder, needed);
+    }
+  }
+
+  Graph& graph_;
+  ConversionStats& stats_;
+  std::unordered_set<Node*> viewsToRewrite_;
+};
+
+// ---- BlockPropagation (Algorithm 1, lines 17-32) -------------------------------------
+
+void collectUpdates(Block& block, std::deque<Node*>& out) {
+  for (Node* node : block) {
+    if (node->kind() == OpKind::Update) out.push_back(node);
+    for (Block* b : node->blocks()) collectUpdates(*b, out);
+  }
+}
+
+void blockPropagation(Graph& graph, ConversionStats& stats) {
+  std::deque<Node*> worklist;
+  collectUpdates(*graph.topBlock(), worklist);
+
+  // One propagation per (control-flow node, variable): several mutations of
+  // the same variable inside one block share the carried slot.
+  std::map<std::pair<Node*, Value*>, bool> propagated;
+
+  while (!worklist.empty()) {
+    Node* update = worklist.front();
+    worklist.pop_front();
+    Value* oldVersion = update->input(1);
+    Block* b = update->owningBlock();
+    Block* bEnd = oldVersion->definingBlock();
+    if (bEnd == nullptr) bEnd = graph.topBlock();
+    if (b == bEnd) continue;  // same scope: renaming alone suffices
+    TSSA_CHECK(bEnd->encloses(b),
+               "update target scope does not enclose the update");
+
+    Node* owner = b->owningNode();
+    TSSA_CHECK(owner != nullptr, "nested block without owning node");
+    const auto key = std::make_pair(owner, oldVersion);
+    if (propagated[key]) continue;
+    propagated[key] = true;
+
+    IRBuilder builder(graph);
+    if (owner->kind() == OpKind::Loop || owner->kind() == OpKind::ParallelMap) {
+      // Loop: thread the variable through as a loop-carried value.
+      owner->addInput(oldVersion);               // initial version
+      Value* param = b->addParam(oldVersion->type());
+      b->addReturn(oldVersion);                  // placeholder; renamed later
+      Value* out = owner->addOutput(oldVersion->type());
+      // Update(param, old) at the head of the body keeps uses inside the
+      // body on the freshest carried version (Algorithm 1 line 29).
+      Node* headUpdate = graph.create(OpKind::Update, {param, oldVersion}, 0);
+      headUpdate->prependTo(b);
+      ++stats.updatesInserted;
+      // Update(out, old) after the loop resumes outer uses (line 25).
+      Node* tailUpdate = graph.create(OpKind::Update, {out, oldVersion}, 0);
+      tailUpdate->insertAfter(owner);
+      ++stats.updatesInserted;
+      worklist.push_back(tailUpdate);
+    } else if (owner->kind() == OpKind::If) {
+      // Branch: both blocks return the variable; the sibling returns the
+      // (possibly un-mutated) version visible inside it (line 31).
+      Value* out = owner->addOutput(oldVersion->type());
+      for (Block* branch : owner->blocks()) branch->addReturn(oldVersion);
+      Node* tailUpdate = graph.create(OpKind::Update, {out, oldVersion}, 0);
+      tailUpdate->insertAfter(owner);
+      ++stats.updatesInserted;
+      worklist.push_back(tailUpdate);
+    } else {
+      TSSA_THROW("cannot propagate update through " << opName(owner->kind()));
+    }
+  }
+}
+
+// ---- Renaming (Algorithm 1, lines 33-35) -----------------------------------------------
+
+class Renamer {
+ public:
+  explicit Renamer(Graph& graph) : graph_(graph) {}
+
+  void run() {
+    renameBlock(*graph_.topBlock());
+    removeUpdates(*graph_.topBlock());
+  }
+
+ private:
+  void renameBlock(Block& block) {
+    std::vector<Value*> pushed;
+    for (Node* node : block.nodesSnapshot()) {
+      if (node->kind() == OpKind::Update) {
+        // From here on, uses of input(1) resolve to input(0).
+        stacks_[node->input(1)].push_back(node->input(0));
+        pushed.push_back(node->input(1));
+        continue;
+      }
+      for (std::size_t i = 0; i < node->numInputs(); ++i) {
+        Value* mapped = currentVersion(node->input(i));
+        if (mapped != nullptr) node->setInput(i, mapped);
+      }
+      for (Block* b : node->blocks()) renameBlock(*b);
+    }
+    // Block returns see the block-final versions.
+    Node* ret = block.returnNode();
+    for (std::size_t i = 0; i < ret->numInputs(); ++i) {
+      Value* mapped = currentVersion(ret->input(i));
+      if (mapped != nullptr) ret->setInput(i, mapped);
+    }
+    for (auto it = pushed.rbegin(); it != pushed.rend(); ++it)
+      stacks_[*it].pop_back();
+  }
+
+  Value* currentVersion(Value* v) const {
+    auto it = stacks_.find(v);
+    if (it == stacks_.end() || it->second.empty()) return nullptr;
+    return it->second.back();
+  }
+
+  void removeUpdates(Block& block) {
+    for (Node* node : block.nodesSnapshot()) {
+      for (Block* b : node->blocks()) removeUpdates(*b);
+      if (node->kind() == OpKind::Update) node->destroy();
+    }
+  }
+
+  Graph& graph_;
+  std::unordered_map<Value*, std::vector<Value*>> stacks_;
+};
+
+// ---- View -> Access rewrite -------------------------------------------------------------
+
+std::size_t rewriteViewsToAccess(Graph& graph,
+                                 const std::unordered_set<Node*>& views) {
+  std::size_t rewritten = 0;
+  for (Node* view : views) {
+    if (view->isDestroyed()) continue;
+    if (!view->output(0)->hasUses()) {
+      view->destroy();
+      continue;
+    }
+    rewriteViewToAccess(graph, view);
+    ++rewritten;
+  }
+  return rewritten;
+}
+
+}  // namespace
+
+std::string ConversionStats::toString() const {
+  std::ostringstream os;
+  os << "TensorSSA conversion: " << setsFunctionalized
+     << " set(s) functionalized, " << setsSkipped << " skipped, "
+     << mutationsRemoved << " mutation(s) removed, " << updatesInserted
+     << " update(s) inserted, " << viewsRewritten << " view(s) -> access, "
+     << deadNodesRemoved << " dead node(s) removed";
+  return os.str();
+}
+
+namespace {
+
+/// True when the whole T-set (origin, views, mutations, and uses of its
+/// values) lives in a single block — the only case dataflow-only
+/// functionalization can handle.
+bool setIsSingleBlock(const TensorSet& set) {
+  const Block* home = set.origin->definingBlock();
+  auto sameBlock = [&](const Value* v) {
+    if (v->definingBlock() != home) return false;
+    for (const ir::Use& use : v->uses()) {
+      if (use.user->owningBlock() != home) return false;
+    }
+    return true;
+  };
+  if (!sameBlock(set.origin)) return false;
+  for (const Value* v : set.views) {
+    if (!sameBlock(v)) return false;
+  }
+  for (const Node* m : set.mutations) {
+    if (m->owningBlock() != home) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ConversionStats convertToTensorSSA(Graph& graph,
+                                   const ConversionOptions& options) {
+  ConversionStats stats;
+  AliasInfo alias = AliasInfo::analyze(graph);
+
+  MutationRewriter rewriter(graph, stats);
+  for (const TensorSet& set : alias.sets()) {
+    if (!set.functionalizable ||
+        (!options.acrossControlFlow && !setIsSingleBlock(set))) {
+      if (!set.mutations.empty()) ++stats.setsSkipped;
+      continue;
+    }
+    rewriter.rewriteSet(set);
+    ++stats.setsFunctionalized;
+  }
+
+  blockPropagation(graph, stats);
+  Renamer(graph).run();
+  stats.viewsRewritten = rewriteViewsToAccess(graph, rewriter.viewsToRewrite());
+  stats.deadNodesRemoved = eliminateDeadCode(graph);
+  return stats;
+}
+
+}  // namespace tssa::core

@@ -1,0 +1,57 @@
+// TensorSSA conversion — Algorithm 1 of the paper.
+//
+// Transforms an imperative tensor program (views + in-place mutation +
+// control flow) into its pure functional TensorSSA form:
+//
+//   1. RewriteMutation: for every Mutate(v, w) in a functionalizable T-set,
+//      *pass-up* inserts the Assign chain rebuilding a new version of the
+//      origin tensor, *pass-down* re-Accesses every view that dominates the
+//      mutation and annotates new versions with tssa::update.
+//   2. BlockPropagation: every tssa::update whose new version is defined in a
+//      deeper block than the variable it updates is propagated through the
+//      enclosing prim::Loop / prim::If — adding loop-carried inputs, block
+//      params, block returns, and node outputs, exactly as lines 17-32 of
+//      Algorithm 1.
+//   3. Renaming: a scoped walk replaces every use of x with x' after each
+//      Update(x', x); then all Update operators (annotation-only,
+//      Definition 3.5) are erased.
+//   4. Every view operator of a functionalized T-set is rewritten to its
+//      immutable Access form, and dead code is eliminated.
+//
+// Precondition: lowerInplaceOps() has run (copy_ is the only Mutate form).
+// Postcondition: functionalized T-sets contain no views and no mutation; the
+// graph verifies; the program computes the same outputs (tests enforce
+// bit-equality against the reference interpreter on the original program).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/ir/ir.h"
+
+namespace tssa::core {
+
+struct ConversionStats {
+  std::size_t setsFunctionalized = 0;
+  std::size_t setsSkipped = 0;
+  std::size_t mutationsRemoved = 0;
+  std::size_t updatesInserted = 0;
+  std::size_t viewsRewritten = 0;
+  std::size_t deadNodesRemoved = 0;
+
+  std::string toString() const;
+};
+
+struct ConversionOptions {
+  /// When false, only T-sets that live entirely inside one block are
+  /// functionalized — the capability envelope of dataflow functionalization
+  /// (functorch / TorchInductor), which breaks at control-flow boundaries.
+  /// TensorSSA's holistic conversion keeps this true.
+  bool acrossControlFlow = true;
+};
+
+/// Runs the full TensorSSA conversion on `graph` (in place).
+ConversionStats convertToTensorSSA(ir::Graph& graph,
+                                   const ConversionOptions& options = {});
+
+}  // namespace tssa::core

@@ -1,0 +1,168 @@
+#include "src/core/unroll.h"
+
+#include <unordered_map>
+
+#include "src/ir/builder.h"
+
+namespace tssa::core {
+
+using ir::Block;
+using ir::Graph;
+using ir::IRBuilder;
+using ir::Node;
+using ir::OpKind;
+using ir::Value;
+
+namespace {
+
+/// The constant scalar behind `v`, if any.
+const Scalar* constantScalar(const Value* v) {
+  const Node* def = v->definingNode();
+  if (def == nullptr || def->kind() != OpKind::Constant) return nullptr;
+  if (!def->attrs().has("value")) return nullptr;
+  return &std::get<Scalar>(def->attrs().all().at("value"));
+}
+
+using ValueMap = std::unordered_map<const Value*, Value*>;
+
+Value* mapped(const ValueMap& map, Value* v) {
+  auto it = map.find(v);
+  return it == map.end() ? v : it->second;
+}
+
+/// Clones `node` (with nested blocks) in front of `anchor`, rewriting
+/// operands through `map`; records output mappings.
+void cloneNodeBefore(Graph& graph, const Node& node, Node* anchor,
+                     ValueMap& map) {
+  Node* copy = graph.create(node.kind(), {}, 0);
+  for (Value* in : node.inputs()) copy->addInput(mapped(map, in));
+  for (Value* out : node.outputs()) {
+    Value* newOut = copy->addOutput(out->type());
+    newOut->setDebugName(out->debugName());
+    map[out] = newOut;
+  }
+  for (const auto& [name, value] : node.attrs().all())
+    copy->attrs().set(name, value);
+  for (const Block* b : node.blocks()) {
+    Block* newBlock = copy->addBlock();
+    for (Value* p : b->params()) map[p] = newBlock->addParam(p->type());
+    std::unordered_map<const Value*, Value*>& inner = map;
+    ir::cloneBlockContents(*b, newBlock, inner);
+  }
+  copy->insertBefore(anchor);
+}
+
+std::size_t unrollInBlock(Graph& graph, Block& block, std::int64_t maxTrip) {
+  std::size_t unrolled = 0;
+  for (Node* node : block.nodesSnapshot()) {
+    // Innermost first, so nested constant loops flatten completely.
+    for (Block* b : node->blocks()) unrolled += unrollInBlock(graph, *b, maxTrip);
+    if (node->kind() != OpKind::Loop) continue;
+    const Scalar* trip = constantScalar(node->input(0));
+    if (trip == nullptr) continue;
+    const std::int64_t n = trip->toInt();
+    if (n < 0 || n > maxTrip) continue;
+
+    Block& body = *node->block(0);
+    std::vector<Value*> carried;
+    for (std::size_t i = 1; i < node->numInputs(); ++i)
+      carried.push_back(node->input(i));
+
+    IRBuilder builder(graph);
+    builder.setInsertionPoint(node);
+    for (std::int64_t it = 0; it < n; ++it) {
+      ValueMap map;
+      map[body.param(0)] = builder.constInt(it);
+      for (std::size_t k = 0; k < carried.size(); ++k)
+        map[body.param(k + 1)] = carried[k];
+      for (const Node* inner : body) cloneNodeBefore(graph, *inner, node, map);
+      for (std::size_t k = 0; k < carried.size(); ++k)
+        carried[k] = mapped(map, body.returns()[k]);
+    }
+    for (std::size_t k = 0; k < node->numOutputs(); ++k)
+      node->output(k)->replaceAllUsesWith(carried[k]);
+    node->destroy();
+    ++unrolled;
+  }
+  return unrolled;
+}
+
+std::size_t foldInBlock(Graph& graph, Block& block) {
+  std::size_t folded = 0;
+  for (Node* node : block.nodesSnapshot()) {
+    for (Block* b : node->blocks()) folded += foldInBlock(graph, *b);
+    if (ir::opCategory(node->kind()) != ir::OpCategory::Scalar) continue;
+    if (node->numInputs() != 2 || node->numOutputs() != 1) continue;
+    const Scalar* a = constantScalar(node->input(0));
+    const Scalar* b = constantScalar(node->input(1));
+    if (a == nullptr || b == nullptr) continue;
+
+    Scalar result;
+    if (a->isFloat() || b->isFloat()) {
+      const double x = a->toDouble();
+      const double y = b->toDouble();
+      switch (node->kind()) {
+        case OpKind::ScalarAdd: result = Scalar(x + y); break;
+        case OpKind::ScalarSub: result = Scalar(x - y); break;
+        case OpKind::ScalarMul: result = Scalar(x * y); break;
+        case OpKind::ScalarMin: result = Scalar(x < y ? x : y); break;
+        case OpKind::ScalarMax: result = Scalar(x > y ? x : y); break;
+        case OpKind::ScalarLt: result = Scalar(x < y); break;
+        case OpKind::ScalarLe: result = Scalar(x <= y); break;
+        case OpKind::ScalarGt: result = Scalar(x > y); break;
+        case OpKind::ScalarGe: result = Scalar(x >= y); break;
+        case OpKind::ScalarEq: result = Scalar(x == y); break;
+        case OpKind::ScalarNe: result = Scalar(x != y); break;
+        default: continue;  // mod of floats: leave
+      }
+    } else {
+      const std::int64_t x = a->toInt();
+      const std::int64_t y = b->toInt();
+      switch (node->kind()) {
+        case OpKind::ScalarAdd: result = Scalar(x + y); break;
+        case OpKind::ScalarSub: result = Scalar(x - y); break;
+        case OpKind::ScalarMul: result = Scalar(x * y); break;
+        case OpKind::ScalarMod:
+          if (y == 0) continue;
+          result = Scalar(x % y);
+          break;
+        case OpKind::ScalarMin: result = Scalar(x < y ? x : y); break;
+        case OpKind::ScalarMax: result = Scalar(x > y ? x : y); break;
+        case OpKind::ScalarLt: result = Scalar(x < y); break;
+        case OpKind::ScalarLe: result = Scalar(x <= y); break;
+        case OpKind::ScalarGt: result = Scalar(x > y); break;
+        case OpKind::ScalarGe: result = Scalar(x >= y); break;
+        case OpKind::ScalarEq: result = Scalar(x == y); break;
+        case OpKind::ScalarNe: result = Scalar(x != y); break;
+        default: continue;
+      }
+    }
+    IRBuilder builder(graph);
+    builder.setInsertionPoint(node);
+    Node* constant = builder.emitNode(OpKind::Constant, {}, 1);
+    constant->attrs().set("value", result);
+    constant->output()->setType(node->output(0)->type());
+    node->output(0)->replaceAllUsesWith(constant->output());
+    node->destroy();
+    ++folded;
+  }
+  return folded;
+}
+
+}  // namespace
+
+std::size_t unrollLoops(Graph& graph, std::int64_t maxTrip) {
+  return unrollInBlock(graph, *graph.topBlock(), maxTrip);
+}
+
+std::size_t foldScalarConstants(Graph& graph) {
+  std::size_t total = 0;
+  while (true) {
+    const std::size_t folded = foldInBlock(graph, *graph.topBlock());
+    total += folded;
+    if (folded == 0) break;
+  }
+  return total;
+}
+
+}  // namespace tssa::core

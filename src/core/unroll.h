@@ -1,0 +1,26 @@
+// Loop unrolling and scalar constant folding.
+//
+// TorchDynamo traces Python control flow: a `for` loop with a trace-time
+// constant range is unrolled into straight-line code (after which dataflow
+// functionalization and fusion see one big block). These passes model that
+// capability for the Dynamo+Inductor pipeline; TensorSSA deliberately does
+// NOT need them — Algorithm 1 works across the un-unrolled loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/ir/ir.h"
+
+namespace tssa::core {
+
+/// Unrolls every prim::Loop whose trip count is a prim::Constant no larger
+/// than `maxTrip`. Nested loops are unrolled innermost-first. Returns the
+/// number of loops unrolled.
+std::size_t unrollLoops(ir::Graph& graph, std::int64_t maxTrip = 256);
+
+/// Folds scalar:: arithmetic over prim::Constant operands into constants
+/// (fixpoint). Returns the number of nodes folded.
+std::size_t foldScalarConstants(ir::Graph& graph);
+
+}  // namespace tssa::core

@@ -1,0 +1,83 @@
+// Node attributes: named static operands of IR nodes.
+//
+// Dynamic operands (anything data- or loop-dependent) are Value inputs;
+// attributes hold static configuration: dims of a permute, sizes of a factory
+// op, the payload of a prim::Constant, the view rule of an Access/Assign.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/support/error.h"
+#include "src/tensor/scalar.h"
+#include "src/tensor/tensor.h"
+
+namespace tssa::ir {
+
+using AttrValue =
+    std::variant<Scalar, std::string, std::vector<std::int64_t>, Tensor,
+                 DType>;
+
+/// Ordered attribute map (std::map keeps printing deterministic).
+class AttrMap {
+ public:
+  bool has(const std::string& name) const { return attrs_.count(name) > 0; }
+
+  void set(const std::string& name, AttrValue value) {
+    attrs_[name] = std::move(value);
+  }
+
+  /// Typed getters; throw when absent or of the wrong type.
+  Scalar scalar(const std::string& name) const {
+    return get<Scalar>(name);
+  }
+  std::int64_t i(const std::string& name) const {
+    return get<Scalar>(name).toInt();
+  }
+  double f(const std::string& name) const {
+    return get<Scalar>(name).toDouble();
+  }
+  bool b(const std::string& name) const { return get<Scalar>(name).toBool(); }
+  const std::string& s(const std::string& name) const {
+    return get<std::string>(name);
+  }
+  const std::vector<std::int64_t>& ints(const std::string& name) const {
+    return get<std::vector<std::int64_t>>(name);
+  }
+  const Tensor& tensor(const std::string& name) const {
+    return get<Tensor>(name);
+  }
+  DType dtype(const std::string& name) const { return get<DType>(name); }
+
+  std::int64_t iOr(const std::string& name, std::int64_t fallback) const {
+    if (!has(name)) return fallback;
+    return i(name);
+  }
+  bool bOr(const std::string& name, bool fallback) const {
+    if (!has(name)) return fallback;
+    return b(name);
+  }
+
+  const std::map<std::string, AttrValue>& all() const { return attrs_; }
+  bool empty() const { return attrs_.empty(); }
+
+ private:
+  template <typename T>
+  const T& get(const std::string& name) const {
+    auto it = attrs_.find(name);
+    TSSA_CHECK(it != attrs_.end(), "missing attribute '" << name << "'");
+    const T* v = std::get_if<T>(&it->second);
+    TSSA_CHECK(v != nullptr, "attribute '" << name << "' has wrong type");
+    return *v;
+  }
+
+  std::map<std::string, AttrValue> attrs_;
+};
+
+/// Renders an attribute value for the printer.
+std::string attrToString(const AttrValue& value);
+
+}  // namespace tssa::ir

@@ -1,0 +1,101 @@
+#include "src/ir/op_kind.h"
+
+#include "src/support/error.h"
+
+namespace tssa::ir {
+
+std::string_view opName(OpKind kind) {
+  switch (kind) {
+#define TSSA_OPKIND_NAME(name, str, cat) \
+  case OpKind::name:                     \
+    return str;
+    TSSA_FOREACH_OPKIND(TSSA_OPKIND_NAME)
+#undef TSSA_OPKIND_NAME
+  }
+  return "<invalid>";
+}
+
+OpCategory opCategory(OpKind kind) {
+  switch (kind) {
+#define TSSA_OPKIND_CAT(name, str, cat) \
+  case OpKind::name:                    \
+    return OpCategory::cat;
+    TSSA_FOREACH_OPKIND(TSSA_OPKIND_CAT)
+#undef TSSA_OPKIND_CAT
+  }
+  TSSA_THROW("invalid op kind");
+}
+
+bool isViewOp(OpKind kind) { return opCategory(kind) == OpCategory::ViewOp; }
+
+bool isMutationOp(OpKind kind) {
+  return opCategory(kind) == OpCategory::Mutation;
+}
+
+bool isPureOp(OpKind kind) {
+  switch (opCategory(kind)) {
+    case OpCategory::Scalar:
+    case OpCategory::EwiseUnary:
+    case OpCategory::EwiseBinary:
+    case OpCategory::EwiseTernary:
+    case OpCategory::Reduction:
+    case OpCategory::Linalg:
+    case OpCategory::ShapeOp:
+    case OpCategory::Factory:
+      return true;
+    case OpCategory::Immut:
+      // Access/Assign are pure; Update is annotation-only and excluded.
+      return kind == OpKind::Access || kind == OpKind::Assign;
+    case OpCategory::Primitive:
+      return kind == OpKind::Constant || kind == OpKind::ListConstruct ||
+             kind == OpKind::ListIndex;
+    case OpCategory::ViewOp:
+    case OpCategory::Mutation:
+    case OpCategory::ControlFlow:
+    case OpCategory::Fusion:
+      return false;
+  }
+  return false;
+}
+
+bool isFusableOp(OpKind kind) {
+  switch (opCategory(kind)) {
+    case OpCategory::EwiseUnary:
+    case OpCategory::EwiseBinary:
+    case OpCategory::EwiseTernary:
+      return true;
+    case OpCategory::Immut:
+      return kind == OpKind::Access || kind == OpKind::Assign;
+    default:
+      return false;
+  }
+}
+
+OpKind pureEquivalent(OpKind kind) {
+  switch (kind) {
+    case OpKind::Add_:
+      return OpKind::Add;
+    case OpKind::Sub_:
+      return OpKind::Sub;
+    case OpKind::Mul_:
+      return OpKind::Mul;
+    case OpKind::Div_:
+      return OpKind::Div;
+    case OpKind::Relu_:
+      return OpKind::Relu;
+    case OpKind::Sigmoid_:
+      return OpKind::Sigmoid;
+    case OpKind::Tanh_:
+      return OpKind::Tanh;
+    case OpKind::MaskedFill_:
+      return OpKind::MaskedFill;
+    default:
+      return kind;
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, OpKind kind) {
+  return os << opName(kind);
+}
+
+}  // namespace tssa::ir

@@ -1,0 +1,179 @@
+// Operator vocabulary of the graph-level IR.
+//
+// The kinds mirror the paper's TorchScript setting:
+//   * `prim::*`   — structural operators (constants, control flow, lists)
+//   * `scalar::*` — Python-level int/float arithmetic (loop indices etc.)
+//   * `aten::*`   — tensor compute, tensor *views*, and in-place *mutation*
+//   * `immut::*`  — TensorSSA's Access / Assign (Definitions 3.3 / 3.4)
+//   * `tssa::*`   — Update annotation (Definition 3.5) and fusion results
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+namespace tssa::ir {
+
+// X-macro master list: TSSA_FOREACH_OPKIND(X) expands X(EnumName, "printed
+// name", Category) for every operator. Keeping it in one place guarantees the
+// enum, the name table, and the category table never drift apart.
+#define TSSA_FOREACH_OPKIND(X)                                     \
+  /* --- structural --- */                                         \
+  X(Constant, "prim::Constant", Primitive)                         \
+  X(ListConstruct, "prim::ListConstruct", Primitive)               \
+  X(ListIndex, "prim::ListIndex", Primitive)                       \
+  X(If, "prim::If", ControlFlow)                                   \
+  X(Loop, "prim::Loop", ControlFlow)                               \
+  X(Return, "prim::Return", Primitive)                             \
+  /* --- scalar arithmetic --- */                                  \
+  X(ScalarAdd, "scalar::add", Scalar)                              \
+  X(ScalarSub, "scalar::sub", Scalar)                              \
+  X(ScalarMul, "scalar::mul", Scalar)                              \
+  X(ScalarMod, "scalar::mod", Scalar)                              \
+  X(ScalarMin, "scalar::min", Scalar)                              \
+  X(ScalarMax, "scalar::max", Scalar)                              \
+  X(ScalarLt, "scalar::lt", Scalar)                                \
+  X(ScalarLe, "scalar::le", Scalar)                                \
+  X(ScalarGt, "scalar::gt", Scalar)                                \
+  X(ScalarGe, "scalar::ge", Scalar)                                \
+  X(ScalarEq, "scalar::eq", Scalar)                                \
+  X(ScalarNe, "scalar::ne", Scalar)                                \
+  /* --- elementwise binary --- */                                 \
+  X(Add, "aten::add", EwiseBinary)                                 \
+  X(Sub, "aten::sub", EwiseBinary)                                 \
+  X(Mul, "aten::mul", EwiseBinary)                                 \
+  X(Div, "aten::div", EwiseBinary)                                 \
+  X(Pow, "aten::pow", EwiseBinary)                                 \
+  X(Minimum, "aten::minimum", EwiseBinary)                         \
+  X(Maximum, "aten::maximum", EwiseBinary)                         \
+  X(Eq, "aten::eq", EwiseBinary)                                   \
+  X(Ne, "aten::ne", EwiseBinary)                                   \
+  X(Lt, "aten::lt", EwiseBinary)                                   \
+  X(Le, "aten::le", EwiseBinary)                                   \
+  X(Gt, "aten::gt", EwiseBinary)                                   \
+  X(Ge, "aten::ge", EwiseBinary)                                   \
+  X(LogicalAnd, "aten::logical_and", EwiseBinary)                  \
+  X(LogicalOr, "aten::logical_or", EwiseBinary)                    \
+  /* --- elementwise unary --- */                                  \
+  X(Neg, "aten::neg", EwiseUnary)                                  \
+  X(Exp, "aten::exp", EwiseUnary)                                  \
+  X(Log, "aten::log", EwiseUnary)                                  \
+  X(Sqrt, "aten::sqrt", EwiseUnary)                                \
+  X(Abs, "aten::abs", EwiseUnary)                                  \
+  X(Sigmoid, "aten::sigmoid", EwiseUnary)                          \
+  X(Tanh, "aten::tanh", EwiseUnary)                                \
+  X(Relu, "aten::relu", EwiseUnary)                                \
+  X(LogicalNot, "aten::logical_not", EwiseUnary)                   \
+  X(Clamp, "aten::clamp", EwiseUnary)                              \
+  X(Cast, "aten::to", EwiseUnary)                                  \
+  /* --- elementwise n-ary --- */                                  \
+  X(Where, "aten::where", EwiseTernary)                            \
+  X(MaskedFill, "aten::masked_fill", EwiseTernary)                 \
+  /* --- reductions --- */                                         \
+  X(Sum, "aten::sum", Reduction)                                   \
+  X(SumDim, "aten::sum.dim", Reduction)                            \
+  X(Mean, "aten::mean.dim", Reduction)                             \
+  X(MaxDim, "aten::max.dim", Reduction)                            \
+  X(MinDim, "aten::min.dim", Reduction)                            \
+  X(Argmax, "aten::argmax", Reduction)                             \
+  X(Softmax, "aten::softmax", Reduction)                           \
+  X(Cumsum, "aten::cumsum", Reduction)                             \
+  /* --- linear algebra --- */                                     \
+  X(Matmul, "aten::matmul", Linalg)                                \
+  X(Bmm, "aten::bmm", Linalg)                                      \
+  /* --- shape / data movement --- */                              \
+  X(Cat, "aten::cat", ShapeOp)                                     \
+  X(Stack, "aten::stack", ShapeOp)                                 \
+  X(IndexSelect, "aten::index_select", ShapeOp)                    \
+  X(Gather, "aten::gather", ShapeOp)                               \
+  X(Topk, "aten::topk", ShapeOp)                                   \
+  X(Argsort, "aten::argsort", ShapeOp)                             \
+  X(Clone, "aten::clone", ShapeOp)                                 \
+  X(Contiguous, "aten::contiguous", ShapeOp)                       \
+  /* --- factories --- */                                          \
+  X(Zeros, "aten::zeros", Factory)                                 \
+  X(Ones, "aten::ones", Factory)                                   \
+  X(Full, "aten::full", Factory)                                   \
+  X(Arange, "aten::arange", Factory)                               \
+  /* --- tensor views (share storage; Definition 3.1) --- */       \
+  X(Select, "aten::select", ViewOp)                                \
+  X(Slice, "aten::slice", ViewOp)                                  \
+  X(Reshape, "aten::reshape", ViewOp)                              \
+  X(Permute, "aten::permute", ViewOp)                              \
+  X(Transpose, "aten::transpose", ViewOp)                          \
+  X(Expand, "aten::expand", ViewOp)                                \
+  X(Squeeze, "aten::squeeze", ViewOp)                              \
+  X(Unsqueeze, "aten::unsqueeze", ViewOp)                          \
+  X(Flatten, "aten::flatten", ViewOp)                              \
+  X(Identity, "immut::identity", ViewOp)                           \
+  /* --- in-place mutation (Definition 3.2) --- */                 \
+  X(Copy_, "aten::copy_", Mutation)                                \
+  X(Fill_, "aten::fill_", Mutation)                                \
+  X(Zero_, "aten::zero_", Mutation)                                \
+  X(Add_, "aten::add_", Mutation)                                  \
+  X(Sub_, "aten::sub_", Mutation)                                  \
+  X(Mul_, "aten::mul_", Mutation)                                  \
+  X(Div_, "aten::div_", Mutation)                                  \
+  X(Relu_, "aten::relu_", Mutation)                                \
+  X(Sigmoid_, "aten::sigmoid_", Mutation)                          \
+  X(Tanh_, "aten::tanh_", Mutation)                                \
+  X(MaskedFill_, "aten::masked_fill_", Mutation)                   \
+  /* --- TensorSSA (Definitions 3.3-3.5) --- */                    \
+  X(Access, "immut::access", Immut)                                \
+  X(Assign, "immut::assign", Immut)                                \
+  X(Update, "tssa::update", Immut)                                 \
+  /* --- fusion results --- */                                     \
+  X(FusionGroup, "tssa::FusionGroup", Fusion)                      \
+  X(ParallelMap, "tssa::ParallelMap", ControlFlow)
+
+enum class OpKind : std::uint16_t {
+#define TSSA_OPKIND_ENUM(name, str, cat) name,
+  TSSA_FOREACH_OPKIND(TSSA_OPKIND_ENUM)
+#undef TSSA_OPKIND_ENUM
+};
+
+enum class OpCategory : std::uint8_t {
+  Primitive,
+  Scalar,
+  EwiseUnary,
+  EwiseBinary,
+  EwiseTernary,
+  Reduction,
+  Linalg,
+  ShapeOp,
+  Factory,
+  ViewOp,
+  Mutation,
+  Immut,
+  ControlFlow,
+  Fusion,
+};
+
+/// Printed operator name, e.g. "aten::copy_".
+std::string_view opName(OpKind kind);
+
+/// Coarse classification used by analyses and the fusion pass.
+OpCategory opCategory(OpKind kind);
+
+/// True for view operators (Definition 3.1): output aliases input 0.
+bool isViewOp(OpKind kind);
+
+/// True for in-place mutation operators (Definition 3.2): input 0 is mutated
+/// (and returned, PyTorch-style).
+bool isMutationOp(OpKind kind);
+
+/// True for operators whose results depend only on their inputs and that
+/// neither mutate nor alias anything (candidates for reordering/fusion).
+bool isPureOp(OpKind kind);
+
+/// True for operators the vertical fuser may put inside a FusionGroup:
+/// elementwise compute, Access/Assign, and scalar/constant support ops.
+bool isFusableOp(OpKind kind);
+
+/// For a mutation op kind, the equivalent pure compute kind when one exists
+/// (aten::add_ -> aten::add). Copy_/Fill_/Zero_ return the kind itself.
+OpKind pureEquivalent(OpKind kind);
+
+std::ostream& operator<<(std::ostream& os, OpKind kind);
+
+}  // namespace tssa::ir

@@ -1,0 +1,343 @@
+#include "src/ir/parser.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "src/ir/builder.h"
+
+namespace tssa::ir {
+namespace {
+
+// ---- Tokenizer -----------------------------------------------------------------
+
+struct Token {
+  enum Kind {
+    Ident,     // graph, block0, aten::add, f32, true, 3, 0.5, -1e9 ...
+    ValueRef,  // %name.3 or %3
+    Punct,     // ( ) [ ] , : =
+    Arrow,     // ->
+    End,
+  };
+  Kind kind = End;
+  std::string text;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token next() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  /// Consumes a punct token with exactly this text.
+  void expect(const std::string& punct) {
+    Token t = next();
+    TSSA_CHECK(t.text == punct, "parse error at line "
+                                    << t.line << ": expected '" << punct
+                                    << "', got '" << t.text << "'");
+  }
+
+  bool accept(const std::string& punct) {
+    if (current_.text == punct) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  void advance() {
+    while (pos_ < text_.size() &&
+           (std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    current_ = Token{Token::End, "", line_};
+    if (pos_ >= text_.size()) return;
+    const char c = text_[pos_];
+    if (c == '%') {
+      std::size_t start = pos_++;
+      while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(
+                                         text_[pos_])) != 0 ||
+                                     text_[pos_] == '_' || text_[pos_] == '.'))
+        ++pos_;
+      current_ = Token{Token::ValueRef, text_.substr(start, pos_ - start),
+                       line_};
+      return;
+    }
+    if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+      pos_ += 2;
+      current_ = Token{Token::Arrow, "->", line_};
+      return;
+    }
+    if (std::string("()[],:=<>").find(c) != std::string::npos) {
+      // "::" inside op names is handled by the identifier branch below; a
+      // bare ':' is punctuation.
+      ++pos_;
+      current_ = Token{Token::Punct, std::string(1, c), line_};
+      return;
+    }
+    if (c == '"') {  // quoted string attr
+      std::size_t start = ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+      std::string s = text_.substr(start, pos_ - start);
+      ++pos_;  // closing quote
+      current_ = Token{Token::Ident, "\"" + s + "\"", line_};
+      return;
+    }
+    // Identifier / number: letters, digits, '.', '-', '+', '_', and "::".
+    std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char d = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(d)) != 0 || d == '_' ||
+          d == '.' || d == '-' || d == '+') {
+        ++pos_;
+        continue;
+      }
+      if (d == ':' && pos_ + 1 < text_.size() && text_[pos_ + 1] == ':') {
+        pos_ += 2;
+        continue;
+      }
+      break;
+    }
+    TSSA_CHECK(pos_ > start, "parse error at line " << line_
+                                                    << ": unexpected '" << c
+                                                    << "'");
+    current_ = Token{Token::Ident, text_.substr(start, pos_ - start), line_};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token current_;
+};
+
+// ---- Parser --------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lex_(text) {}
+
+  std::unique_ptr<Graph> run() {
+    auto graph = std::make_unique<Graph>();
+    Token kw = lex_.next();
+    TSSA_CHECK(kw.text == "graph", "expected 'graph' at line " << kw.line);
+    lex_.expect("(");
+    if (!lex_.accept(")")) {
+      do {
+        Token ref = lex_.next();
+        lex_.expect(":");
+        Type type = parseType();
+        Value* v = graph->addInput(type, debugNameOf(ref.text));
+        values_[ref.text] = v;
+      } while (lex_.accept(","));
+      lex_.expect(")");
+    }
+    lex_.expect(":");
+    parseStatements(*graph, graph->topBlock());
+    // 'return (...)' terminates the top block.
+    Token ret = lex_.next();
+    TSSA_CHECK(ret.text == "return", "expected 'return' at line " << ret.line);
+    for (Value* v : parseValueList()) graph->addOutput(v);
+    return graph;
+  }
+
+ private:
+  static std::string debugNameOf(const std::string& ref) {
+    // "%name.3" -> "name"; "%3" -> "".
+    const std::size_t dot = ref.rfind('.');
+    if (dot == std::string::npos) return "";
+    return ref.substr(1, dot - 1);
+  }
+
+  Type parseType() {
+    Token t = lex_.next();
+    if (t.text == "Tensor") {
+      if (lex_.accept("[")) {
+        lex_.expect("]");
+        return Type::tensorList();
+      }
+      return Type::tensor();
+    }
+    if (t.text == "int") return Type::integer();
+    if (t.text == "float") return Type::floating();
+    if (t.text == "bool") return Type::boolean();
+    if (t.text == "none") return Type::none();
+    // dtype-qualified tensor: "f32 Tensor"
+    for (DType dt : {DType::Float32, DType::Int64, DType::Bool}) {
+      if (t.text == dtypeName(dt)) {
+        Token tensor = lex_.next();
+        TSSA_CHECK(tensor.text == "Tensor",
+                   "expected 'Tensor' after dtype at line " << tensor.line);
+        return Type::tensor(dt);
+      }
+    }
+    TSSA_THROW("unknown type '" << t.text << "' at line " << t.line);
+  }
+
+  OpKind parseOpKind(const std::string& name, int line) {
+#define TSSA_PARSE_OPKIND(enumName, str, cat) \
+  if (name == str) return OpKind::enumName;
+    TSSA_FOREACH_OPKIND(TSSA_PARSE_OPKIND)
+#undef TSSA_PARSE_OPKIND
+    TSSA_THROW("unknown operator '" << name << "' at line " << line);
+  }
+
+  Value* lookup(const std::string& ref, int line) {
+    auto it = values_.find(ref);
+    TSSA_CHECK(it != values_.end(),
+               "use of undefined value " << ref << " at line " << line);
+    return it->second;
+  }
+
+  std::vector<Value*> parseValueList() {
+    std::vector<Value*> out;
+    lex_.expect("(");
+    if (lex_.accept(")")) return out;
+    do {
+      Token ref = lex_.next();
+      out.push_back(lookup(ref.text, ref.line));
+    } while (lex_.accept(","));
+    lex_.expect(")");
+    return out;
+  }
+
+  AttrValue parseAttrValue() {
+    if (lex_.accept("[")) {  // int list
+      std::vector<std::int64_t> ints;
+      if (!lex_.accept("]")) {
+        do {
+          ints.push_back(std::stoll(lex_.next().text));
+        } while (lex_.accept(","));
+        lex_.expect("]");
+      }
+      return ints;
+    }
+    if (lex_.accept("<")) {  // tensor attr: <f32[2, 3]> — zeros reconstruction
+      Token dt = lex_.next();
+      DType dtype = DType::Float32;
+      for (DType d : {DType::Float32, DType::Int64, DType::Bool}) {
+        if (dt.text == dtypeName(d)) dtype = d;
+      }
+      lex_.expect("[");
+      Shape shape;
+      if (!lex_.accept("]")) {
+        do {
+          shape.push_back(std::stoll(lex_.next().text));
+        } while (lex_.accept(","));
+        lex_.expect("]");
+      }
+      lex_.expect(">");
+      return Tensor::zeros(std::move(shape), dtype);
+    }
+    Token t = lex_.next();
+    if (!t.text.empty() && t.text.front() == '"') {
+      return t.text.substr(1, t.text.size() - 2);
+    }
+    if (t.text == "true") return Scalar(true);
+    if (t.text == "false") return Scalar(false);
+    for (DType d : {DType::Float32, DType::Int64, DType::Bool}) {
+      if (t.text == dtypeName(d)) return d;
+    }
+    // Number: float when it has a decimal point or exponent.
+    if (t.text.find('.') != std::string::npos ||
+        t.text.find('e') != std::string::npos ||
+        t.text.find("inf") != std::string::npos ||
+        t.text.find("nan") != std::string::npos) {
+      return Scalar(std::stod(t.text));
+    }
+    return Scalar(static_cast<std::int64_t>(std::stoll(t.text)));
+  }
+
+  /// Parses statements until the stream reaches 'return' or '->'.
+  void parseStatements(Graph& graph, Block* block) {
+    while (lex_.peek().kind != Token::End && lex_.peek().text != "return" &&
+           lex_.peek().kind != Token::Arrow) {
+      parseNode(graph, block);
+    }
+  }
+
+  void parseNode(Graph& graph, Block* block) {
+    // Outputs (optional): "%a : T, %b : T = "
+    std::vector<std::pair<std::string, Type>> outputs;
+    while (lex_.peek().kind == Token::ValueRef) {
+      Token ref = lex_.next();
+      lex_.expect(":");
+      Type type = parseType();
+      outputs.emplace_back(ref.text, type);
+      if (lex_.accept(",")) continue;
+      break;
+    }
+    if (!outputs.empty()) lex_.expect("=");
+
+    Token opTok = lex_.next();
+    const OpKind kind = parseOpKind(opTok.text, opTok.line);
+    Node* node = graph.create(kind, {}, 0);
+
+    // Attributes.
+    if (lex_.accept("[")) {
+      do {
+        Token name = lex_.next();
+        lex_.expect("=");
+        node->attrs().set(name.text, parseAttrValue());
+      } while (lex_.accept(","));
+      lex_.expect("]");
+    }
+    // Operands.
+    lex_.expect("(");
+    if (!lex_.accept(")")) {
+      do {
+        Token ref = lex_.next();
+        node->addInput(lookup(ref.text, ref.line));
+      } while (lex_.accept(","));
+      lex_.expect(")");
+    }
+    for (const auto& [ref, type] : outputs) {
+      Value* v = node->addOutput(type);
+      v->setDebugName(debugNameOf(ref));
+      values_[ref] = v;
+    }
+    node->appendTo(block);
+
+    // Nested blocks: "blockN(params...):" ... "-> (returns)".
+    while (lex_.peek().kind == Token::Ident &&
+           lex_.peek().text.rfind("block", 0) == 0) {
+      lex_.next();  // blockN
+      Block* nested = node->addBlock();
+      lex_.expect("(");
+      if (!lex_.accept(")")) {
+        do {
+          Token ref = lex_.next();
+          lex_.expect(":");
+          Type type = parseType();
+          Value* p = nested->addParam(type, debugNameOf(ref.text));
+          values_[ref.text] = p;
+        } while (lex_.accept(","));
+        lex_.expect(")");
+      }
+      lex_.expect(":");
+      parseStatements(graph, nested);
+      Token arrow = lex_.next();
+      TSSA_CHECK(arrow.kind == Token::Arrow,
+                 "expected '->' at line " << arrow.line);
+      for (Value* v : parseValueList()) nested->addReturn(v);
+    }
+  }
+
+  Lexer lex_;
+  std::unordered_map<std::string, Value*> values_;
+};
+
+}  // namespace
+
+std::unique_ptr<Graph> parseGraph(const std::string& text) {
+  return Parser(text).run();
+}
+
+}  // namespace tssa::ir

@@ -1,0 +1,21 @@
+// Parser for the textual IR format emitted by the printer.
+//
+// Round-trips with printGraph(): parse(toString(g)) produces a structurally
+// identical graph (same ops, operands, attributes, blocks). One documented
+// lossy case: tensor-valued attributes print only their dtype/shape
+// ("<f32[2, 3]>"), so parsing reconstructs a zero tensor of that shape —
+// structure and types survive, weights do not.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/ir/ir.h"
+
+namespace tssa::ir {
+
+/// Parses one graph from `text`; throws tssa::Error with a line/column
+/// message on malformed input.
+std::unique_ptr<Graph> parseGraph(const std::string& text);
+
+}  // namespace tssa::ir

@@ -1,0 +1,122 @@
+#include "src/ir/printer.h"
+
+#include <sstream>
+
+#include "src/support/strings.h"
+
+namespace tssa::ir {
+namespace {
+
+std::string valueRef(const Value* v) {
+  std::ostringstream os;
+  os << "%";
+  if (!v->debugName().empty()) {
+    os << v->debugName() << "." << v->id();
+  } else {
+    os << v->id();
+  }
+  return os.str();
+}
+
+std::string attrsSuffix(const Node& node) {
+  if (node.attrs().empty()) return "";
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& [name, value] : node.attrs().all()) {
+    if (!first) os << ", ";
+    os << name << "=" << attrToString(value);
+    first = false;
+  }
+  os << "]";
+  return os.str();
+}
+
+void printNodeLine(std::ostream& os, const Node& node, int indent);
+
+void printBlock(std::ostream& os, const Block& block, int indent,
+                std::size_t blockIndex) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  os << pad << "block" << blockIndex << "(";
+  bool first = true;
+  for (const Value* p : block.params()) {
+    if (!first) os << ", ";
+    os << valueRef(p) << " : " << p->type();
+    first = false;
+  }
+  os << "):\n";
+  for (const Node* n : block) printNodeLine(os, *n, indent + 1);
+  const std::string innerPad(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  std::vector<std::string> rets;
+  for (const Value* r : block.returns()) rets.push_back(valueRef(r));
+  os << innerPad << "-> (" << join(rets, ", ") << ")\n";
+}
+
+void printNodeLine(std::ostream& os, const Node& node, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  os << pad;
+  if (node.numOutputs() > 0) {
+    std::vector<std::string> outs;
+    for (const Value* out : node.outputs()) {
+      outs.push_back(valueRef(out) + " : " + out->type().toString());
+    }
+    os << join(outs, ", ") << " = ";
+  }
+  os << opName(node.kind()) << attrsSuffix(node) << "(";
+  std::vector<std::string> ins;
+  for (const Value* in : node.inputs()) ins.push_back(valueRef(in));
+  os << join(ins, ", ") << ")\n";
+  for (std::size_t i = 0; i < node.numBlocks(); ++i)
+    printBlock(os, *node.block(i), indent + 1, i);
+}
+
+}  // namespace
+
+std::string attrToString(const AttrValue& value) {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<Scalar>(&value)) {
+    os << *s;
+  } else if (const auto* str = std::get_if<std::string>(&value)) {
+    os << '"' << *str << '"';
+  } else if (const auto* ints = std::get_if<std::vector<std::int64_t>>(&value)) {
+    os << bracketed(*ints);
+  } else if (const auto* t = std::get_if<Tensor>(&value)) {
+    os << "<" << dtypeName(t->dtype()) << bracketed(t->sizes()) << ">";
+  } else if (const auto* dt = std::get_if<DType>(&value)) {
+    os << dtypeName(*dt);
+  }
+  return os.str();
+}
+
+void printGraph(std::ostream& os, const Graph& graph) {
+  os << "graph(";
+  bool first = true;
+  for (const Value* in : graph.inputs()) {
+    if (!first) os << ", ";
+    os << valueRef(in) << " : " << in->type();
+    first = false;
+  }
+  os << "):\n";
+  for (const Node* n : *graph.topBlock()) printNodeLine(os, *n, 1);
+  std::vector<std::string> rets;
+  for (const Value* r : graph.outputs()) rets.push_back(valueRef(r));
+  os << "  return (" << join(rets, ", ") << ")\n";
+}
+
+std::string toString(const Graph& graph) {
+  std::ostringstream os;
+  printGraph(os, graph);
+  return os.str();
+}
+
+std::string toString(const Node& node) {
+  std::ostringstream os;
+  printNodeLine(os, node, 0);
+  return os.str();
+}
+
+}  // namespace tssa::ir
+
+namespace tssa::ir {
+std::string Graph::toString() const { return ::tssa::ir::toString(*this); }
+}  // namespace tssa::ir

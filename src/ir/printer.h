@@ -1,0 +1,28 @@
+// Textual rendering of graph-level IR (TorchScript-like format).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "src/ir/ir.h"
+
+namespace tssa::ir {
+
+/// Prints `graph` in a TorchScript-like textual format:
+///
+///   graph(%a : Tensor, %n : int):
+///     %2 : int = prim::Constant[value=0]()
+///     %3 : Tensor = aten::select[dim=0](%a, %2)
+///     %4 : Tensor = prim::Loop(%n, %3)
+///       block0(%i : int, %acc : Tensor):
+///         ...
+///         -> (%7)
+///     return (%4)
+void printGraph(std::ostream& os, const Graph& graph);
+
+std::string toString(const Graph& graph);
+
+/// Prints one node (without nested block bodies' indentation context).
+std::string toString(const Node& node);
+
+}  // namespace tssa::ir

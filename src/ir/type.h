@@ -1,0 +1,87 @@
+// Static types of IR values.
+//
+// The reproduction keeps graph-level types deliberately light: a value is a
+// Tensor (dtype optionally known, shapes resolved at runtime like
+// TorchScript's unshaped `Tensor`), a scalar int/float/bool, or a list of
+// tensors. Shape inference is not required by Algorithm 1; the interpreter and
+// cost model observe concrete shapes during execution.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "src/support/error.h"
+#include "src/tensor/dtype.h"
+
+namespace tssa::ir {
+
+enum class TypeKind : std::uint8_t {
+  Tensor,
+  Int,
+  Float,
+  Bool,
+  TensorList,
+  None,
+};
+
+/// A value type. Value-semantic and cheap to copy.
+class Type {
+ public:
+  Type() : kind_(TypeKind::None) {}
+
+  static Type tensor() { return Type(TypeKind::Tensor); }
+  static Type tensor(DType dtype) {
+    Type t(TypeKind::Tensor);
+    t.dtype_ = dtype;
+    return t;
+  }
+  static Type integer() { return Type(TypeKind::Int); }
+  static Type floating() { return Type(TypeKind::Float); }
+  static Type boolean() { return Type(TypeKind::Bool); }
+  static Type tensorList() { return Type(TypeKind::TensorList); }
+  static Type none() { return Type(TypeKind::None); }
+
+  TypeKind kind() const { return kind_; }
+  bool isTensor() const { return kind_ == TypeKind::Tensor; }
+  bool isTensorList() const { return kind_ == TypeKind::TensorList; }
+  bool isScalar() const {
+    return kind_ == TypeKind::Int || kind_ == TypeKind::Float ||
+           kind_ == TypeKind::Bool;
+  }
+  std::optional<DType> dtype() const { return dtype_; }
+
+  std::string toString() const {
+    switch (kind_) {
+      case TypeKind::Tensor:
+        return dtype_ ? std::string(dtypeName(*dtype_)) + " Tensor" : "Tensor";
+      case TypeKind::Int:
+        return "int";
+      case TypeKind::Float:
+        return "float";
+      case TypeKind::Bool:
+        return "bool";
+      case TypeKind::TensorList:
+        return "Tensor[]";
+      case TypeKind::None:
+        return "none";
+    }
+    return "?";
+  }
+
+  friend bool operator==(const Type& a, const Type& b) {
+    return a.kind_ == b.kind_;  // dtype is advisory
+  }
+
+ private:
+  explicit Type(TypeKind kind) : kind_(kind) {}
+
+  TypeKind kind_;
+  std::optional<DType> dtype_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Type& t) {
+  return os << t.toString();
+}
+
+}  // namespace tssa::ir

@@ -1,0 +1,153 @@
+#include "src/ir/verifier.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/ir/printer.h"
+
+namespace tssa::ir {
+namespace {
+
+class Verifier {
+ public:
+  void run(const Graph& graph) { verifyBlock(*graph.topBlock()); }
+
+ private:
+  void verifyBlock(const Block& block) {
+    for (const Node* node : block) verifyNode(*node);
+  }
+
+  void verifyNode(const Node& node) {
+    TSSA_CHECK(!node.isDestroyed(), "destroyed node still linked");
+    TSSA_CHECK(node.kind() != OpKind::Return,
+               "return sentinel reachable via node iteration");
+    for (std::size_t i = 0; i < node.numInputs(); ++i) {
+      const Value* in = node.input(i);
+      // The value must record this use.
+      const auto& uses = in->uses();
+      const bool recorded =
+          std::find(uses.begin(), uses.end(),
+                    Use{const_cast<Node*>(&node), i}) != uses.end();
+      TSSA_CHECK(recorded, "missing use record for operand " << i << " of "
+                                                             << toString(node));
+    }
+    for (const Value* out : node.outputs()) {
+      TSSA_CHECK(out->definingNode() == &node, "output def mismatch");
+    }
+
+    switch (node.kind()) {
+      case OpKind::If:
+        verifyIf(node);
+        break;
+      case OpKind::Loop:
+      case OpKind::ParallelMap:
+        verifyLoop(node);
+        break;
+      case OpKind::Update:
+        TSSA_CHECK(node.numInputs() == 2 && node.numOutputs() == 0,
+                   "tssa::update must have 2 inputs and no outputs");
+        break;
+      case OpKind::FusionGroup:
+        verifyFusionGroup(node);
+        break;
+      default:
+        TSSA_CHECK(node.numBlocks() == 0,
+                   "unexpected nested blocks on " << opName(node.kind()));
+        break;
+    }
+  }
+
+  void verifyIf(const Node& node) {
+    TSSA_CHECK(node.numBlocks() == 2, "prim::If needs two blocks");
+    TSSA_CHECK(node.numInputs() == 1, "prim::If takes exactly the condition");
+    for (const Block* b : node.blocks()) {
+      TSSA_CHECK(b->numParams() == 0, "prim::If blocks take no params");
+      TSSA_CHECK(b->numReturns() == node.numOutputs(),
+                 "prim::If block returns " << b->numReturns()
+                                           << " values but node has "
+                                           << node.numOutputs() << " outputs");
+      verifyNested(*b);
+    }
+  }
+
+  void verifyLoop(const Node& node) {
+    TSSA_CHECK(node.numBlocks() == 1, "loop needs one body block");
+    TSSA_CHECK(node.numInputs() >= 1, "loop needs a trip count");
+    const std::size_t carried = node.numInputs() - 1;
+    const Block& body = *node.block(0);
+    TSSA_CHECK(body.numParams() == carried + 1,
+               "loop body params must be (i, carried...): have "
+                   << body.numParams() << ", want " << carried + 1);
+    TSSA_CHECK(node.numOutputs() == carried,
+               "loop outputs must match carried inputs");
+    TSSA_CHECK(body.numReturns() == carried,
+               "loop body returns must match carried inputs");
+    verifyNested(body);
+  }
+
+  void verifyFusionGroup(const Node& node) {
+    TSSA_CHECK(node.numBlocks() == 1, "FusionGroup needs one block");
+    const Block& body = *node.block(0);
+    TSSA_CHECK(body.numParams() == node.numInputs(),
+               "FusionGroup block params must mirror node inputs");
+    TSSA_CHECK(body.numReturns() == node.numOutputs(),
+               "FusionGroup block returns must mirror node outputs");
+    // The subgraph must be self-contained: operands come from params or
+    // nodes inside the block, never captured from outside.
+    std::unordered_set<const Value*> inner(body.params().begin(),
+                                           body.params().end());
+    for (const Node* n : body) {
+      for (const Value* in : n->inputs()) {
+        TSSA_CHECK(inner.count(in) > 0,
+                   "FusionGroup body captures outer value %" << in->id());
+      }
+      for (const Value* out : n->outputs()) inner.insert(out);
+    }
+    verifyNested(body);
+  }
+
+  void verifyNested(const Block& block) { verifyBlock(block); }
+};
+
+/// Scope-exact visibility check (values defined in a block are not visible
+/// to siblings). Separate walk for precision.
+class ScopeChecker {
+ public:
+  void run(const Graph& graph) {
+    std::unordered_set<const Value*> top;
+    for (const Value* in : graph.inputs()) top.insert(in);
+    checkBlock(*graph.topBlock(), top);
+  }
+
+ private:
+  void checkBlock(const Block& block,
+                  std::unordered_set<const Value*> visible) {
+    for (const Node* node : block) {
+      for (const Value* in : node->inputs()) {
+        TSSA_CHECK(visible.count(in) > 0,
+                   "operand %" << in->id() << " of " << opName(node->kind())
+                               << " is not visible at its use (SSA scope "
+                                  "violation)");
+      }
+      for (const Block* b : node->blocks()) {
+        auto nested = visible;
+        for (const Value* p : b->params()) nested.insert(p);
+        checkBlock(*b, std::move(nested));
+      }
+      for (const Value* out : node->outputs()) visible.insert(out);
+    }
+    for (const Value* r : block.returns()) {
+      TSSA_CHECK(visible.count(r) > 0,
+                 "block return %" << r->id() << " not visible");
+    }
+  }
+};
+
+}  // namespace
+
+void verify(const Graph& graph) {
+  Verifier().run(graph);
+  ScopeChecker().run(graph);
+}
+
+}  // namespace tssa::ir

@@ -1,0 +1,21 @@
+// Structural verifier for graph-level IR.
+#pragma once
+
+#include "src/ir/ir.h"
+
+namespace tssa::ir {
+
+/// Checks structural invariants and throws tssa::Error on the first
+/// violation:
+///   * every operand is visible at its use (defined earlier in the same
+///     block or in an enclosing block — SSA scoping);
+///   * prim::If has exactly two blocks with no params, and both blocks
+///     return exactly numOutputs values;
+///   * prim::Loop / tssa::ParallelMap has one block whose params are
+///     (i:int, carried...) matching the node's carried inputs, and whose
+///     returns match the node's outputs;
+///   * tssa::update has two inputs and no outputs;
+///   * use records on values are consistent with node operand lists.
+void verify(const Graph& graph);
+
+}  // namespace tssa::ir

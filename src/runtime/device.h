@@ -1,0 +1,77 @@
+// Analytic GPU device model and host (framework) dispatch model.
+//
+// The paper evaluates on real NVIDIA GPUs; this reproduction substitutes an
+// analytic cost model (see DESIGN.md §1). Each kernel costs
+//
+//   t_kernel = launch_overhead + max(bytes / bandwidth, flops / peak)
+//
+// and each framework-level action (op dispatch, loop iteration, graph-break
+// region call) costs host time. Per-op simulated latency is
+// max(host, kernel), modelling a pipelined host->device queue that is
+// host-bound when dispatch is slower than the kernels it feeds — precisely
+// the regime the paper's imperative post-processing programs live in.
+//
+// Numerics are never simulated: every pipeline really executes its program
+// on the CPU tensor library and results are cross-checked in tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tssa::runtime {
+
+/// GPU hardware parameters.
+struct DeviceSpec {
+  std::string name;
+  double launchOverheadUs = 5.0;   ///< fixed cost per kernel launch
+  double memBandwidthGBps = 500;   ///< DRAM streaming bandwidth
+  double computeGFlops = 10000;    ///< fp32 peak
+  double syncLatencyUs = 8.0;      ///< device-host synchronization latency
+
+  /// Consumer platform of the paper (GTX 1660 Ti class).
+  static DeviceSpec consumer() {
+    return DeviceSpec{"consumer-1660ti", 8.0, 288.0, 5400.0, 12.0};
+  }
+  /// Data-center platform of the paper (RTX 3090 class).
+  static DeviceSpec dataCenter() {
+    return DeviceSpec{"datacenter-3090", 5.0, 936.0, 35600.0, 8.0};
+  }
+
+  /// Kernel execution time (µs) for a memory/compute footprint.
+  double kernelTimeUs(std::int64_t bytes, std::int64_t flops) const {
+    const double memUs =
+        static_cast<double>(bytes) / (memBandwidthGBps * 1e3);  // GB/s = B/µs*1e3
+    const double computeUs = static_cast<double>(flops) / (computeGFlops * 1e3);
+    return launchOverheadUs + (memUs > computeUs ? memUs : computeUs);
+  }
+};
+
+/// Framework dispatch-cost parameters; one preset per compared system.
+struct HostSpec {
+  std::string name;
+  double perOpUs = 1.0;          ///< dispatching one operator
+  double perLoopIterUs = 0.5;    ///< control-flow cost per loop iteration
+  double perIfUs = 0.3;          ///< control-flow cost per branch
+  double perRegionCallUs = 0.0;  ///< entering a compiled region (guards etc.)
+  /// Python-driven dispatch serializes with kernel execution (no async
+  /// pipelining): per-op cost is host + kernel rather than max(host, kernel).
+  bool serialDispatch = false;
+
+  /// PyTorch eager: Python dispatches every op.
+  static HostSpec eagerPython() {
+    return HostSpec{"eager", 4.5, 3.0, 1.5, 0.0, true};
+  }
+  /// TorchScript interpreter VM (used by +NNC / +nvFuser and by TensorSSA).
+  static HostSpec torchscriptVm() {
+    return HostSpec{"ts-vm", 1.2, 0.8, 0.4, 0.0, false};
+  }
+  /// TorchDynamo: generated kernels are dispatched through Python launcher
+  /// wrappers (costlier per kernel than the TorchScript VM), control flow
+  /// falls back to the Python interpreter, and every region entry pays guard
+  /// checks.
+  static HostSpec dynamoInductor() {
+    return HostSpec{"dynamo", 3.5, 4.0, 2.0, 15.0, true};
+  }
+};
+
+}  // namespace tssa::runtime

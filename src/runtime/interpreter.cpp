@@ -1,0 +1,742 @@
+#include "src/runtime/interpreter.h"
+
+#include <algorithm>
+
+#include "src/ir/printer.h"
+#include "src/tensor/ops.h"
+
+namespace tssa::runtime {
+
+using ir::Node;
+using ir::OpKind;
+
+namespace {
+
+/// Rough FLOP estimate for one elementwise-style kernel output.
+std::int64_t ewiseFlops(const Tensor& out) { return out.numel(); }
+
+}  // namespace
+
+// ---- Merge scope: collapse kernels recorded inside into one launch ---------------
+
+struct Interpreter::MergeScope {
+  explicit MergeScope(Interpreter& in) : in_(in) { ++in_.mergeDepth_; }
+  ~MergeScope() { --in_.mergeDepth_; }
+  MergeScope(const MergeScope&) = delete;
+  MergeScope& operator=(const MergeScope&) = delete;
+  Interpreter& in_;
+};
+
+// Inside a FusionGroup body: no kernels are recorded, only the per-element
+// op count (the group itself is priced as one kernel by its caller).
+struct Interpreter::SuppressScope {
+  explicit SuppressScope(Interpreter& in) : in_(in) {
+    ++in_.suppressDepth_;
+    saved_ = in_.suppressFlops_;
+    savedBytes_ = in_.suppressSavedBytes_;
+    in_.suppressFlops_ = 0;
+    in_.suppressSavedBytes_ = 0;
+  }
+  ~SuppressScope() {
+    in_.suppressFlops_ = saved_;
+    in_.suppressSavedBytes_ = savedBytes_;
+    --in_.suppressDepth_;
+  }
+  SuppressScope(const SuppressScope&) = delete;
+  SuppressScope& operator=(const SuppressScope&) = delete;
+  Interpreter& in_;
+  std::int64_t saved_ = 0;
+  std::int64_t savedBytes_ = 0;
+};
+
+void Interpreter::chargeKernel(const Node& node, std::int64_t bytes,
+                               std::int64_t flops) {
+  if (profiler_ == nullptr) return;
+  if (suppressDepth_ > 0) {
+    suppressFlops_ += flops;
+    return;
+  }
+  if (mergeDepth_ > 0) {
+    if (mergePos_ >= mergeSlots_.size()) {
+      mergeSlots_.push_back(
+          MergedKernel{std::string(opName(node.kind())), 0, 0});
+    }
+    mergeSlots_[mergePos_].bytes += bytes;
+    mergeSlots_[mergePos_].flops += flops;
+    ++mergePos_;
+    return;
+  }
+  profiler_->kernel(opName(node.kind()), bytes, flops,
+                    profiler_->host().perOpUs);
+}
+
+void Interpreter::chargeOpDispatch() {
+  if (profiler_ == nullptr || mergeDepth_ > 0) return;
+  profiler_->opDispatch();
+}
+
+// ---- Entry ----------------------------------------------------------------------------
+
+std::vector<RtValue> Interpreter::run(const ir::Graph& graph,
+                                      std::span<const RtValue> inputs) {
+  TSSA_CHECK(inputs.size() == graph.inputs().size(),
+             "expected " << graph.inputs().size() << " inputs, got "
+                         << inputs.size());
+  Env env;
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    env[graph.inputs()[i]] = inputs[i];
+  runBlockBody(*graph.topBlock(), env);
+  return blockReturns(*graph.topBlock(), env);
+}
+
+void Interpreter::runBlockBody(const ir::Block& block, Env& env) {
+  // Graph-break model: entering a block whose compiled segment contains
+  // generated kernels costs one region call (guard checks, Python resume).
+  if (profiler_ != nullptr && mergeDepth_ == 0 && suppressDepth_ == 0 &&
+      profiler_->host().perRegionCallUs > 0) {
+    auto it = blockHasFusion_.find(&block);
+    if (it == blockHasFusion_.end()) {
+      bool has = false;
+      for (const Node* node : block) {
+        if (node->kind() == OpKind::FusionGroup) {
+          has = true;
+          break;
+        }
+      }
+      it = blockHasFusion_.emplace(&block, has).first;
+    }
+    if (it->second) profiler_->regionCall();
+  }
+  for (const Node* node : block) execNode(*node, env);
+}
+
+std::vector<RtValue> Interpreter::blockReturns(const ir::Block& block,
+                                               const Env& env) {
+  std::vector<RtValue> out;
+  out.reserve(block.numReturns());
+  for (const ir::Value* r : block.returns()) out.push_back(get(r, env));
+  return out;
+}
+
+const RtValue& Interpreter::get(const ir::Value* v, const Env& env) const {
+  auto it = env.find(v);
+  TSSA_CHECK(it != env.end(), "value %" << v->id() << " not bound");
+  return it->second;
+}
+
+Tensor Interpreter::tensorIn(const Node& node, std::size_t i,
+                             const Env& env) const {
+  return get(node.input(i), env).tensor();
+}
+
+Scalar Interpreter::scalarIn(const Node& node, std::size_t i,
+                             const Env& env) const {
+  return get(node.input(i), env).scalar();
+}
+
+// ---- View application --------------------------------------------------------------------
+
+Tensor Interpreter::applyView(OpKind viewKind, const Node& node,
+                              const Tensor& base, std::size_t operandStart,
+                              const Env& env) const {
+  const auto& attrs = node.attrs();
+  switch (viewKind) {
+    case OpKind::Identity:
+      return base;
+    case OpKind::Select:
+      return base.select(attrs.i("dim"),
+                         scalarIn(node, operandStart, env).toInt());
+    case OpKind::Slice:
+      return base.slice(attrs.i("dim"),
+                        scalarIn(node, operandStart, env).toInt(),
+                        scalarIn(node, operandStart + 1, env).toInt(),
+                        attrs.i("step"));
+    case OpKind::Reshape: {
+      Shape sizes = attrs.ints("sizes");
+      return base.isContiguous() ? base.view(std::move(sizes))
+                                 : base.reshape(std::move(sizes));
+    }
+    case OpKind::Permute:
+      return base.permute(attrs.ints("dims"));
+    case OpKind::Transpose:
+      return base.transpose(attrs.i("dim0"), attrs.i("dim1"));
+    case OpKind::Expand:
+      return base.expand(attrs.ints("sizes"));
+    case OpKind::Squeeze:
+      return base.squeeze(attrs.i("dim"));
+    case OpKind::Unsqueeze:
+      return base.unsqueeze(attrs.i("dim"));
+    case OpKind::Flatten:
+      return base.flatten(attrs.i("start_dim"), attrs.i("end_dim"));
+    default:
+      TSSA_THROW("not a view kind: " << opName(viewKind));
+  }
+}
+
+// ---- Node execution ----------------------------------------------------------------------
+
+void Interpreter::execNode(const Node& node, Env& env) {
+  const OpKind kind = node.kind();
+  const auto& attrs = node.attrs();
+
+  auto bindOut = [&](std::size_t i, RtValue v) {
+    env[node.output(i)] = std::move(v);
+  };
+
+  // Elementwise binary compute.
+  auto evalBinary = [&](auto&& fn) {
+    Tensor a = tensorIn(node, 0, env);
+    Tensor b = tensorIn(node, 1, env);
+    Tensor out = fn(a, b);
+    chargeKernel(node, tensorBytes(a) + tensorBytes(b) + tensorBytes(out),
+                 ewiseFlops(out));
+    bindOut(0, std::move(out));
+  };
+  auto evalUnary = [&](auto&& fn) {
+    Tensor a = tensorIn(node, 0, env);
+    Tensor out = fn(a);
+    chargeKernel(node, tensorBytes(a) + tensorBytes(out), ewiseFlops(out));
+    bindOut(0, std::move(out));
+  };
+  // In-place op: compute pure equivalent, write through the target view.
+  // PyTorch semantics: one kernel, result aliases the target.
+  auto evalInplace = [&](auto&& fn) {
+    Tensor target = tensorIn(node, 0, env);
+    Tensor result = fn(target);
+    target.copy_(result);
+    chargeKernel(node, 2 * tensorBytes(target), ewiseFlops(target));
+    bindOut(0, target);
+  };
+
+  switch (kind) {
+    // ---- structural -------------------------------------------------------
+    case OpKind::Constant:
+      if (attrs.has("tensor")) {
+        bindOut(0, attrs.tensor("tensor"));
+      } else {
+        bindOut(0, attrs.scalar("value"));
+      }
+      return;
+    case OpKind::ListConstruct: {
+      std::vector<Tensor> list;
+      for (std::size_t i = 0; i < node.numInputs(); ++i)
+        list.push_back(tensorIn(node, i, env));
+      chargeOpDispatch();
+      bindOut(0, std::move(list));
+      return;
+    }
+    case OpKind::ListIndex: {
+      const auto& list = get(node.input(0), env).list();
+      const std::int64_t i = scalarIn(node, 1, env).toInt();
+      TSSA_CHECK(i >= 0 && i < static_cast<std::int64_t>(list.size()),
+                 "list index out of range");
+      chargeOpDispatch();
+      bindOut(0, list[static_cast<std::size_t>(i)]);
+      return;
+    }
+    case OpKind::Return:
+      TSSA_THROW("return sentinel must not be executed");
+    case OpKind::Update:
+      TSSA_THROW("tssa::update is annotation-only and must be removed "
+                 "before execution");
+
+    // ---- control flow -----------------------------------------------------
+    case OpKind::If: {
+      const bool cond = scalarIn(node, 0, env).toBool();
+      if (profiler_ != nullptr && mergeDepth_ == 0) profiler_->branch();
+      const ir::Block& block = *node.block(cond ? 0 : 1);
+      runBlockBody(block, env);
+      auto rets = blockReturns(block, env);
+      for (std::size_t i = 0; i < rets.size(); ++i)
+        bindOut(i, std::move(rets[i]));
+      return;
+    }
+    case OpKind::Loop: {
+      const std::int64_t trip = scalarIn(node, 0, env).toInt();
+      const ir::Block& body = *node.block(0);
+      std::vector<RtValue> carried;
+      for (std::size_t i = 1; i < node.numInputs(); ++i)
+        carried.push_back(get(node.input(i), env));
+      for (std::int64_t it = 0; it < trip; ++it) {
+        if (profiler_ != nullptr && mergeDepth_ == 0)
+          profiler_->loopIteration();
+        env[body.param(0)] = Scalar(it);
+        for (std::size_t i = 0; i < carried.size(); ++i)
+          env[body.param(i + 1)] = carried[i];
+        runBlockBody(body, env);
+        carried = blockReturns(body, env);
+      }
+      for (std::size_t i = 0; i < carried.size(); ++i)
+        bindOut(i, std::move(carried[i]));
+      return;
+    }
+    case OpKind::ParallelMap: {
+      // Semantics of Loop, priced as one batched kernel: the horizontal
+      // parallelization result (§4.2.2). Iterations are independent by
+      // construction (the pass proved it), so a real backend launches one
+      // grid over all iterations.
+      const std::int64_t trip = scalarIn(node, 0, env).toInt();
+      const ir::Block& body = *node.block(0);
+      std::vector<RtValue> carried;
+      for (std::size_t i = 1; i < node.numInputs(); ++i)
+        carried.push_back(get(node.input(i), env));
+      std::vector<MergedKernel> slots;
+      {
+        MergeScope merge(*this);
+        for (std::int64_t it = 0; it < trip; ++it) {
+          mergePos_ = 0;  // kernel j of every iteration shares launch j
+          env[body.param(0)] = Scalar(it);
+          for (std::size_t i = 0; i < carried.size(); ++i)
+            env[body.param(i + 1)] = carried[i];
+          runBlockBody(body, env);
+          carried = blockReturns(body, env);
+        }
+        slots.swap(mergeSlots_);
+      }
+      if (profiler_ != nullptr && mergeDepth_ == 0) {
+        for (const MergedKernel& slot : slots) {
+          profiler_->kernel("tssa::ParallelMap(" + slot.name + ")",
+                            slot.bytes, slot.flops,
+                            profiler_->host().perOpUs);
+        }
+      }
+      for (std::size_t i = 0; i < carried.size(); ++i)
+        bindOut(i, std::move(carried[i]));
+      return;
+    }
+    case OpKind::FusionGroup: {
+      // One kernel. External traffic only: inputs + outputs; intermediates
+      // live in registers of the generated kernel.
+      const ir::Block& body = *node.block(0);
+      std::int64_t bytes = 0;
+      std::vector<RtValue> groupInputs;
+      groupInputs.reserve(node.numInputs());
+      for (std::size_t i = 0; i < node.numInputs(); ++i) {
+        const RtValue& v = get(node.input(i), env);
+        if (v.isTensor()) bytes += tensorBytes(v.tensor());
+        groupInputs.push_back(v);
+      }
+
+      // Prefer the tensor-expression kernel (the NNC-substitute backend);
+      // bodies it cannot express fall back to per-node interpretation.
+      texpr::Kernel* kernel = nullptr;
+      if (useTexpr_) {
+        auto it = kernels_.find(&node);
+        if (it == kernels_.end()) {
+          std::unique_ptr<texpr::Kernel> compiled;
+          if (texpr::Kernel::supports(body))
+            compiled = std::make_unique<texpr::Kernel>(body);
+          it = kernels_.emplace(&node, std::move(compiled)).first;
+        }
+        kernel = it->second.get();
+      }
+
+      std::vector<RtValue> rets;
+      std::int64_t flops = 0;
+      std::int64_t savedBytes = 0;
+      if (kernel != nullptr) {
+        texpr::Kernel::RunStats stats;
+        rets = kernel->run(groupInputs, &stats);
+        flops = stats.flops;
+        savedBytes = stats.savedBytes;
+      } else {
+        for (std::size_t i = 0; i < node.numInputs(); ++i)
+          env[body.param(i)] = groupInputs[i];
+        SuppressScope suppress(*this);
+        runBlockBody(body, env);
+        flops = suppressFlops_;
+        savedBytes = suppressSavedBytes_;
+        rets = blockReturns(body, env);
+      }
+      for (const RtValue& r : rets) {
+        if (r.isTensor()) bytes += tensorBytes(r.tensor());
+      }
+      bytes = std::max<std::int64_t>(0, bytes - savedBytes);
+      if (profiler_ != nullptr) chargeKernel(node, bytes, flops);
+      for (std::size_t i = 0; i < rets.size(); ++i)
+        bindOut(i, std::move(rets[i]));
+      return;
+    }
+
+    // ---- scalar arithmetic --------------------------------------------------
+    case OpKind::ScalarAdd:
+    case OpKind::ScalarSub:
+    case OpKind::ScalarMul:
+    case OpKind::ScalarMod:
+    case OpKind::ScalarMin:
+    case OpKind::ScalarMax: {
+      const Scalar a = scalarIn(node, 0, env);
+      const Scalar b = scalarIn(node, 1, env);
+      chargeOpDispatch();
+      if (a.isFloat() || b.isFloat()) {
+        const double x = a.toDouble(), y = b.toDouble();
+        double r = 0;
+        switch (kind) {
+          case OpKind::ScalarAdd: r = x + y; break;
+          case OpKind::ScalarSub: r = x - y; break;
+          case OpKind::ScalarMul: r = x * y; break;
+          case OpKind::ScalarMin: r = std::min(x, y); break;
+          case OpKind::ScalarMax: r = std::max(x, y); break;
+          default: TSSA_THROW("mod of float scalars");
+        }
+        bindOut(0, Scalar(r));
+      } else {
+        const std::int64_t x = a.toInt(), y = b.toInt();
+        std::int64_t r = 0;
+        switch (kind) {
+          case OpKind::ScalarAdd: r = x + y; break;
+          case OpKind::ScalarSub: r = x - y; break;
+          case OpKind::ScalarMul: r = x * y; break;
+          case OpKind::ScalarMod: TSSA_CHECK(y != 0, "mod by zero"); r = x % y; break;
+          case OpKind::ScalarMin: r = std::min(x, y); break;
+          case OpKind::ScalarMax: r = std::max(x, y); break;
+          default: break;
+        }
+        bindOut(0, Scalar(r));
+      }
+      return;
+    }
+    case OpKind::ScalarLt:
+    case OpKind::ScalarLe:
+    case OpKind::ScalarGt:
+    case OpKind::ScalarGe:
+    case OpKind::ScalarEq:
+    case OpKind::ScalarNe: {
+      const double x = scalarIn(node, 0, env).toDouble();
+      const double y = scalarIn(node, 1, env).toDouble();
+      chargeOpDispatch();
+      bool r = false;
+      switch (kind) {
+        case OpKind::ScalarLt: r = x < y; break;
+        case OpKind::ScalarLe: r = x <= y; break;
+        case OpKind::ScalarGt: r = x > y; break;
+        case OpKind::ScalarGe: r = x >= y; break;
+        case OpKind::ScalarEq: r = x == y; break;
+        case OpKind::ScalarNe: r = x != y; break;
+        default: break;
+      }
+      bindOut(0, Scalar(r));
+      return;
+    }
+
+    // ---- elementwise binary -------------------------------------------------
+    case OpKind::Add: return evalBinary([](const Tensor& a, const Tensor& b) { return ops::add(a, b); });
+    case OpKind::Sub: return evalBinary([](const Tensor& a, const Tensor& b) { return ops::sub(a, b); });
+    case OpKind::Mul: return evalBinary([](const Tensor& a, const Tensor& b) { return ops::mul(a, b); });
+    case OpKind::Div: return evalBinary([](const Tensor& a, const Tensor& b) { return ops::div(a, b); });
+    case OpKind::Pow: return evalBinary([](const Tensor& a, const Tensor& b) { return ops::pow(a, b); });
+    case OpKind::Minimum: return evalBinary([](const Tensor& a, const Tensor& b) { return ops::minimum(a, b); });
+    case OpKind::Maximum: return evalBinary([](const Tensor& a, const Tensor& b) { return ops::maximum(a, b); });
+    case OpKind::Eq: return evalBinary([](const Tensor& a, const Tensor& b) { return ops::eq(a, b); });
+    case OpKind::Ne: return evalBinary([](const Tensor& a, const Tensor& b) { return ops::ne(a, b); });
+    case OpKind::Lt: return evalBinary([](const Tensor& a, const Tensor& b) { return ops::lt(a, b); });
+    case OpKind::Le: return evalBinary([](const Tensor& a, const Tensor& b) { return ops::le(a, b); });
+    case OpKind::Gt: return evalBinary([](const Tensor& a, const Tensor& b) { return ops::gt(a, b); });
+    case OpKind::Ge: return evalBinary([](const Tensor& a, const Tensor& b) { return ops::ge(a, b); });
+    case OpKind::LogicalAnd: return evalBinary([](const Tensor& a, const Tensor& b) { return ops::logicalAnd(a, b); });
+    case OpKind::LogicalOr: return evalBinary([](const Tensor& a, const Tensor& b) { return ops::logicalOr(a, b); });
+
+    // ---- elementwise unary -----------------------------------------------------
+    case OpKind::Neg: return evalUnary([](const Tensor& a) { return ops::neg(a); });
+    case OpKind::Exp: return evalUnary([](const Tensor& a) { return ops::exp(a); });
+    case OpKind::Log: return evalUnary([](const Tensor& a) { return ops::log(a); });
+    case OpKind::Sqrt: return evalUnary([](const Tensor& a) { return ops::sqrt(a); });
+    case OpKind::Abs: return evalUnary([](const Tensor& a) { return ops::abs(a); });
+    case OpKind::Sigmoid: return evalUnary([](const Tensor& a) { return ops::sigmoid(a); });
+    case OpKind::Tanh: return evalUnary([](const Tensor& a) { return ops::tanh(a); });
+    case OpKind::Relu: return evalUnary([](const Tensor& a) { return ops::relu(a); });
+    case OpKind::LogicalNot: return evalUnary([](const Tensor& a) { return ops::logicalNot(a); });
+    case OpKind::Clamp:
+      return evalUnary([&](const Tensor& a) {
+        return ops::clamp(a, attrs.scalar("lo"), attrs.scalar("hi"));
+      });
+    case OpKind::Cast:
+      return evalUnary([&](const Tensor& a) { return a.to(attrs.dtype("dtype")); });
+
+    // ---- elementwise n-ary --------------------------------------------------------
+    case OpKind::Where: {
+      Tensor c = tensorIn(node, 0, env);
+      Tensor a = tensorIn(node, 1, env);
+      Tensor b = tensorIn(node, 2, env);
+      Tensor out = ops::where(c, a, b);
+      chargeKernel(node,
+                   tensorBytes(c) + tensorBytes(a) + tensorBytes(b) +
+                       tensorBytes(out),
+                   ewiseFlops(out));
+      bindOut(0, std::move(out));
+      return;
+    }
+    case OpKind::MaskedFill: {
+      Tensor a = tensorIn(node, 0, env);
+      Tensor mask = tensorIn(node, 1, env);
+      const Scalar v = scalarIn(node, 2, env);
+      Tensor out = ops::maskedFill(a, mask, v);
+      chargeKernel(node, tensorBytes(a) + tensorBytes(mask) + tensorBytes(out),
+                   ewiseFlops(out));
+      bindOut(0, std::move(out));
+      return;
+    }
+
+    // ---- reductions -------------------------------------------------------------
+    case OpKind::Sum: {
+      Tensor a = tensorIn(node, 0, env);
+      Tensor out = ops::sum(a);
+      chargeKernel(node, tensorBytes(a), a.numel());
+      bindOut(0, std::move(out));
+      return;
+    }
+    case OpKind::SumDim:
+    case OpKind::Mean:
+    case OpKind::MaxDim:
+    case OpKind::MinDim:
+    case OpKind::Argmax: {
+      Tensor a = tensorIn(node, 0, env);
+      const std::int64_t dim = attrs.i("dim");
+      const bool keep = attrs.bOr("keepdim", false);
+      Tensor out;
+      switch (kind) {
+        case OpKind::SumDim: out = ops::sum(a, dim, keep); break;
+        case OpKind::Mean: out = ops::mean(a, dim, keep); break;
+        case OpKind::MaxDim: out = ops::maxReduce(a, dim, keep); break;
+        case OpKind::MinDim: out = ops::minReduce(a, dim, keep); break;
+        case OpKind::Argmax: out = ops::argmax(a, dim, keep); break;
+        default: break;
+      }
+      chargeKernel(node, tensorBytes(a) + tensorBytes(out), a.numel());
+      bindOut(0, std::move(out));
+      return;
+    }
+    case OpKind::Softmax: {
+      Tensor a = tensorIn(node, 0, env);
+      Tensor out = ops::softmax(a, attrs.i("dim"));
+      chargeKernel(node, 2 * tensorBytes(a) + tensorBytes(out), 5 * a.numel());
+      bindOut(0, std::move(out));
+      return;
+    }
+    case OpKind::Cumsum: {
+      Tensor a = tensorIn(node, 0, env);
+      Tensor out = ops::cumsum(a, attrs.i("dim"));
+      chargeKernel(node, tensorBytes(a) + tensorBytes(out), a.numel());
+      bindOut(0, std::move(out));
+      return;
+    }
+
+    // ---- linear algebra ------------------------------------------------------------
+    case OpKind::Matmul: {
+      Tensor a = tensorIn(node, 0, env);
+      Tensor b = tensorIn(node, 1, env);
+      Tensor out = ops::matmul(a, b);
+      const std::int64_t flops =
+          a.dim() == 2 ? 2 * a.size(0) * a.size(1) * b.size(b.dim() - 1)
+                       : 2 * a.size(0) * a.size(1) * a.size(2) * b.size(2);
+      chargeKernel(node,
+                   tensorBytes(a) + tensorBytes(b) + tensorBytes(out), flops);
+      bindOut(0, std::move(out));
+      return;
+    }
+    case OpKind::Bmm: {
+      Tensor a = tensorIn(node, 0, env);
+      Tensor b = tensorIn(node, 1, env);
+      Tensor out = ops::bmm(a, b);
+      chargeKernel(node, tensorBytes(a) + tensorBytes(b) + tensorBytes(out),
+                   2 * a.size(0) * a.size(1) * a.size(2) * b.size(2));
+      bindOut(0, std::move(out));
+      return;
+    }
+
+    // ---- shape / data movement --------------------------------------------------------
+    case OpKind::Cat:
+    case OpKind::Stack: {
+      const auto& list = get(node.input(0), env).list();
+      const std::int64_t dim = attrs.i("dim");
+      Tensor out = kind == OpKind::Cat ? ops::cat(list, dim)
+                                       : ops::stack(list, dim);
+      chargeKernel(node, 2 * tensorBytes(out), 0);
+      bindOut(0, std::move(out));
+      return;
+    }
+    case OpKind::IndexSelect: {
+      Tensor a = tensorIn(node, 0, env);
+      Tensor idx = tensorIn(node, 1, env);
+      Tensor out = ops::indexSelect(a, attrs.i("dim"), idx);
+      chargeKernel(node, tensorBytes(out) * 2 + tensorBytes(idx), 0);
+      bindOut(0, std::move(out));
+      return;
+    }
+    case OpKind::Gather: {
+      Tensor a = tensorIn(node, 0, env);
+      Tensor idx = tensorIn(node, 1, env);
+      Tensor out = ops::gather(a, attrs.i("dim"), idx);
+      chargeKernel(node, tensorBytes(out) * 2 + tensorBytes(idx), 0);
+      bindOut(0, std::move(out));
+      return;
+    }
+    case OpKind::Topk: {
+      // GPU selection/sort runs as a multi-pass primitive (CUB-style) with
+      // host synchronization between stages: model it as four dependent
+      // kernels plus two device syncs.
+      Tensor a = tensorIn(node, 0, env);
+      auto [values, indices] = ops::topk(a, attrs.i("k"));
+      for (int pass = 0; pass < 4; ++pass) {
+        chargeKernel(node, tensorBytes(a) + tensorBytes(values), a.numel());
+      }
+      if (profiler_ != nullptr && mergeDepth_ == 0 && suppressDepth_ == 0)
+        profiler_->hostOnly(2 * profiler_->device().syncLatencyUs);
+      bindOut(0, std::move(values));
+      bindOut(1, std::move(indices));
+      return;
+    }
+    case OpKind::Argsort: {
+      Tensor a = tensorIn(node, 0, env);
+      Tensor out = ops::argsort(a, attrs.b("descending"));
+      for (int pass = 0; pass < 4; ++pass) {
+        chargeKernel(node, tensorBytes(a) + tensorBytes(out), a.numel());
+      }
+      if (profiler_ != nullptr && mergeDepth_ == 0 && suppressDepth_ == 0)
+        profiler_->hostOnly(2 * profiler_->device().syncLatencyUs);
+      bindOut(0, std::move(out));
+      return;
+    }
+    case OpKind::Clone:
+    case OpKind::Contiguous: {
+      Tensor a = tensorIn(node, 0, env);
+      Tensor out = kind == OpKind::Clone ? a.clone() : a.contiguous();
+      chargeKernel(node, 2 * tensorBytes(a), 0);
+      bindOut(0, std::move(out));
+      return;
+    }
+
+    // ---- factories -----------------------------------------------------------------------
+    case OpKind::Zeros:
+    case OpKind::Ones: {
+      Shape sizes = attrs.ints("sizes");
+      const DType dt = attrs.dtype("dtype");
+      Tensor out = kind == OpKind::Zeros ? Tensor::zeros(sizes, dt)
+                                         : Tensor::ones(sizes, dt);
+      chargeKernel(node, tensorBytes(out), 0);
+      bindOut(0, std::move(out));
+      return;
+    }
+    case OpKind::Full: {
+      Shape sizes = attrs.ints("sizes");
+      Tensor out =
+          Tensor::full(sizes, scalarIn(node, 0, env), attrs.dtype("dtype"));
+      chargeKernel(node, tensorBytes(out), 0);
+      bindOut(0, std::move(out));
+      return;
+    }
+    case OpKind::Arange: {
+      Tensor out = Tensor::arange(scalarIn(node, 0, env).toInt(),
+                                  scalarIn(node, 1, env).toInt(),
+                                  scalarIn(node, 2, env).toInt());
+      chargeKernel(node, tensorBytes(out), 0);
+      bindOut(0, std::move(out));
+      return;
+    }
+
+    // ---- tensor views (alias; host-only metadata op) -----------------------------------------
+    case OpKind::Select:
+    case OpKind::Slice:
+    case OpKind::Reshape:
+    case OpKind::Permute:
+    case OpKind::Transpose:
+    case OpKind::Expand:
+    case OpKind::Squeeze:
+    case OpKind::Unsqueeze:
+    case OpKind::Flatten:
+    case OpKind::Identity: {
+      Tensor base = tensorIn(node, 0, env);
+      chargeOpDispatch();
+      bindOut(0, applyView(kind, node, base, 1, env));
+      return;
+    }
+
+    // ---- mutation (writes through aliases; Definition 3.2) ------------------------------------
+    case OpKind::Copy_: {
+      Tensor dst = tensorIn(node, 0, env);
+      Tensor src = tensorIn(node, 1, env);
+      dst.copy_(src);
+      chargeKernel(node, tensorBytes(dst) + tensorBytes(src), 0);
+      bindOut(0, dst);
+      return;
+    }
+    case OpKind::Fill_: {
+      Tensor dst = tensorIn(node, 0, env);
+      dst.fill_(scalarIn(node, 1, env));
+      chargeKernel(node, tensorBytes(dst), 0);
+      bindOut(0, dst);
+      return;
+    }
+    case OpKind::Zero_: {
+      Tensor dst = tensorIn(node, 0, env);
+      dst.fill_(Scalar(0));
+      chargeKernel(node, tensorBytes(dst), 0);
+      bindOut(0, dst);
+      return;
+    }
+    case OpKind::Add_:
+      return evalInplace([&](const Tensor& t) {
+        return ops::add(t, tensorIn(node, 1, env));
+      });
+    case OpKind::Sub_:
+      return evalInplace([&](const Tensor& t) {
+        return ops::sub(t, tensorIn(node, 1, env));
+      });
+    case OpKind::Mul_:
+      return evalInplace([&](const Tensor& t) {
+        return ops::mul(t, tensorIn(node, 1, env));
+      });
+    case OpKind::Div_:
+      return evalInplace([&](const Tensor& t) {
+        return ops::div(t, tensorIn(node, 1, env));
+      });
+    case OpKind::Relu_:
+      return evalInplace([](const Tensor& t) { return ops::relu(t); });
+    case OpKind::Sigmoid_:
+      return evalInplace([](const Tensor& t) { return ops::sigmoid(t); });
+    case OpKind::Tanh_:
+      return evalInplace([](const Tensor& t) { return ops::tanh(t); });
+    case OpKind::MaskedFill_:
+      return evalInplace([&](const Tensor& t) {
+        return ops::maskedFill(t, tensorIn(node, 1, env),
+                               scalarIn(node, 2, env));
+      });
+
+    // ---- TensorSSA (pure semantics of Definitions 3.3/3.4) -------------------------------------
+    case OpKind::Access: {
+      Tensor base = tensorIn(node, 0, env);
+      const OpKind viewKind = static_cast<OpKind>(attrs.i("view"));
+      Tensor out = applyView(viewKind, node, base, 1, env).clone();
+      chargeKernel(node, 2 * tensorBytes(out), 0);
+      bindOut(0, std::move(out));
+      return;
+    }
+    case OpKind::Assign: {
+      Tensor base = tensorIn(node, 0, env);
+      Tensor src = tensorIn(node, 1, env);
+      const OpKind viewKind = static_cast<OpKind>(attrs.i("view"));
+      // Donated buffers (marked by markInplaceAssigns) are written in place:
+      // the new version reuses the dead old version's storage, so traffic is
+      // just the written region, not a whole-buffer copy.
+      const bool inplace = attrs.bOr("inplace", false);
+      Tensor out = inplace ? base : base.clone();
+      applyView(viewKind, node, out, 2, env).copy_(src);
+      if (inplace) {
+        if (suppressDepth_ > 0) {
+          suppressSavedBytes_ += std::max<std::int64_t>(
+              0, 2 * (tensorBytes(base) - tensorBytes(src)));
+        }
+        chargeKernel(node, 2 * tensorBytes(src), 0);
+      } else {
+        chargeKernel(node, 2 * tensorBytes(base) + tensorBytes(src), 0);
+      }
+      bindOut(0, std::move(out));
+      return;
+    }
+
+  }
+  TSSA_THROW("interpreter: unhandled op " << opName(kind) << " in\n"
+                                          << ir::toString(node));
+}
+
+}  // namespace tssa::runtime

@@ -1,0 +1,97 @@
+// Reference interpreter for graph-level IR.
+//
+// Executes a graph with *eager semantics*: view operators return aliasing
+// tensors, mutation operators write through them, TensorSSA operators
+// (Access/Assign) execute as their pure definitions, and FusionGroup /
+// ParallelMap execute their bodies. This single executor therefore runs both
+// the imperative input programs and every stage of their functionalized,
+// fused forms — which is what lets tests assert bit-equal behaviour across
+// the whole compilation pipeline.
+//
+// When a Profiler is attached, execution also produces the paper's metrics:
+// kernel-launch counts and modelled latency. Fusion constructs are priced
+// structurally (one launch; external bytes only), everything else per op.
+#pragma once
+
+#include <unordered_map>
+
+#include <memory>
+
+#include "src/ir/ir.h"
+#include "src/runtime/profiler.h"
+#include "src/runtime/rt_value.h"
+#include "src/texpr/texpr.h"
+
+namespace tssa::runtime {
+
+class Interpreter {
+ public:
+  /// `profiler` may be null (pure execution, e.g. in tests). When
+  /// `useTexpr` is set (default), supported FusionGroup bodies execute
+  /// through the tensor-expression kernel (single pass, no intermediates);
+  /// otherwise bodies are interpreted node by node. Both paths are
+  /// cross-checked for equality in tests.
+  explicit Interpreter(Profiler* profiler = nullptr, bool useTexpr = true)
+      : profiler_(profiler), useTexpr_(useTexpr) {}
+
+  /// Runs `graph` on `inputs` (one per graph input) and returns its outputs.
+  std::vector<RtValue> run(const ir::Graph& graph,
+                           std::span<const RtValue> inputs);
+
+ private:
+  using Env = std::unordered_map<const ir::Value*, RtValue>;
+
+  void runBlockBody(const ir::Block& block, Env& env);
+  std::vector<RtValue> blockReturns(const ir::Block& block, const Env& env);
+  void execNode(const ir::Node& node, Env& env);
+
+  const RtValue& get(const ir::Value* v, const Env& env) const;
+  Tensor tensorIn(const ir::Node& node, std::size_t i, const Env& env) const;
+  Scalar scalarIn(const ir::Node& node, std::size_t i, const Env& env) const;
+
+  /// Applies the view rule of `viewKind` to `base`; dynamic view operands
+  /// (select index, slice bounds) start at node input `operandStart`.
+  Tensor applyView(ir::OpKind viewKind, const ir::Node& node,
+                   const Tensor& base, std::size_t operandStart,
+                   const Env& env) const;
+
+  // ---- Cost accounting ----
+  void chargeKernel(const ir::Node& node, std::int64_t bytes,
+                    std::int64_t flops);
+  void chargeOpDispatch();
+  struct MergeScope;  // accumulates kernels into batched launches
+
+  /// One batched launch being accumulated: the j-th kernel of every
+  /// ParallelMap iteration merges into slot j (a batched grid), matching
+  /// what horizontal parallelization can actually launch. A FusionGroup
+  /// contributes exactly one slot.
+  struct MergedKernel {
+    std::string name;
+    std::int64_t bytes = 0;
+    std::int64_t flops = 0;
+  };
+
+  struct SuppressScope;  // FusionGroup interiors: count flops, no kernels
+
+  Profiler* profiler_;
+  bool useTexpr_ = true;
+  /// Compiled kernels, cached per FusionGroup node across runs.
+  std::unordered_map<const ir::Node*, std::unique_ptr<texpr::Kernel>>
+      kernels_;
+  int mergeDepth_ = 0;
+  std::size_t mergePos_ = 0;
+  std::vector<MergedKernel> mergeSlots_;
+  int suppressDepth_ = 0;
+  std::int64_t suppressFlops_ = 0;
+  std::int64_t suppressSavedBytes_ = 0;
+  std::unordered_map<const ir::Block*, bool> blockHasFusion_;
+};
+
+/// Convenience: bytes footprint of a tensor.
+inline std::int64_t tensorBytes(const Tensor& t) {
+  return t.defined()
+             ? t.numel() * static_cast<std::int64_t>(dtypeSize(t.dtype()))
+             : 0;
+}
+
+}  // namespace tssa::runtime

@@ -1,0 +1,123 @@
+#include "src/runtime/pipeline.h"
+
+#include "src/core/dce.h"
+#include "src/core/fusion.h"
+#include "src/core/inplace_reuse.h"
+#include "src/core/lower_inplace.h"
+#include "src/core/parallelize.h"
+#include "src/core/tensor_ssa.h"
+#include "src/core/unroll.h"
+#include "src/ir/verifier.h"
+
+namespace tssa::runtime {
+
+const std::vector<PipelineKind>& allPipelines() {
+  static const std::vector<PipelineKind> kinds = {
+      PipelineKind::Eager,
+      PipelineKind::TorchScriptNnc,
+      PipelineKind::TorchScriptNvfuser,
+      PipelineKind::DynamoInductor,
+      PipelineKind::TensorSsa,
+  };
+  return kinds;
+}
+
+std::string_view pipelineName(PipelineKind kind) {
+  switch (kind) {
+    case PipelineKind::Eager:
+      return "Eager";
+    case PipelineKind::TorchScriptNnc:
+      return "TS+NNC";
+    case PipelineKind::TorchScriptNvfuser:
+      return "TS+nvFuser";
+    case PipelineKind::DynamoInductor:
+      return "Dynamo+Inductor";
+    case PipelineKind::TensorSsa:
+      return "TensorSSA";
+  }
+  return "?";
+}
+
+namespace {
+
+HostSpec hostFor(PipelineKind kind) {
+  switch (kind) {
+    case PipelineKind::Eager:
+      return HostSpec::eagerPython();
+    case PipelineKind::DynamoInductor:
+      return HostSpec::dynamoInductor();
+    case PipelineKind::TorchScriptNnc:
+    case PipelineKind::TorchScriptNvfuser:
+    case PipelineKind::TensorSsa:
+      return HostSpec::torchscriptVm();
+  }
+  return HostSpec::torchscriptVm();
+}
+
+/// Applies the capability envelope of `kind` to `graph` (in place).
+void compileFor(PipelineKind kind, ir::Graph& graph) {
+  using core::ConversionOptions;
+  using core::FusionPolicy;
+  switch (kind) {
+    case PipelineKind::Eager:
+      // No compilation at all.
+      return;
+    case PipelineKind::TorchScriptNnc:
+      core::hoistConstants(graph);
+      core::fuseKernels(graph, FusionPolicy::nnc());
+      break;
+    case PipelineKind::TorchScriptNvfuser:
+      core::hoistConstants(graph);
+      core::fuseKernels(graph, FusionPolicy::nvfuser());
+      break;
+    case PipelineKind::DynamoInductor: {
+      core::lowerInplaceOps(graph);
+      // Dynamo traces Python control flow: constant-range loops unroll into
+      // the captured region; anything data-dependent graph-breaks.
+      core::unrollLoops(graph);
+      core::foldScalarConstants(graph);
+      ConversionOptions options;
+      options.acrossControlFlow = false;  // graph breaks at control flow
+      core::convertToTensorSSA(graph, options);
+      core::readonlyViewsToAccess(graph, FusionPolicy::inductor());
+      core::hoistConstants(graph);
+      core::fuseKernels(graph, FusionPolicy::inductor());
+      core::markInplaceAssigns(graph);
+      break;
+    }
+    case PipelineKind::TensorSsa: {
+      core::lowerInplaceOps(graph);
+      core::convertToTensorSSA(graph);
+      core::readonlyViewsToAccess(graph, FusionPolicy::tensorssa());
+      core::parallelizeLoops(graph);
+      core::hoistConstants(graph);
+      core::fuseKernels(graph, FusionPolicy::tensorssa());
+      core::markInplaceAssigns(graph);
+      break;
+    }
+  }
+  core::eliminateDeadCode(graph);
+  ir::verify(graph);
+}
+
+}  // namespace
+
+Pipeline::Pipeline(PipelineKind kind, const ir::Graph& source,
+                   DeviceSpec device)
+    : kind_(kind),
+      graph_(ir::cloneGraph(source)),
+      profiler_(std::move(device), hostFor(kind)),
+      interpreter_(&profiler_) {
+  compileFor(kind, *graph_);
+}
+
+std::vector<RtValue> Pipeline::run(std::span<const RtValue> inputs) {
+  profiler_.reset();
+  return runAccumulate(inputs);
+}
+
+std::vector<RtValue> Pipeline::runAccumulate(std::span<const RtValue> inputs) {
+  return interpreter_.run(*graph_, inputs);
+}
+
+}  // namespace tssa::runtime

@@ -1,0 +1,61 @@
+// The five compared compilation pipelines (paper §5.1 "Baselines").
+//
+// Each pipeline clones the source program and applies the transformations
+// that the corresponding real system is capable of (see DESIGN.md §3), then
+// executes through the shared reference interpreter with that system's host
+// dispatch model. Numerics are identical across pipelines by construction —
+// tests assert it — only structure (fusion, functionalization scope) and the
+// dispatch model differ, which is what produces the paper's metrics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+#include "src/runtime/interpreter.h"
+#include "src/runtime/profiler.h"
+
+namespace tssa::runtime {
+
+enum class PipelineKind {
+  Eager,              ///< PyTorch eager: no compilation, Python dispatch
+  TorchScriptNnc,     ///< TorchScript + NNC fuser
+  TorchScriptNvfuser, ///< TorchScript + nvFuser
+  DynamoInductor,     ///< TorchDynamo + TorchInductor (dataflow
+                      ///< functionalization, graph breaks at control flow)
+  TensorSsa,          ///< this paper: holistic functionalization + vertical
+                      ///< fusion + horizontal parallelization
+};
+
+/// All kinds, in the order the paper's figures list them.
+const std::vector<PipelineKind>& allPipelines();
+
+std::string_view pipelineName(PipelineKind kind);
+
+class Pipeline {
+ public:
+  /// Compiles `source` for `kind` on `device`. The source graph is not
+  /// modified.
+  Pipeline(PipelineKind kind, const ir::Graph& source,
+           DeviceSpec device = DeviceSpec::dataCenter());
+
+  PipelineKind kind() const { return kind_; }
+  std::string_view name() const { return pipelineName(kind_); }
+
+  /// Executes the compiled program. Profiling restarts on every call.
+  std::vector<RtValue> run(std::span<const RtValue> inputs);
+  /// Executes without resetting the profiler (for accumulating runs).
+  std::vector<RtValue> runAccumulate(std::span<const RtValue> inputs);
+
+  const Profiler& profiler() const { return profiler_; }
+  const ir::Graph& compiled() const { return *graph_; }
+
+ private:
+  PipelineKind kind_;
+  std::unique_ptr<ir::Graph> graph_;
+  Profiler profiler_;
+  Interpreter interpreter_;
+};
+
+}  // namespace tssa::runtime

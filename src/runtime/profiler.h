@@ -1,0 +1,87 @@
+// Execution profiler: kernel-launch counting and simulated-time accounting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/runtime/device.h"
+
+namespace tssa::runtime {
+
+/// Collects the two metrics the paper reports: kernel launch counts (Fig. 6)
+/// and simulated latency (Figs. 5/7/8). The interpreter reports every
+/// framework action and kernel; the profiler prices them with the device and
+/// host models and combines per-op as max(host, kernel).
+class Profiler {
+ public:
+  Profiler(DeviceSpec device, HostSpec host)
+      : device_(std::move(device)), host_(std::move(host)) {}
+
+  // ---- Events ------------------------------------------------------------
+
+  /// A device kernel plus the host work that dispatched it.
+  void kernel(std::string_view name, std::int64_t bytes, std::int64_t flops,
+              double hostUs) {
+    ++launches_;
+    bytes_ += bytes;
+    flops_ += flops;
+    const double k = device_.kernelTimeUs(bytes, flops);
+    gpuUs_ += k;
+    hostUs_ += hostUs;
+    // Asynchronous dispatch pipelines host work under kernel execution;
+    // Python-serialized dispatch pays both.
+    simUs_ += host_.serialDispatch ? k + hostUs : (k > hostUs ? k : hostUs);
+    perKernel_[std::string(name)] += 1;
+  }
+
+  /// Host-only work (view bookkeeping, scalar ops, control flow).
+  void hostOnly(double hostUs) {
+    hostUs_ += hostUs;
+    simUs_ += hostUs;
+  }
+
+  void opDispatch() { hostOnly(host_.perOpUs); }
+  void loopIteration() { hostOnly(host_.perLoopIterUs); }
+  void branch() { hostOnly(host_.perIfUs); }
+  void regionCall() { hostOnly(host_.perRegionCallUs); }
+
+  // ---- Results ------------------------------------------------------------
+
+  std::int64_t kernelLaunches() const { return launches_; }
+  std::int64_t bytesMoved() const { return bytes_; }
+  std::int64_t flops() const { return flops_; }
+  /// Pure device busy time.
+  double gpuTimeUs() const { return gpuUs_; }
+  /// Pure host (framework) time.
+  double hostTimeUs() const { return hostUs_; }
+  /// Modelled end-to-end latency.
+  double simTimeUs() const { return simUs_; }
+  const std::map<std::string, std::int64_t>& kernelHistogram() const {
+    return perKernel_;
+  }
+
+  const DeviceSpec& device() const { return device_; }
+  const HostSpec& host() const { return host_; }
+
+  void reset() {
+    launches_ = 0;
+    bytes_ = 0;
+    flops_ = 0;
+    gpuUs_ = hostUs_ = simUs_ = 0;
+    perKernel_.clear();
+  }
+
+ private:
+  DeviceSpec device_;
+  HostSpec host_;
+  std::int64_t launches_ = 0;
+  std::int64_t bytes_ = 0;
+  std::int64_t flops_ = 0;
+  double gpuUs_ = 0;
+  double hostUs_ = 0;
+  double simUs_ = 0;
+  std::map<std::string, std::int64_t> perKernel_;
+};
+
+}  // namespace tssa::runtime

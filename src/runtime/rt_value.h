@@ -1,0 +1,59 @@
+// Runtime values flowing through the interpreter.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "src/support/error.h"
+#include "src/tensor/scalar.h"
+#include "src/tensor/tensor.h"
+
+namespace tssa::runtime {
+
+/// A runtime value: a tensor, a Python-level scalar, or a list of tensors.
+class RtValue {
+ public:
+  RtValue() : value_(Scalar(std::int64_t{0})) {}
+  RtValue(Tensor t) : value_(std::move(t)) {}            // NOLINT
+  RtValue(Scalar s) : value_(s) {}                       // NOLINT
+  RtValue(std::vector<Tensor> l) : value_(std::move(l)) {}  // NOLINT
+  RtValue(std::int64_t v) : value_(Scalar(v)) {}         // NOLINT
+  RtValue(double v) : value_(Scalar(v)) {}               // NOLINT
+  RtValue(bool v) : value_(Scalar(v)) {}                 // NOLINT
+
+  bool isTensor() const { return std::holds_alternative<Tensor>(value_); }
+  bool isScalar() const { return std::holds_alternative<Scalar>(value_); }
+  bool isList() const {
+    return std::holds_alternative<std::vector<Tensor>>(value_);
+  }
+
+  const Tensor& tensor() const {
+    const Tensor* t = std::get_if<Tensor>(&value_);
+    TSSA_CHECK(t != nullptr, "runtime value is not a tensor");
+    return *t;
+  }
+  Tensor& tensor() {
+    Tensor* t = std::get_if<Tensor>(&value_);
+    TSSA_CHECK(t != nullptr, "runtime value is not a tensor");
+    return *t;
+  }
+  Scalar scalar() const {
+    const Scalar* s = std::get_if<Scalar>(&value_);
+    TSSA_CHECK(s != nullptr, "runtime value is not a scalar");
+    return *s;
+  }
+  const std::vector<Tensor>& list() const {
+    const auto* l = std::get_if<std::vector<Tensor>>(&value_);
+    TSSA_CHECK(l != nullptr, "runtime value is not a list");
+    return *l;
+  }
+
+  std::int64_t toInt() const { return scalar().toInt(); }
+  bool toBool() const { return scalar().toBool(); }
+  double toDouble() const { return scalar().toDouble(); }
+
+ private:
+  std::variant<Tensor, Scalar, std::vector<Tensor>> value_;
+};
+
+}  // namespace tssa::runtime

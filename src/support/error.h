@@ -1,0 +1,73 @@
+// Error handling utilities for the TensorSSA library.
+//
+// All user-visible failures (shape mismatches, malformed IR, unsupported
+// lowering) are reported by throwing `tssa::Error`, which carries a formatted
+// message and the throw site. Internal invariants use TSSA_CHECK, which also
+// throws (never aborts) so tests can assert on failure behaviour.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace tssa {
+
+/// Exception type thrown on any library failure.
+class Error : public std::runtime_error {
+ public:
+  Error(std::string message, const char* file, int line)
+      : std::runtime_error(format(message, file, line)),
+        message_(std::move(message)) {}
+
+  /// The raw message without the file/line decoration.
+  const std::string& message() const noexcept { return message_; }
+
+ private:
+  static std::string format(const std::string& message, const char* file,
+                            int line) {
+    std::ostringstream os;
+    os << message << " (at " << file << ":" << line << ")";
+    return os.str();
+  }
+
+  std::string message_;
+};
+
+namespace detail {
+
+/// Stream-style message builder used by the TSSA_CHECK / TSSA_THROW macros.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace tssa
+
+/// Throws tssa::Error with a stream-formatted message.
+#define TSSA_THROW(msg_stream)                                            \
+  do {                                                                    \
+    ::tssa::detail::MessageBuilder tssa_mb__;                             \
+    tssa_mb__ << msg_stream;                                              \
+    throw ::tssa::Error(tssa_mb__.str(), __FILE__, __LINE__);             \
+  } while (false)
+
+/// Checks a condition; on failure throws tssa::Error describing it.
+#define TSSA_CHECK(cond, msg_stream)                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::tssa::detail::MessageBuilder tssa_mb__;                           \
+      tssa_mb__ << "check failed: " #cond ": " << msg_stream;             \
+      throw ::tssa::Error(tssa_mb__.str(), __FILE__, __LINE__);           \
+    }                                                                     \
+  } while (false)

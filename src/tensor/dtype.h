@@ -1,0 +1,85 @@
+// Element types supported by the tensor library.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "src/support/error.h"
+
+namespace tssa {
+
+/// Element type of a tensor. The library supports the three types that the
+/// paper's imperative workloads need: floating point data, integer indices,
+/// and boolean masks.
+enum class DType : std::uint8_t {
+  Float32,
+  Int64,
+  Bool,
+};
+
+/// Size in bytes of one element of `dtype`.
+inline std::size_t dtypeSize(DType dtype) {
+  switch (dtype) {
+    case DType::Float32:
+      return sizeof(float);
+    case DType::Int64:
+      return sizeof(std::int64_t);
+    case DType::Bool:
+      return sizeof(std::uint8_t);
+  }
+  TSSA_THROW("unknown dtype");
+}
+
+/// Human-readable dtype name ("f32", "i64", "bool").
+inline const char* dtypeName(DType dtype) {
+  switch (dtype) {
+    case DType::Float32:
+      return "f32";
+    case DType::Int64:
+      return "i64";
+    case DType::Bool:
+      return "bool";
+  }
+  return "?";
+}
+
+inline std::ostream& operator<<(std::ostream& os, DType dtype) {
+  return os << dtypeName(dtype);
+}
+
+/// Maps a C++ scalar type to its DType tag.
+template <typename T>
+struct DTypeOf;
+
+template <>
+struct DTypeOf<float> {
+  static constexpr DType value = DType::Float32;
+};
+template <>
+struct DTypeOf<std::int64_t> {
+  static constexpr DType value = DType::Int64;
+};
+template <>
+struct DTypeOf<bool> {
+  static constexpr DType value = DType::Bool;
+};
+// Bool tensors are stored as one uint8 per element; allow typed access
+// through either spelling.
+template <>
+struct DTypeOf<std::uint8_t> {
+  static constexpr DType value = DType::Bool;
+};
+
+/// True when arithmetic on this dtype should be carried out in floating point.
+inline bool isFloatingPoint(DType dtype) { return dtype == DType::Float32; }
+
+/// Result dtype of a binary arithmetic op (simple promotion lattice:
+/// Bool < Int64 < Float32).
+inline DType promoteTypes(DType a, DType b) {
+  if (a == DType::Float32 || b == DType::Float32) return DType::Float32;
+  if (a == DType::Int64 || b == DType::Int64) return DType::Int64;
+  return DType::Bool;
+}
+
+}  // namespace tssa

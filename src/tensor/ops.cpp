@@ -1,0 +1,531 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tssa::ops {
+namespace {
+
+/// Generic broadcasting elementwise binary op evaluated in double precision,
+/// with a fast path for same-shape contiguous Float32 operands.
+template <typename Fn>
+Tensor binaryOp(const Tensor& a, const Tensor& b, DType outDType, Fn&& fn) {
+  Shape outShape = broadcastShapes(a.sizes(), b.sizes());
+  Tensor out = Tensor::empty(outShape, outDType);
+  if (a.dtype() == DType::Float32 && b.dtype() == DType::Float32 &&
+      outDType == DType::Float32 && a.isContiguous() && b.isContiguous() &&
+      a.sizes() == outShape && b.sizes() == outShape) {
+    const float* pa = a.data<float>();
+    const float* pb = b.data<float>();
+    float* po = out.data<float>();
+    const std::int64_t n = out.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+      po[i] = static_cast<float>(fn(pa[i], pb[i]));
+    return out;
+  }
+  // General path: compute operand offsets with broadcast alignment.
+  for (IndexIterator it(outShape); it.valid(); it.next()) {
+    const std::int64_t offA =
+        a.storageOffset() + broadcastOffset(it.index(), a.sizes(), a.strides());
+    const std::int64_t offB =
+        b.storageOffset() + broadcastOffset(it.index(), b.sizes(), b.strides());
+    double va = 0, vb = 0;
+    switch (a.dtype()) {
+      case DType::Float32:
+        va = a.storage()->as<float>()[offA];
+        break;
+      case DType::Int64:
+        va = static_cast<double>(a.storage()->as<std::int64_t>()[offA]);
+        break;
+      case DType::Bool:
+        va = a.storage()->as<std::uint8_t>()[offA] ? 1.0 : 0.0;
+        break;
+    }
+    switch (b.dtype()) {
+      case DType::Float32:
+        vb = b.storage()->as<float>()[offB];
+        break;
+      case DType::Int64:
+        vb = static_cast<double>(b.storage()->as<std::int64_t>()[offB]);
+        break;
+      case DType::Bool:
+        vb = b.storage()->as<std::uint8_t>()[offB] ? 1.0 : 0.0;
+        break;
+    }
+    out.setScalarAt(it.index(), fn(va, vb));
+  }
+  return out;
+}
+
+template <typename Fn>
+Tensor arith(const Tensor& a, const Tensor& b, Fn&& fn) {
+  return binaryOp(a, b, promoteTypes(a.dtype(), b.dtype()),
+                  std::forward<Fn>(fn));
+}
+
+template <typename Fn>
+Tensor compare(const Tensor& a, const Tensor& b, Fn&& fn) {
+  return binaryOp(a, b, DType::Bool,
+                  [&](double x, double y) { return fn(x, y) ? 1.0 : 0.0; });
+}
+
+/// Generic elementwise unary op with Float32 fast path.
+template <typename Fn>
+Tensor unaryOp(const Tensor& a, DType outDType, Fn&& fn) {
+  Tensor out = Tensor::empty(a.sizes(), outDType);
+  if (a.dtype() == DType::Float32 && outDType == DType::Float32 &&
+      a.isContiguous()) {
+    const float* pa = a.data<float>();
+    float* po = out.data<float>();
+    const std::int64_t n = out.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+      po[i] = static_cast<float>(fn(pa[i]));
+    return out;
+  }
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i)
+    out.setScalarAtLinear(i, fn(a.scalarAtLinear(i)));
+  return out;
+}
+
+Tensor scalarTensor(Scalar s, DType like) {
+  return Tensor::scalar(s, isFloatingPoint(like) ? DType::Float32 : s.dtype());
+}
+
+/// Shared driver for dim reductions: reduces `dim` of `a` with `fn` starting
+/// from `init`; post-processes each accumulated value with `finish`.
+template <typename Fn, typename Finish>
+Tensor reduceDim(const Tensor& a, std::int64_t dim, bool keepDim, DType outDType,
+                 double init, Fn&& fn, Finish&& finish) {
+  const std::int64_t d = normalizeDim(dim, a.dim());
+  Shape outShape = a.sizes();
+  outShape[static_cast<std::size_t>(d)] = 1;
+  Tensor out = Tensor::full(outShape, Scalar(init), outDType);
+  for (IndexIterator it(a.sizes()); it.valid(); it.next()) {
+    Shape outIndex(it.index().begin(), it.index().end());
+    outIndex[static_cast<std::size_t>(d)] = 0;
+    const double cur = out.scalarAt(outIndex);
+    out.setScalarAt(outIndex, fn(cur, a.scalarAt(it.index()), it.index()));
+  }
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i)
+    out.setScalarAtLinear(i, finish(out.scalarAtLinear(i)));
+  if (!keepDim) {
+    return out.squeeze(d);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- Binary -------------------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return arith(a, b, [](double x, double y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return arith(a, b, [](double x, double y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return arith(a, b, [](double x, double y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binaryOp(a, b, DType::Float32,
+                  [](double x, double y) { return x / y; });
+}
+Tensor pow(const Tensor& a, const Tensor& b) {
+  return binaryOp(a, b, DType::Float32,
+                  [](double x, double y) { return std::pow(x, y); });
+}
+Tensor minimum(const Tensor& a, const Tensor& b) {
+  return arith(a, b, [](double x, double y) { return std::min(x, y); });
+}
+Tensor maximum(const Tensor& a, const Tensor& b) {
+  return arith(a, b, [](double x, double y) { return std::max(x, y); });
+}
+
+Tensor add(const Tensor& a, Scalar b) {
+  return add(a, scalarTensor(b, a.dtype()));
+}
+Tensor sub(const Tensor& a, Scalar b) {
+  return sub(a, scalarTensor(b, a.dtype()));
+}
+Tensor mul(const Tensor& a, Scalar b) {
+  return mul(a, scalarTensor(b, a.dtype()));
+}
+Tensor div(const Tensor& a, Scalar b) {
+  return div(a, scalarTensor(b, a.dtype()));
+}
+
+// ---- Comparisons -----------------------------------------------------------------
+
+Tensor eq(const Tensor& a, const Tensor& b) {
+  return compare(a, b, [](double x, double y) { return x == y; });
+}
+Tensor ne(const Tensor& a, const Tensor& b) {
+  return compare(a, b, [](double x, double y) { return x != y; });
+}
+Tensor lt(const Tensor& a, const Tensor& b) {
+  return compare(a, b, [](double x, double y) { return x < y; });
+}
+Tensor le(const Tensor& a, const Tensor& b) {
+  return compare(a, b, [](double x, double y) { return x <= y; });
+}
+Tensor gt(const Tensor& a, const Tensor& b) {
+  return compare(a, b, [](double x, double y) { return x > y; });
+}
+Tensor ge(const Tensor& a, const Tensor& b) {
+  return compare(a, b, [](double x, double y) { return x >= y; });
+}
+Tensor logicalAnd(const Tensor& a, const Tensor& b) {
+  return compare(a, b,
+                 [](double x, double y) { return x != 0.0 && y != 0.0; });
+}
+Tensor logicalOr(const Tensor& a, const Tensor& b) {
+  return compare(a, b,
+                 [](double x, double y) { return x != 0.0 || y != 0.0; });
+}
+Tensor logicalNot(const Tensor& a) {
+  return unaryOp(a, DType::Bool,
+                 [](double x) { return x == 0.0 ? 1.0 : 0.0; });
+}
+
+// ---- Unary ------------------------------------------------------------------------
+
+Tensor neg(const Tensor& a) {
+  return unaryOp(a, a.dtype(), [](double x) { return -x; });
+}
+Tensor exp(const Tensor& a) {
+  return unaryOp(a, DType::Float32, [](double x) { return std::exp(x); });
+}
+Tensor log(const Tensor& a) {
+  return unaryOp(a, DType::Float32, [](double x) { return std::log(x); });
+}
+Tensor sqrt(const Tensor& a) {
+  return unaryOp(a, DType::Float32, [](double x) { return std::sqrt(x); });
+}
+Tensor abs(const Tensor& a) {
+  return unaryOp(a, a.dtype(), [](double x) { return std::abs(x); });
+}
+Tensor sigmoid(const Tensor& a) {
+  return unaryOp(a, DType::Float32,
+                 [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+}
+Tensor tanh(const Tensor& a) {
+  return unaryOp(a, DType::Float32, [](double x) { return std::tanh(x); });
+}
+Tensor relu(const Tensor& a) {
+  return unaryOp(a, a.dtype(), [](double x) { return x > 0 ? x : 0.0; });
+}
+Tensor clamp(const Tensor& a, Scalar lo, Scalar hi) {
+  const double l = lo.toDouble();
+  const double h = hi.toDouble();
+  return unaryOp(a, a.dtype(),
+                 [=](double x) { return std::clamp(x, l, h); });
+}
+
+// ---- Selection -----------------------------------------------------------------------
+
+Tensor where(const Tensor& cond, const Tensor& a, const Tensor& b) {
+  TSSA_CHECK(cond.dtype() == DType::Bool, "where condition must be Bool");
+  Shape shape = broadcastShapes(cond.sizes(), a.sizes());
+  shape = broadcastShapes(shape, b.sizes());
+  Tensor out = Tensor::empty(shape, promoteTypes(a.dtype(), b.dtype()));
+  for (IndexIterator it(shape); it.valid(); it.next()) {
+    const std::int64_t offC =
+        cond.storageOffset() +
+        broadcastOffset(it.index(), cond.sizes(), cond.strides());
+    const bool c = cond.storage()->as<std::uint8_t>()[offC] != 0;
+    const Tensor& src = c ? a : b;
+    const std::int64_t off =
+        src.storageOffset() +
+        broadcastOffset(it.index(), src.sizes(), src.strides());
+    double v = 0;
+    switch (src.dtype()) {
+      case DType::Float32:
+        v = src.storage()->as<float>()[off];
+        break;
+      case DType::Int64:
+        v = static_cast<double>(src.storage()->as<std::int64_t>()[off]);
+        break;
+      case DType::Bool:
+        v = src.storage()->as<std::uint8_t>()[off] ? 1.0 : 0.0;
+        break;
+    }
+    out.setScalarAt(it.index(), v);
+  }
+  return out;
+}
+
+Tensor maskedFill(const Tensor& a, const Tensor& mask, Scalar value) {
+  return where(mask, Tensor::full(Shape{}, value,
+                                  isFloatingPoint(a.dtype()) ? DType::Float32
+                                                             : a.dtype()),
+               a);
+}
+
+// ---- Reductions ------------------------------------------------------------------------
+
+Tensor sum(const Tensor& a) {
+  double acc = 0;
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += a.scalarAtLinear(i);
+  const DType dt = a.dtype() == DType::Bool ? DType::Int64 : a.dtype();
+  return Tensor::scalar(Scalar(acc), dt);
+}
+
+Tensor sum(const Tensor& a, std::int64_t dim, bool keepDim) {
+  const DType dt = a.dtype() == DType::Bool ? DType::Int64 : a.dtype();
+  return reduceDim(
+      a, dim, keepDim, dt, 0.0,
+      [](double acc, double v, std::span<const std::int64_t>) {
+        return acc + v;
+      },
+      [](double v) { return v; });
+}
+
+Tensor mean(const Tensor& a, std::int64_t dim, bool keepDim) {
+  const std::int64_t d = normalizeDim(dim, a.dim());
+  const double count = static_cast<double>(a.size(d));
+  return reduceDim(
+      a, dim, keepDim, DType::Float32, 0.0,
+      [](double acc, double v, std::span<const std::int64_t>) {
+        return acc + v;
+      },
+      [=](double v) { return v / count; });
+}
+
+Tensor maxReduce(const Tensor& a, std::int64_t dim, bool keepDim) {
+  return reduceDim(
+      a, dim, keepDim, a.dtype(), -std::numeric_limits<double>::infinity(),
+      [](double acc, double v, std::span<const std::int64_t>) {
+        return std::max(acc, v);
+      },
+      [](double v) { return v; });
+}
+
+Tensor minReduce(const Tensor& a, std::int64_t dim, bool keepDim) {
+  return reduceDim(
+      a, dim, keepDim, a.dtype(), std::numeric_limits<double>::infinity(),
+      [](double acc, double v, std::span<const std::int64_t>) {
+        return std::min(acc, v);
+      },
+      [](double v) { return v; });
+}
+
+Tensor argmax(const Tensor& a, std::int64_t dim, bool keepDim) {
+  const std::int64_t d = normalizeDim(dim, a.dim());
+  Shape outShape = a.sizes();
+  outShape[static_cast<std::size_t>(d)] = 1;
+  Tensor best = Tensor::full(outShape,
+                             Scalar(-std::numeric_limits<double>::infinity()),
+                             DType::Float32);
+  Tensor out = Tensor::zeros(outShape, DType::Int64);
+  for (IndexIterator it(a.sizes()); it.valid(); it.next()) {
+    Shape outIndex(it.index().begin(), it.index().end());
+    const std::int64_t pos = outIndex[static_cast<std::size_t>(d)];
+    outIndex[static_cast<std::size_t>(d)] = 0;
+    const double v = a.scalarAt(it.index());
+    if (v > best.scalarAt(outIndex)) {
+      best.setScalarAt(outIndex, v);
+      out.setScalarAt(outIndex, static_cast<double>(pos));
+    }
+  }
+  return keepDim ? out : out.squeeze(d);
+}
+
+Tensor softmax(const Tensor& a, std::int64_t dim) {
+  const std::int64_t d = normalizeDim(dim, a.dim());
+  Tensor m = maxReduce(a, d, /*keepDim=*/true);
+  Tensor e = exp(sub(a, m));
+  Tensor s = sum(e, d, /*keepDim=*/true);
+  return div(e, s);
+}
+
+// ---- Linear algebra -----------------------------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.dim() == 3 && b.dim() == 3) return bmm(a, b);
+  TSSA_CHECK(a.dim() == 2 && b.dim() == 2,
+             "matmul expects 2-D operands, got " << a.dim() << " and "
+                                                 << b.dim());
+  TSSA_CHECK(a.size(1) == b.size(0), "matmul inner dimensions disagree: "
+                                         << a.size(1) << " vs " << b.size(0));
+  const std::int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  Tensor ac = a.to(DType::Float32).contiguous();
+  Tensor bc = b.to(DType::Float32).contiguous();
+  Tensor out = Tensor::zeros({m, n}, DType::Float32);
+  const float* pa = ac.data<float>();
+  const float* pb = bc.data<float>();
+  float* po = out.data<float>();
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float va = pa[i * k + kk];
+      const float* rowB = pb + kk * n;
+      float* rowO = po + i * n;
+      for (std::int64_t j = 0; j < n; ++j) rowO[j] += va * rowB[j];
+    }
+  }
+  return out;
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b) {
+  TSSA_CHECK(a.dim() == 3 && b.dim() == 3, "bmm expects 3-D operands");
+  TSSA_CHECK(a.size(0) == b.size(0), "bmm batch dims disagree");
+  const std::int64_t batch = a.size(0);
+  std::vector<Tensor> outs;
+  outs.reserve(static_cast<std::size_t>(batch));
+  for (std::int64_t i = 0; i < batch; ++i)
+    outs.push_back(matmul(a.select(0, i), b.select(0, i)));
+  return stack(outs, 0);
+}
+
+// ---- Shape combinators -----------------------------------------------------------------------
+
+Tensor cat(std::span<const Tensor> tensors, std::int64_t dim) {
+  TSSA_CHECK(!tensors.empty(), "cat of zero tensors");
+  const std::int64_t d = normalizeDim(dim, tensors.front().dim());
+  Shape outShape = tensors.front().sizes();
+  std::int64_t total = 0;
+  DType dt = tensors.front().dtype();
+  for (const Tensor& t : tensors) {
+    TSSA_CHECK(t.dim() == tensors.front().dim(), "cat rank mismatch");
+    for (std::int64_t i = 0; i < t.dim(); ++i) {
+      if (i != d) {
+        TSSA_CHECK(t.size(i) == outShape[static_cast<std::size_t>(i)],
+                   "cat shape mismatch on dim " << i);
+      }
+    }
+    total += t.size(d);
+    dt = promoteTypes(dt, t.dtype());
+  }
+  outShape[static_cast<std::size_t>(d)] = total;
+  Tensor out = Tensor::empty(outShape, dt);
+  std::int64_t at = 0;
+  for (const Tensor& t : tensors) {
+    out.narrow(d, at, t.size(d)).copy_(t);
+    at += t.size(d);
+  }
+  return out;
+}
+
+Tensor stack(std::span<const Tensor> tensors, std::int64_t dim) {
+  TSSA_CHECK(!tensors.empty(), "stack of zero tensors");
+  std::vector<Tensor> expanded;
+  expanded.reserve(tensors.size());
+  const std::int64_t rank = tensors.front().dim();
+  const std::int64_t d = dim < 0 ? dim + rank + 1 : dim;
+  for (const Tensor& t : tensors) expanded.push_back(t.unsqueeze(d));
+  return cat(expanded, d);
+}
+
+// ---- Indexing -----------------------------------------------------------------------
+
+Tensor indexSelect(const Tensor& a, std::int64_t dim, const Tensor& index) {
+  TSSA_CHECK(index.dtype() == DType::Int64 && index.dim() == 1,
+             "indexSelect needs a 1-D Int64 index");
+  const std::int64_t d = normalizeDim(dim, a.dim());
+  std::vector<Tensor> rows;
+  const std::int64_t n = index.numel();
+  rows.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::int64_t>(index.scalarAtLinear(i));
+    rows.push_back(a.select(d, idx).unsqueeze(d));
+  }
+  return cat(rows, d);
+}
+
+Tensor gather(const Tensor& a, std::int64_t dim, const Tensor& index) {
+  TSSA_CHECK(index.dtype() == DType::Int64, "gather needs Int64 indices");
+  TSSA_CHECK(index.dim() == a.dim(), "gather index rank must match input");
+  const std::int64_t d = normalizeDim(dim, a.dim());
+  Tensor out = Tensor::empty(index.sizes(), a.dtype());
+  for (IndexIterator it(index.sizes()); it.valid(); it.next()) {
+    Shape srcIndex(it.index().begin(), it.index().end());
+    srcIndex[static_cast<std::size_t>(d)] =
+        static_cast<std::int64_t>(index.scalarAt(it.index()));
+    out.setScalarAt(it.index(), a.scalarAt(srcIndex));
+  }
+  return out;
+}
+
+std::pair<Tensor, Tensor> topk(const Tensor& a, std::int64_t k) {
+  TSSA_CHECK(a.dim() >= 1, "topk needs rank >= 1");
+  const std::int64_t last = a.dim() - 1;
+  const std::int64_t extent = a.size(last);
+  TSSA_CHECK(k >= 0 && k <= extent, "topk k out of range");
+  Shape outShape = a.sizes();
+  outShape[static_cast<std::size_t>(last)] = k;
+  Tensor values = Tensor::empty(outShape, a.dtype());
+  Tensor indices = Tensor::empty(outShape, DType::Int64);
+  Shape rowShape(a.sizes().begin(), a.sizes().end() - 1);
+  for (IndexIterator it(rowShape); it.valid(); it.next()) {
+    std::vector<std::pair<double, std::int64_t>> row;
+    row.reserve(static_cast<std::size_t>(extent));
+    Shape idx(it.index().begin(), it.index().end());
+    idx.push_back(0);
+    for (std::int64_t j = 0; j < extent; ++j) {
+      idx.back() = j;
+      row.emplace_back(a.scalarAt(idx), j);
+    }
+    std::stable_sort(row.begin(), row.end(), [](const auto& x, const auto& y) {
+      return x.first > y.first;
+    });
+    for (std::int64_t j = 0; j < k; ++j) {
+      idx.back() = j;
+      values.setScalarAt(idx, row[static_cast<std::size_t>(j)].first);
+      indices.setScalarAt(
+          idx, static_cast<double>(row[static_cast<std::size_t>(j)].second));
+    }
+  }
+  return {values, indices};
+}
+
+Tensor argsort(const Tensor& a, bool descending) {
+  const std::int64_t last = a.dim() - 1;
+  const std::int64_t extent = a.size(last);
+  Tensor out = Tensor::empty(a.sizes(), DType::Int64);
+  Shape rowShape(a.sizes().begin(), a.sizes().end() - 1);
+  for (IndexIterator it(rowShape); it.valid(); it.next()) {
+    std::vector<std::int64_t> order(static_cast<std::size_t>(extent));
+    std::iota(order.begin(), order.end(), 0);
+    Shape idx(it.index().begin(), it.index().end());
+    idx.push_back(0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::int64_t x, std::int64_t y) {
+                       Shape ix = idx, iy = idx;
+                       ix.back() = x;
+                       iy.back() = y;
+                       const double vx = a.scalarAt(ix);
+                       const double vy = a.scalarAt(iy);
+                       return descending ? vx > vy : vx < vy;
+                     });
+    for (std::int64_t j = 0; j < extent; ++j) {
+      idx.back() = j;
+      out.setScalarAt(idx,
+                      static_cast<double>(order[static_cast<std::size_t>(j)]));
+    }
+  }
+  return out;
+}
+
+Tensor cumsum(const Tensor& a, std::int64_t dim) {
+  const std::int64_t d = normalizeDim(dim, a.dim());
+  Tensor out = a.clone();
+  const std::int64_t extent = a.size(d);
+  Shape outer = a.sizes();
+  outer[static_cast<std::size_t>(d)] = 1;
+  for (IndexIterator it(outer); it.valid(); it.next()) {
+    Shape idx(it.index().begin(), it.index().end());
+    double acc = 0;
+    for (std::int64_t j = 0; j < extent; ++j) {
+      idx[static_cast<std::size_t>(d)] = j;
+      acc += a.scalarAt(idx);
+      out.setScalarAt(idx, acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace tssa::ops

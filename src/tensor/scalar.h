@@ -1,0 +1,63 @@
+// A runtime-typed scalar value, used for IR constants and op attributes.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <variant>
+
+#include "src/support/error.h"
+#include "src/tensor/dtype.h"
+
+namespace tssa {
+
+/// A scalar of one of the supported element types. Mirrors the Python-level
+/// int/float/bool values that flow through imperative tensor programs.
+class Scalar {
+ public:
+  Scalar() : value_(std::int64_t{0}) {}
+  Scalar(double v) : value_(v) {}             // NOLINT(google-explicit-constructor)
+  Scalar(float v) : value_(double{v}) {}      // NOLINT(google-explicit-constructor)
+  Scalar(std::int64_t v) : value_(v) {}       // NOLINT(google-explicit-constructor)
+  Scalar(int v) : value_(std::int64_t{v}) {}  // NOLINT(google-explicit-constructor)
+  Scalar(bool v) : value_(v) {}               // NOLINT(google-explicit-constructor)
+
+  bool isFloat() const { return std::holds_alternative<double>(value_); }
+  bool isInt() const { return std::holds_alternative<std::int64_t>(value_); }
+  bool isBool() const { return std::holds_alternative<bool>(value_); }
+
+  /// Numeric value as double (bool maps to 0/1).
+  double toDouble() const {
+    if (isFloat()) return std::get<double>(value_);
+    if (isInt()) return static_cast<double>(std::get<std::int64_t>(value_));
+    return std::get<bool>(value_) ? 1.0 : 0.0;
+  }
+
+  std::int64_t toInt() const {
+    if (isInt()) return std::get<std::int64_t>(value_);
+    if (isBool()) return std::get<bool>(value_) ? 1 : 0;
+    return static_cast<std::int64_t>(std::get<double>(value_));
+  }
+
+  bool toBool() const { return toDouble() != 0.0; }
+
+  DType dtype() const {
+    if (isFloat()) return DType::Float32;
+    if (isInt()) return DType::Int64;
+    return DType::Bool;
+  }
+
+  friend bool operator==(const Scalar& a, const Scalar& b) {
+    return a.value_ == b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Scalar& s) {
+    if (s.isFloat()) return os << std::get<double>(s.value_);
+    if (s.isInt()) return os << std::get<std::int64_t>(s.value_);
+    return os << (std::get<bool>(s.value_) ? "true" : "false");
+  }
+
+ private:
+  std::variant<double, std::int64_t, bool> value_;
+};
+
+}  // namespace tssa

@@ -1,0 +1,62 @@
+// Tensor-expression backend: single-pass evaluation of fused subgraphs.
+//
+// This is the reproduction's stand-in for PyTorch NNC (the paper's codegen
+// backend, §4.2.1). A tssa::FusionGroup body made of elementwise compute and
+// immut::access / immut::assign operators is compiled to a per-element
+// expression DAG: every output element is produced by one traversal that
+// reads input elements through index transforms — no intermediate tensor is
+// ever materialized, which is precisely the memory behaviour of a fused
+// kernel. The runtime uses it to execute fusion groups; tests cross-check it
+// element-for-element against the reference interpreter.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/ir.h"
+#include "src/runtime/rt_value.h"
+
+namespace tssa::texpr {
+
+/// A compiled fusion-group body.
+class Kernel {
+ public:
+  /// True when every operator in `body` can be expressed per-element
+  /// (elementwise compute, Access/Assign with supported rules, constants).
+  /// Reductions, matmuls, cat, and assign-through-expand fall back to the
+  /// interpreter.
+  static bool supports(const ir::Block& body);
+
+  /// Compiles `body` (does not take ownership; the IR must outlive the
+  /// kernel).
+  explicit Kernel(const ir::Block& body);
+
+  /// Cost-model numbers observed during a run.
+  struct RunStats {
+    std::int64_t flops = 0;       ///< one per produced element per op
+    std::int64_t savedBytes = 0;  ///< traffic saved by donated assigns
+  };
+
+  /// Executes: one RtValue per body parameter, returns one tensor per body
+  /// return. Tensor inputs may be views; scalar inputs feed dynamic view
+  /// operands (select indices, slice bounds).
+  std::vector<runtime::RtValue> run(std::span<const runtime::RtValue> inputs,
+                                    RunStats* stats = nullptr) const;
+
+  struct Binding;  // per-run resolved shapes/dtypes/input tensors
+
+ private:
+
+  /// Infers the shape/dtype of every body value for this run's inputs.
+  void inferAll(Binding& b) const;
+
+  /// Evaluates the scalar element of `v` at output coordinate `coord`
+  /// (a coordinate in v's own shape).
+  double evalAt(const ir::Value* v, std::span<const std::int64_t> coord,
+                const Binding& b) const;
+
+  const ir::Block& body_;
+};
+
+}  // namespace tssa::texpr

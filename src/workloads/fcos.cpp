@@ -1,0 +1,137 @@
+// FCOS box decoding (post-processing).
+//
+// Per feature level, distances (l, t, r, b) regressed at each grid point are
+// turned into corner boxes by slice writes into a buffer, combined with
+// center-ness-weighted scores; levels are concatenated and optionally
+// normalized under a branch:
+//
+//   scores = sqrt(sigmoid(cls) * sigmoid(centerness))
+//   boxes[:, :, 0] = px - l * stride   (slice mutations)
+//   ...
+//   if normalize: boxes /= image_size
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/tensor/random.h"
+#include "src/workloads/workload.h"
+
+namespace tssa::workloads {
+
+using ir::Block;
+using ir::IRBuilder;
+using ir::Node;
+using ir::Type;
+using ir::Value;
+
+namespace {
+constexpr std::int64_t kSides[3] = {64, 32, 16};
+constexpr double kStrides[3] = {4.0, 8.0, 16.0};
+constexpr std::int64_t kClasses = 32;
+constexpr double kImageSize = 128.0;
+
+/// Grid-point coordinates of one level: [1, H*W, 1].
+Tensor pointCoords(std::int64_t side, double stride, bool xAxis) {
+  Tensor t = Tensor::empty({1, side * side, 1});
+  float* p = t.data<float>();
+  for (std::int64_t y = 0; y < side; ++y) {
+    for (std::int64_t x = 0; x < side; ++x) {
+      p[y * side + x] =
+          static_cast<float>(stride * (0.5 + static_cast<double>(xAxis ? x : y)));
+    }
+  }
+  return t;
+}
+}  // namespace
+
+Workload buildFcos(const WorkloadConfig& config) {
+  const std::int64_t b = config.batch;
+  Rng rng(config.seed + 3);
+
+  auto graph = std::make_unique<ir::Graph>();
+  IRBuilder bld(*graph);
+  std::vector<Value*> clsIn, ctrIn, regIn;
+  for (int s = 0; s < 3; ++s) {
+    clsIn.push_back(graph->addInput(Type::tensor(DType::Float32),
+                                    "cls" + std::to_string(s)));
+    ctrIn.push_back(graph->addInput(Type::tensor(DType::Float32),
+                                    "ctr" + std::to_string(s)));
+    regIn.push_back(graph->addInput(Type::tensor(DType::Float32),
+                                    "reg" + std::to_string(s)));
+  }
+  Value* normalize = graph->addInput(Type::boolean(), "normalize");
+
+  std::vector<Value*> allBoxes, allScores;
+  for (int s = 0; s < 3; ++s) {
+    const std::int64_t hw = kSides[s] * kSides[s];
+    Value* px = bld.constTensor(pointCoords(kSides[s], kStrides[s], true));
+    Value* py = bld.constTensor(pointCoords(kSides[s], kStrides[s], false));
+    Value* stride = bld.constTensor(Tensor::full({}, Scalar(kStrides[s])));
+
+    // Center-ness-weighted scores with per-class calibration: a deep
+    // elementwise chain over the [B, HW, C] tensor.
+    Value* classBias =
+        bld.constTensor(rng.uniform({1, 1, kClasses}, -0.1, 0.1));
+    Value* power = bld.constTensor(Tensor::full({}, Scalar(0.8)));
+    Value* raw = bld.sqrt(bld.mul(bld.sigmoid(clsIn[s]),
+                                  bld.sigmoid(ctrIn[s])));
+    Value* scores = bld.clamp(
+        bld.mul(bld.exp(bld.mul(bld.log(bld.add(raw, bld.constTensor(
+                                                          Tensor::full({}, Scalar(1e-9))))),
+                                power)),
+                bld.exp(classBias)),
+        Scalar(0.0), Scalar(1.0));
+
+    Value* boxes = bld.zeros({b, hw, 4});
+    auto dist = [&](std::int64_t c) {
+      return bld.slice(regIn[s], 2, bld.constInt(c), bld.constInt(c + 1));
+    };
+    auto corner = [&](std::int64_t c) {
+      return bld.slice(boxes, 2, bld.constInt(c), bld.constInt(c + 1));
+    };
+    bld.copy_(corner(0), bld.sub(px, bld.mul(dist(0), stride)));
+    bld.copy_(corner(1), bld.sub(py, bld.mul(dist(1), stride)));
+    bld.copy_(corner(2), bld.add(px, bld.mul(dist(2), stride)));
+    bld.copy_(corner(3), bld.add(py, bld.mul(dist(3), stride)));
+
+    allBoxes.push_back(bld.clamp(boxes, Scalar(0.0), Scalar(kImageSize)));
+    allScores.push_back(scores);
+  }
+
+  Value* boxesCat = bld.cat(allBoxes, 1);
+  Value* scoresCat = bld.cat(allScores, 1);
+
+  Node* ifNode = bld.makeIf(normalize, 1);
+  {
+    IRBuilder tb(*graph);
+    tb.setInsertionPointToEnd(ifNode->block(0));
+    Value* size = tb.constTensor(Tensor::full({}, Scalar(kImageSize)));
+    ifNode->block(0)->addReturn(tb.div(boxesCat, size));
+  }
+  ifNode->block(1)->addReturn(boxesCat);
+
+  // Candidate selection across all levels.
+  constexpr std::int64_t kTop = 64;
+  Value* best = bld.maxDim(scoresCat, 2);            // [B, sum(HW)]
+  Node* top = bld.topk(best, kTop);
+  Value* idx = bld.expand(bld.unsqueeze(top->output(1), 2), {b, kTop, 4});
+  Value* selected = bld.gather(ifNode->output(0), 1, idx);
+
+  graph->addOutput(selected);
+  graph->addOutput(top->output(0));
+  graph->addOutput(scoresCat);
+  ir::verify(*graph);
+
+  Workload w;
+  w.name = "fcos";
+  w.description = "FCOS per-level box decoding with slice mutations + branch";
+  for (int s = 0; s < 3; ++s) {
+    const std::int64_t hw = kSides[s] * kSides[s];
+    w.inputs.emplace_back(rng.normal({b, hw, kClasses}, 0.0, 1.0));
+    w.inputs.emplace_back(rng.normal({b, hw, 1}, 0.0, 1.0));
+    w.inputs.emplace_back(rng.uniform({b, hw, 4}, 0.1, 4.0));
+  }
+  w.inputs.emplace_back(Scalar(true));
+  w.graph = std::move(graph);
+  return w;
+}
+
+}  // namespace tssa::workloads

@@ -1,0 +1,85 @@
+// LSTM sequence loop.
+//
+// The input projections (x @ Wx + bias) are precomputed — standard practice
+// that leaves the per-step cell as the imperative part:
+//
+//   for t in range(T):
+//       gates = xw[:, t] + h @ Wh          # matmul + views of the input
+//       i, f, g, o = gates.chunk(4, 1)     # slice views
+//       c = f * c + i * g; h = o * tanh(c)
+//       out[:, t] = h                      # in-place column write
+//
+// Sequential carried dependence on (h, c): vertical fusion applies, the
+// horizontal pass must leave the loop alone.
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/tensor/random.h"
+#include "src/workloads/workload.h"
+
+namespace tssa::workloads {
+
+using ir::Block;
+using ir::IRBuilder;
+using ir::Node;
+using ir::Type;
+using ir::Value;
+
+namespace {
+constexpr std::int64_t kHidden = 32;
+}
+
+Workload buildLstm(const WorkloadConfig& config) {
+  const std::int64_t b = config.batch;
+  const std::int64_t t = config.seqLen;
+  Rng rng(config.seed + 4);
+
+  auto graph = std::make_unique<ir::Graph>();
+  IRBuilder bld(*graph);
+  Value* xw = graph->addInput(Type::tensor(DType::Float32), "xw");
+  Value* h0 = graph->addInput(Type::tensor(DType::Float32), "h0");
+  Value* c0 = graph->addInput(Type::tensor(DType::Float32), "c0");
+
+  Value* wh = bld.constTensor(rng.normal({kHidden, 4 * kHidden}, 0.0, 0.2));
+  Value* out = bld.zeros({b, t, kHidden});
+
+  Node* loop = bld.makeLoop(bld.constInt(t), {h0, c0});
+  Block* body = loop->block(0);
+  {
+    IRBuilder ib(*graph);
+    ib.setInsertionPointToEnd(body);
+    Value* step = body->param(0);
+    Value* h = body->param(1);
+    Value* c = body->param(2);
+
+    Value* xt = ib.select(xw, 1, step);  // [B, 4H] view of the input
+    Value* gates = ib.add(xt, ib.matmul(h, wh));
+    auto gate = [&](std::int64_t k) {
+      return ib.slice(gates, 1, ib.constInt(k * kHidden),
+                      ib.constInt((k + 1) * kHidden));
+    };
+    Value* ig = ib.sigmoid(gate(0));
+    Value* fg = ib.sigmoid(gate(1));
+    Value* gg = ib.tanh(gate(2));
+    Value* og = ib.sigmoid(gate(3));
+    Value* cNew = ib.add(ib.mul(fg, c), ib.mul(ig, gg));
+    Value* hNew = ib.mul(og, ib.tanh(cNew));
+    ib.copy_(ib.select(out, 1, step), hNew);
+    body->addReturn(hNew);
+    body->addReturn(cNew);
+  }
+  graph->addOutput(out);
+  graph->addOutput(loop->output(0));
+  graph->addOutput(loop->output(1));
+  ir::verify(*graph);
+
+  Workload w;
+  w.name = "lstm";
+  w.description = "LSTM cell loop with gate slices and column writes";
+  w.inputs.emplace_back(rng.normal({b, t, 4 * kHidden}, 0.0, 0.5));
+  w.inputs.emplace_back(rng.normal({b, kHidden}, 0.0, 0.5));
+  w.inputs.emplace_back(rng.normal({b, kHidden}, 0.0, 0.5));
+  w.graph = std::move(graph);
+  return w;
+}
+
+}  // namespace tssa::workloads

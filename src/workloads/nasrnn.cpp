@@ -1,0 +1,76 @@
+// NASRNN cell loop (the NAS-discovered recurrent cell used as a standard
+// imperative-program benchmark).
+//
+//   for t in range(T):
+//       gates = xw[:, t] + h @ Wh          # [B, 8H], 8 slice views
+//       m0 = sigmoid(g0) * tanh(g1); m1 = relu(g2) * sigmoid(g3)
+//       m2 = tanh(g4) * sigmoid(g5); m3 = sigmoid(g6) * tanh(g7)
+//       h  = tanh(tanh(m0 + m1) * tanh(m2 + m3))
+//       out[:, t] = h
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/tensor/random.h"
+#include "src/workloads/workload.h"
+
+namespace tssa::workloads {
+
+using ir::Block;
+using ir::IRBuilder;
+using ir::Node;
+using ir::Type;
+using ir::Value;
+
+namespace {
+constexpr std::int64_t kHidden = 32;
+}
+
+Workload buildNasRnn(const WorkloadConfig& config) {
+  const std::int64_t b = config.batch;
+  const std::int64_t t = config.seqLen;
+  Rng rng(config.seed + 5);
+
+  auto graph = std::make_unique<ir::Graph>();
+  IRBuilder bld(*graph);
+  Value* xw = graph->addInput(Type::tensor(DType::Float32), "xw");
+  Value* h0 = graph->addInput(Type::tensor(DType::Float32), "h0");
+
+  Value* wh = bld.constTensor(rng.normal({kHidden, 8 * kHidden}, 0.0, 0.2));
+  Value* out = bld.zeros({b, t, kHidden});
+
+  Node* loop = bld.makeLoop(bld.constInt(t), {h0});
+  Block* body = loop->block(0);
+  {
+    IRBuilder ib(*graph);
+    ib.setInsertionPointToEnd(body);
+    Value* step = body->param(0);
+    Value* h = body->param(1);
+
+    Value* xt = ib.select(xw, 1, step);
+    Value* gates = ib.add(xt, ib.matmul(h, wh));
+    auto gate = [&](std::int64_t k) {
+      return ib.slice(gates, 1, ib.constInt(k * kHidden),
+                      ib.constInt((k + 1) * kHidden));
+    };
+    Value* m0 = ib.mul(ib.sigmoid(gate(0)), ib.tanh(gate(1)));
+    Value* m1 = ib.mul(ib.relu(gate(2)), ib.sigmoid(gate(3)));
+    Value* m2 = ib.mul(ib.tanh(gate(4)), ib.sigmoid(gate(5)));
+    Value* m3 = ib.mul(ib.sigmoid(gate(6)), ib.tanh(gate(7)));
+    Value* hNew =
+        ib.tanh(ib.mul(ib.tanh(ib.add(m0, m1)), ib.tanh(ib.add(m2, m3))));
+    ib.copy_(ib.select(out, 1, step), hNew);
+    body->addReturn(hNew);
+  }
+  graph->addOutput(out);
+  graph->addOutput(loop->output(0));
+  ir::verify(*graph);
+
+  Workload w;
+  w.name = "nasrnn";
+  w.description = "NASRNN cell loop: 8 gate slices, deep elementwise tree";
+  w.inputs.emplace_back(rng.normal({b, t, 8 * kHidden}, 0.0, 0.5));
+  w.inputs.emplace_back(rng.normal({b, kHidden}, 0.0, 0.5));
+  w.graph = std::move(graph);
+  return w;
+}
+
+}  // namespace tssa::workloads

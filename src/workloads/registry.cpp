@@ -1,0 +1,27 @@
+#include "src/workloads/workload.h"
+
+#include "src/support/error.h"
+
+namespace tssa::workloads {
+
+const std::vector<std::string>& workloadNames() {
+  static const std::vector<std::string> names = {
+      "yolov3", "ssd", "yolact", "fcos",
+      "nasrnn", "lstm", "seq2seq", "attention",
+  };
+  return names;
+}
+
+Workload buildWorkload(const std::string& name, const WorkloadConfig& config) {
+  if (name == "yolov3") return buildYolov3(config);
+  if (name == "ssd") return buildSsd(config);
+  if (name == "yolact") return buildYolact(config);
+  if (name == "fcos") return buildFcos(config);
+  if (name == "nasrnn") return buildNasRnn(config);
+  if (name == "lstm") return buildLstm(config);
+  if (name == "seq2seq") return buildSeq2Seq(config);
+  if (name == "attention") return buildAttention(config);
+  TSSA_THROW("unknown workload '" << name << "'");
+}
+
+}  // namespace tssa::workloads

@@ -1,0 +1,77 @@
+// seq2seq decoder loop with a growing-context summary.
+//
+//   for t in range(T):
+//       ctx = mean(enc[:, 0:t+1], dim=1)     # dynamic slice bound!
+//       h   = tanh(h @ Wh + enc[:, t] + ctx)
+//       out[:, t] = sigmoid(h)               # in-place column write
+//
+// The dynamic slice end (t+1) exercises data-dependent view operands; the
+// carried dependence on h keeps the loop sequential.
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/tensor/random.h"
+#include "src/workloads/workload.h"
+
+namespace tssa::workloads {
+
+using ir::Block;
+using ir::IRBuilder;
+using ir::Node;
+using ir::Type;
+using ir::Value;
+
+namespace {
+constexpr std::int64_t kHidden = 32;
+constexpr std::int64_t kVocab = 12288;
+}
+
+Workload buildSeq2Seq(const WorkloadConfig& config) {
+  const std::int64_t b = config.batch;
+  const std::int64_t t = config.seqLen;
+  Rng rng(config.seed + 6);
+
+  auto graph = std::make_unique<ir::Graph>();
+  IRBuilder bld(*graph);
+  Value* enc = graph->addInput(Type::tensor(DType::Float32), "enc");
+  Value* h0 = graph->addInput(Type::tensor(DType::Float32), "h0");
+
+  Value* wh = bld.constTensor(rng.normal({kHidden, kHidden}, 0.0, 0.2));
+  Value* wv = bld.constTensor(rng.normal({kHidden, kVocab}, 0.0, 0.2));
+  Value* out = bld.zeros({b, t, kVocab});
+
+  Node* loop = bld.makeLoop(bld.constInt(t), {h0});
+  Block* body = loop->block(0);
+  {
+    IRBuilder ib(*graph);
+    ib.setInsertionPointToEnd(body);
+    Value* step = body->param(0);
+    Value* h = body->param(1);
+
+    Value* end = ib.scalarAdd(step, ib.constInt(1));
+    Value* prefix = ib.slice(enc, 1, ib.constInt(0), end);  // [B, t+1, H]
+    Value* ctx = ib.mean(prefix, 1);                        // [B, H]
+    Value* et = ib.select(enc, 1, step);
+    Value* hNew = ib.tanh(ib.add(ib.add(ib.matmul(h, wh), et), ctx));
+    // Vocabulary projection: the decoder's memory-heavy per-step output,
+    // post-processed by a repetition penalty + log-prob chain over [B, V].
+    Value* probs = ib.softmax(ib.matmul(hNew, wv), 1);  // [B, V]
+    Value* penalty = ib.constTensor(Tensor::full({}, Scalar(0.98)));
+    Value* eps = ib.constTensor(Tensor::full({}, Scalar(1e-9)));
+    Value* logp = ib.log(ib.add(ib.mul(probs, penalty), eps));
+    ib.copy_(ib.select(out, 1, step), logp);
+    body->addReturn(hNew);
+  }
+  graph->addOutput(out);
+  graph->addOutput(loop->output(0));
+  ir::verify(*graph);
+
+  Workload w;
+  w.name = "seq2seq";
+  w.description = "seq2seq decoder: dynamic-length context slice + writes";
+  w.inputs.emplace_back(rng.normal({b, t, kHidden}, 0.0, 0.5));
+  w.inputs.emplace_back(rng.normal({b, kHidden}, 0.0, 0.5));
+  w.graph = std::move(graph);
+  return w;
+}
+
+}  // namespace tssa::workloads

@@ -1,0 +1,89 @@
+// SSD multi-box decoding (post-processing).
+//
+// Decodes location regressions against prior boxes, writing the corner
+// coordinates into a preallocated buffer through slice views:
+//
+//   cxcy = loc[:, :, 0:2] * 0.1 * prior_wh + prior_cxcy
+//   wh   = exp(loc[:, :, 2:4] * 0.2) * prior_wh
+//   boxes[:, :, 0:2] = cxcy - wh / 2      # in-place slice writes
+//   boxes[:, :, 2:4] = cxcy + wh / 2
+//   boxes = clamp(boxes, 0, 1); scores = softmax(conf)
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/tensor/random.h"
+#include "src/workloads/workload.h"
+
+namespace tssa::workloads {
+
+using ir::IRBuilder;
+using ir::Type;
+using ir::Value;
+
+namespace {
+constexpr std::int64_t kPriors = 6144;
+constexpr std::int64_t kClasses = 21;
+}  // namespace
+
+Workload buildSsd(const WorkloadConfig& config) {
+  const std::int64_t b = config.batch;
+  Rng rng(config.seed + 1);
+
+  auto graph = std::make_unique<ir::Graph>();
+  IRBuilder bld(*graph);
+  Value* loc = graph->addInput(Type::tensor(DType::Float32), "loc");
+  Value* conf = graph->addInput(Type::tensor(DType::Float32), "conf");
+
+  Value* priorCenters = bld.constTensor(rng.uniform({1, kPriors, 2}, 0.1, 0.9));
+  Value* priorSizes = bld.constTensor(rng.uniform({1, kPriors, 2}, 0.05, 0.4));
+  Value* varCenter = bld.constTensor(Tensor::full({}, Scalar(0.1)));
+  Value* varSize = bld.constTensor(Tensor::full({}, Scalar(0.2)));
+  Value* half = bld.constTensor(Tensor::full({}, Scalar(0.5)));
+
+  Value* lxy = bld.slice(loc, 2, bld.constInt(0), bld.constInt(2));
+  Value* lwh = bld.slice(loc, 2, bld.constInt(2), bld.constInt(4));
+  Value* cxcy =
+      bld.add(bld.mul(bld.mul(lxy, varCenter), priorSizes), priorCenters);
+  Value* wh = bld.mul(bld.exp(bld.mul(lwh, varSize)), priorSizes);
+  Value* halfWh = bld.mul(wh, half);
+
+  Value* boxes = bld.zeros({b, kPriors, 4});
+  Value* bmin = bld.slice(boxes, 2, bld.constInt(0), bld.constInt(2));
+  Value* bmax = bld.slice(boxes, 2, bld.constInt(2), bld.constInt(4));
+  bld.copy_(bmin, bld.sub(cxcy, halfWh));
+  bld.copy_(bmax, bld.add(cxcy, halfWh));
+
+  Value* clamped = bld.clamp(boxes, Scalar(0.0), Scalar(1.0));
+  // Temperature-scaled class distribution: the mul feeds the softmax, which
+  // reduction-tail fusers (nvFuser-class) absorb and plain pointwise fusers
+  // do not.
+  Value* temp = bld.constTensor(Tensor::full({}, Scalar(0.5)));
+  Value* scores = bld.softmax(bld.mul(conf, temp), 2);
+  // Score calibration over the full [B, N, C] class tensor: log-space prior
+  // bias + temperature, then re-exponentiation — the memory-intensive
+  // elementwise chain that dominates at large batch.
+  Value* eps = bld.constTensor(Tensor::full({}, Scalar(1e-9)));
+  Value* classBias = bld.constTensor(rng.uniform({1, 1, kClasses}, -0.2, 0.2));
+  Value* calibTemp = bld.constTensor(Tensor::full({}, Scalar(0.9)));
+  Value* logp = bld.log(bld.add(scores, eps));
+  Value* calibrated = bld.exp(bld.mul(bld.add(logp, classBias), calibTemp));
+  // Threshold low-confidence entries and rank candidates (NMS front-end).
+  Value* thresh = bld.constTensor(Tensor::full({}, Scalar(0.05)));
+  Value* zero = bld.constTensor(Tensor::zeros({}));
+  Value* kept = bld.where(bld.gt(calibrated, thresh), calibrated, zero);
+  Value* best = bld.maxDim(kept, 2);           // [B, N]
+  Value* order = bld.argsort(best, /*descending=*/true);
+  graph->addOutput(clamped);
+  graph->addOutput(kept);
+  graph->addOutput(order);
+  ir::verify(*graph);
+
+  Workload w;
+  w.name = "ssd";
+  w.description = "SSD prior-box decoding with slice mutations";
+  w.inputs.emplace_back(rng.normal({b, kPriors, 4}, 0.0, 0.5));
+  w.inputs.emplace_back(rng.normal({b, kPriors, kClasses}, 0.0, 1.0));
+  w.graph = std::move(graph);
+  return w;
+}
+
+}  // namespace tssa::workloads

@@ -1,0 +1,53 @@
+// The eight evaluation workloads of the paper (§5.1), expressed as
+// imperative graph-level IR programs: the post-processing stages of four CV
+// models (YOLOv3, SSD, YOLACT, FCOS), three NLP cells/loops (LSTM, NASRNN,
+// seq2seq), and an attention module. Exactly like the paper's setting, these
+// are the *imperative tensor program* parts — the NN backbones (handled by
+// TensorRT in the paper) are out of scope for all compared systems alike.
+//
+// Sizes are scaled down from production models so the CPU-based reference
+// interpreter stays fast; shapes and operator mixes (views + in-place
+// mutation inside control flow) are preserved, which is what the compared
+// optimizations act on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+#include "src/runtime/rt_value.h"
+
+namespace tssa::workloads {
+
+struct WorkloadConfig {
+  std::int64_t batch = 1;
+  std::int64_t seqLen = 64;   ///< used by the NLP / attention workloads
+  std::uint64_t seed = 42;
+};
+
+struct Workload {
+  std::string name;
+  std::string description;
+  std::unique_ptr<ir::Graph> graph;
+  std::vector<runtime::RtValue> inputs;
+};
+
+/// Workload names in the order the paper's figures list them.
+const std::vector<std::string>& workloadNames();
+
+/// Builds a workload by name; throws on unknown names.
+Workload buildWorkload(const std::string& name, const WorkloadConfig& config);
+
+// Individual builders.
+Workload buildYolov3(const WorkloadConfig& config);
+Workload buildSsd(const WorkloadConfig& config);
+Workload buildYolact(const WorkloadConfig& config);
+Workload buildFcos(const WorkloadConfig& config);
+Workload buildNasRnn(const WorkloadConfig& config);
+Workload buildLstm(const WorkloadConfig& config);
+Workload buildSeq2Seq(const WorkloadConfig& config);
+Workload buildAttention(const WorkloadConfig& config);
+
+}  // namespace tssa::workloads

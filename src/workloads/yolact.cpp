@@ -1,0 +1,112 @@
+// YOLACT mask assembly and crop (post-processing).
+//
+// Prototype masks are combined with per-detection coefficients, then each
+// detection's mask is cropped to its box *in place* inside a loop:
+//
+//   masks = sigmoid(coeff @ proto^T).view(B, N, H, W).clone()
+//   for i in range(N):                       # independent iterations!
+//       inside = box_mask(boxes[:, i])       # [B, H, W] bool
+//       masks[:, i].masked_fill_(~inside, 0) # view mutation in a loop
+//
+// The loop is the paper's horizontal-parallelization showcase: after
+// functionalization every iteration touches only slice i, so TensorSSA
+// executes the whole crop as one batched kernel.
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/tensor/random.h"
+#include "src/workloads/workload.h"
+
+namespace tssa::workloads {
+
+using ir::Block;
+using ir::IRBuilder;
+using ir::Node;
+using ir::Type;
+using ir::Value;
+
+namespace {
+constexpr std::int64_t kSide = 16;   // mask H = W
+constexpr std::int64_t kProto = 8;   // prototype count K
+constexpr std::int64_t kDets = 16;   // detections N
+
+Tensor coordinateGrid(bool xAxis) {
+  Tensor t = Tensor::empty({kSide, kSide});
+  float* p = t.data<float>();
+  for (std::int64_t y = 0; y < kSide; ++y) {
+    for (std::int64_t x = 0; x < kSide; ++x) {
+      p[y * kSide + x] = static_cast<float>(xAxis ? x : y);
+    }
+  }
+  return t;
+}
+}  // namespace
+
+Workload buildYolact(const WorkloadConfig& config) {
+  const std::int64_t b = config.batch;
+  Rng rng(config.seed + 2);
+
+  auto graph = std::make_unique<ir::Graph>();
+  IRBuilder bld(*graph);
+  Value* coeff = graph->addInput(Type::tensor(DType::Float32), "coeff");
+  Value* boxes = graph->addInput(Type::tensor(DType::Float32), "boxes");
+  // The number of surviving detections is decided at runtime (it is the
+  // output of NMS) — data-dependent control flow that trace-time unrolling
+  // cannot capture, but TensorSSA's loop-level functionalization can.
+  Value* numDets = graph->addInput(Type::integer(), "num_dets");
+
+  // Assemble masks: [B*N, K] @ [K, H*W] -> sigmoid -> [B, N, H, W].
+  Value* protoT =
+      bld.constTensor(rng.normal({kProto, kSide * kSide}, 0.0, 0.5));
+  Value* coeffFlat = bld.reshape(coeff, {b * kDets, kProto});
+  Value* logits = bld.matmul(coeffFlat, protoT);
+  Value* masksFlat = bld.sigmoid(logits);
+  Value* masks = bld.clone(bld.reshape(masksFlat, {b, kDets, kSide, kSide}));
+
+  Value* xs = bld.constTensor(coordinateGrid(true));
+  Value* ys = bld.constTensor(coordinateGrid(false));
+
+  // Crop loop: zero everything outside each detection's box.
+  Node* loop = bld.makeLoop(numDets, {});
+  Block* body = loop->block(0);
+  {
+    IRBuilder ib(*graph);
+    ib.setInsertionPointToEnd(body);
+    Value* i = body->param(0);
+    Value* mi = ib.select(masks, 1, i);   // [B, H, W], aliases `masks`
+    Value* bi = ib.select(boxes, 1, i);   // [B, 4]
+    auto coord = [&](std::int64_t c) {
+      Value* s = ib.slice(bi, 1, ib.constInt(c), ib.constInt(c + 1));
+      return ib.unsqueeze(s, 2);  // [B, 1, 1]
+    };
+    Value* inX = ib.logicalAnd(ib.ge(xs, coord(0)), ib.lt(xs, coord(2)));
+    Value* inY = ib.logicalAnd(ib.ge(ys, coord(1)), ib.lt(ys, coord(3)));
+    Value* outside = ib.logicalNot(ib.logicalAnd(inX, inY));  // [B, H, W]
+    ib.maskedFill_(mi, outside, ib.constFloat(0.0));
+  }
+  graph->addOutput(masks);
+  ir::verify(*graph);
+
+  Workload w;
+  w.name = "yolact";
+  w.description = "YOLACT mask assembly + per-detection in-loop crop";
+  w.inputs.emplace_back(rng.normal({b, kDets, kProto}, 0.0, 1.0));
+  // Boxes as [x1, y1, x2, y2] pixel corners inside the mask plane.
+  Tensor boxesT = Tensor::empty({b, kDets, 4});
+  {
+    float* p = boxesT.data<float>();
+    for (std::int64_t i = 0; i < b * kDets; ++i) {
+      const double x1 = rng.nextDouble(0, kSide / 2);
+      const double y1 = rng.nextDouble(0, kSide / 2);
+      p[i * 4 + 0] = static_cast<float>(x1);
+      p[i * 4 + 1] = static_cast<float>(y1);
+      p[i * 4 + 2] = static_cast<float>(x1 + rng.nextDouble(2, kSide / 2));
+      p[i * 4 + 3] = static_cast<float>(y1 + rng.nextDouble(2, kSide / 2));
+    }
+  }
+  w.inputs.emplace_back(std::move(boxesT));
+  w.inputs.emplace_back(Scalar(kDets));
+  w.graph = std::move(graph);
+  return w;
+}
+
+}  // namespace tssa::workloads

@@ -1,0 +1,120 @@
+// YOLOv3 bounding-box decoding (post-processing).
+//
+// For each of three detection scales, the raw head output is decoded into a
+// preallocated buffer via slice views and in-place copies:
+//
+//   dec[..., 0:2] = (sigmoid(p[..., 0:2]) + grid) * stride   # box centers
+//   dec[..., 2:4] = exp(p[..., 2:4]) * anchors               # box sizes
+//   dec[..., 4: ] = sigmoid(p[..., 4:])                      # obj + classes
+//
+// then the three scales are flattened and concatenated. The slice mutations
+// make every baseline fuser break; TensorSSA functionalizes them.
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/tensor/random.h"
+#include "src/workloads/workload.h"
+
+namespace tssa::workloads {
+
+using ir::IRBuilder;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+constexpr std::int64_t kAnchors = 3;
+constexpr std::int64_t kClasses = 16;
+constexpr std::int64_t kBox = 5 + kClasses;
+constexpr std::int64_t kGrids[3] = {16, 8, 4};
+constexpr double kStrides[3] = {8.0, 16.0, 32.0};
+
+/// Cell-center grid of shape [1, 1, H, W, 2].
+Tensor makeGrid(std::int64_t h) {
+  Tensor grid = Tensor::empty({1, 1, h, h, 2});
+  float* p = grid.data<float>();
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < h; ++x) {
+      p[(y * h + x) * 2 + 0] = static_cast<float>(x);
+      p[(y * h + x) * 2 + 1] = static_cast<float>(y);
+    }
+  }
+  return grid;
+}
+
+/// Per-scale anchor sizes of shape [1, A, 1, 1, 2].
+Tensor makeAnchors(Rng& rng) { return rng.uniform({1, kAnchors, 1, 1, 2}, 8, 64); }
+
+}  // namespace
+
+Workload buildYolov3(const WorkloadConfig& config) {
+  const std::int64_t b = config.batch;
+  Rng rng(config.seed);
+
+  auto graph = std::make_unique<ir::Graph>();
+  IRBuilder bld(*graph);
+
+  std::vector<Value*> heads;
+  for (int s = 0; s < 3; ++s) {
+    heads.push_back(graph->addInput(Type::tensor(DType::Float32),
+                                    "head" + std::to_string(s)));
+  }
+
+  std::vector<Value*> flats;
+  for (int s = 0; s < 3; ++s) {
+    const std::int64_t h = kGrids[s];
+    Value* p = heads[static_cast<std::size_t>(s)];
+    Value* dec = bld.zeros({b, kAnchors, h, h, kBox});
+
+    // Box centers.
+    Value* pxy = bld.slice(p, 4, bld.constInt(0), bld.constInt(2));
+    Value* dxy = bld.slice(dec, 4, bld.constInt(0), bld.constInt(2));
+    Value* grid = bld.constTensor(makeGrid(h));
+    Value* stride = bld.constTensor(Tensor::full({}, Scalar(kStrides[s])));
+    bld.copy_(dxy, bld.mul(bld.add(bld.sigmoid(pxy), grid), stride));
+
+    // Box sizes.
+    Value* pwh = bld.slice(p, 4, bld.constInt(2), bld.constInt(4));
+    Value* dwh = bld.slice(dec, 4, bld.constInt(2), bld.constInt(4));
+    Value* anchors = bld.constTensor(makeAnchors(rng));
+    bld.copy_(dwh, bld.mul(bld.exp(pwh), anchors));
+
+    // Objectness and class scores.
+    Value* pconf = bld.slice(p, 4, bld.constInt(4), bld.constInt(kBox));
+    Value* dconf = bld.slice(dec, 4, bld.constInt(4), bld.constInt(kBox));
+    bld.copy_(dconf, bld.sigmoid(pconf));
+
+    flats.push_back(bld.reshape(dec, {b, kAnchors * h * h, kBox}));
+  }
+
+  Value* all = bld.cat(flats, 1);
+  Value* boxes = bld.slice(all, 2, bld.constInt(0), bld.constInt(4));
+  Value* obj = bld.slice(all, 2, bld.constInt(4), bld.constInt(5));
+  Value* cls = bld.slice(all, 2, bld.constInt(5), bld.constInt(kBox));
+  Value* scores = bld.mul(obj, cls);
+
+  // Candidate selection (NMS front-end): best class score per box, top-K
+  // boxes, gather their coordinates.
+  constexpr std::int64_t kTop = 64;
+  Value* best = bld.maxDim(scores, 2);             // [B, N]
+  ir::Node* top = bld.topk(best, kTop);            // values, indices
+  Value* idx = bld.expand(bld.unsqueeze(top->output(1), 2),
+                          {b, kTop, 4});
+  Value* selected = bld.gather(boxes, 1, idx);     // [B, K, 4]
+  graph->addOutput(selected);
+  graph->addOutput(top->output(0));
+  ir::verify(*graph);
+
+  Workload w;
+  w.name = "yolov3";
+  w.description = "YOLOv3 multi-scale box decoding with slice mutations";
+  std::vector<runtime::RtValue> inputs;
+  for (int s = 0; s < 3; ++s) {
+    const std::int64_t h = kGrids[s];
+    inputs.emplace_back(rng.normal({b, kAnchors, h, h, kBox}, 0.0, 0.8));
+  }
+  w.inputs = std::move(inputs);
+  w.graph = std::move(graph);
+  return w;
+}
+
+}  // namespace tssa::workloads

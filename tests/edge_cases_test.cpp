@@ -1,0 +1,218 @@
+// Edge cases of the functionalization: aliasing sources, exotic view rules
+// as mutation targets, and deeper control-flow nesting.
+#include <gtest/gtest.h>
+
+#include "src/core/lower_inplace.h"
+#include "src/core/tensor_ssa.h"
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+#include "src/runtime/pipeline.h"
+#include "src/tensor/random.h"
+
+namespace tssa {
+namespace {
+
+using ir::Block;
+using ir::Graph;
+using ir::IRBuilder;
+using ir::Node;
+using ir::OpKind;
+using ir::Type;
+using ir::Value;
+using runtime::Interpreter;
+using runtime::RtValue;
+
+void expectConversionEquivalent(Graph& g, std::vector<RtValue> inputs,
+                                double tol = 1e-6) {
+  ir::verify(g);
+  Interpreter interp;
+  auto before = interp.run(g, inputs);
+  core::lowerInplaceOps(g);
+  core::convertToTensorSSA(g);
+  ir::verify(g);
+  auto after = interp.run(g, inputs);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_TRUE(allClose(before[i].tensor(), after[i].tensor(), tol))
+        << "output " << i << "\n"
+        << toString(g);
+  }
+}
+
+// b[0] = b[1]: the mutation source aliases the mutated tensor.
+TEST(EdgeCaseTest, SelfAliasingSource) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Value* dst = b.select(a, 0, b.constInt(0));
+  Value* src = b.select(a, 0, b.constInt(1));
+  b.copy_(dst, src);
+  b.copy_(src, b.neg(dst));  // and back, observing the first write
+  g.addOutput(a);
+  expectConversionEquivalent(
+      g, {RtValue(Tensor::fromData({1, 2, 3, 4}, {2, 2}))});
+}
+
+// Mutation through a transposed view updates strided elements.
+TEST(EdgeCaseTest, TransposedViewMutation) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  Value* w = g.addInput(Type::tensor(), "w");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Value* t = b.transpose(a, 0, 1);
+  Value* col = b.select(t, 0, b.constInt(1));  // column 1 of a
+  b.copy_(col, w);
+  g.addOutput(a);
+  Rng rng(7);
+  expectConversionEquivalent(g, {RtValue(rng.uniform({3, 2})),
+                                 RtValue(rng.uniform({3}))});
+}
+
+// Mutation through a reshape-flattened view.
+TEST(EdgeCaseTest, ReshapeViewMutation) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Value* flat = b.reshape(a, {6});
+  Value* piece = b.slice(flat, 0, b.constInt(2), b.constInt(5));
+  b.fill_(piece, b.constFloat(-1.0));
+  g.addOutput(a);
+  g.addOutput(flat);
+  Rng rng(8);
+  expectConversionEquivalent(g, {RtValue(rng.uniform({2, 3}))});
+}
+
+// Write through a broadcast (expand) view: every row receives the source.
+TEST(EdgeCaseTest, ExpandViewMutation) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);                       // [1, 4]
+  Value* e = b.expand(a, {3, 4});               // rows alias each other!
+  Node* mutation = b.fill_(e, b.constFloat(9.0));
+  (void)mutation;
+  g.addOutput(a);
+  Rng rng(9);
+  expectConversionEquivalent(g, {RtValue(rng.uniform({1, 4}))});
+}
+
+// If nested inside If, both arms mutating.
+TEST(EdgeCaseTest, NestedBranchesMutate) {
+  for (int combo = 0; combo < 4; ++combo) {
+    Graph g;
+    Value* a0 = g.addInput(Type::tensor(), "a");
+    Value* c1 = g.addInput(Type::boolean(), "c1");
+    Value* c2 = g.addInput(Type::boolean(), "c2");
+    IRBuilder b(g);
+    Value* a = b.clone(a0);
+    Node* outer = b.makeIf(c1, 0);
+    {
+      IRBuilder tb(g);
+      tb.setInsertionPointToEnd(outer->block(0));
+      Node* innerIf = tb.makeIf(c2, 0);
+      {
+        IRBuilder ib(g);
+        ib.setInsertionPointToEnd(innerIf->block(0));
+        ib.fill_(ib.select(a, 0, ib.constInt(0)), ib.constFloat(5.0));
+        ib.setInsertionPointToEnd(innerIf->block(1));
+        ib.add_(a, ib.constTensor(Tensor::ones({})));
+      }
+      tb.setInsertionPointToEnd(outer->block(1));
+      tb.relu_(a);
+    }
+    g.addOutput(a);
+    expectConversionEquivalent(
+        g, {RtValue(Tensor::fromData({-1, 2, -3, 4}, {2, 2})),
+            RtValue(Scalar((combo & 1) != 0)),
+            RtValue(Scalar((combo & 2) != 0))});
+  }
+}
+
+// Loop whose body both reads the whole buffer and writes one row: the read
+// must observe all previous iterations' writes.
+TEST(EdgeCaseTest, LoopReadsWholeBufferEachIteration) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  Value* n = g.addInput(Type::integer(), "n");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Node* loop = b.makeLoop(n, {});
+  Block* body = loop->block(0);
+  {
+    IRBuilder ib(g);
+    ib.setInsertionPointToEnd(body);
+    Value* total = ib.sumDim(a, 0);            // reads every row
+    Value* row = ib.select(a, 0, body->param(0));
+    ib.copy_(row, ib.add(row, total));         // then writes row i
+  }
+  g.addOutput(a);
+  Rng rng(10);
+  expectConversionEquivalent(
+      g, {RtValue(rng.uniform({3, 2})), RtValue(Scalar(std::int64_t{3}))},
+      1e-4);
+}
+
+// A mutation whose result is never observed: DCE should strip the whole
+// functionalized chain.
+TEST(EdgeCaseTest, UnobservedMutationIsEliminated) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  IRBuilder b(g);
+  Value* dead = b.clone(a0);
+  b.fill_(b.select(dead, 0, b.constInt(0)), b.constFloat(1.0));
+  g.addOutput(b.relu(a0));
+  ir::verify(g);
+  core::lowerInplaceOps(g);
+  core::convertToTensorSSA(g);
+  ir::verify(g);
+  EXPECT_EQ(g.countNodes(), 1u) << toString(g);  // just the relu
+}
+
+// Mutating a graph input directly (no clone): the functional boundary drops
+// caller-visible mutation but outputs must still be correct.
+TEST(EdgeCaseTest, GraphInputMutationKeepsOutputSemantics) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor(), "a");
+  IRBuilder b(g);
+  Value* row = b.select(a, 0, b.constInt(0));
+  b.fill_(row, b.constFloat(3.0));
+  g.addOutput(b.relu(a));
+  ir::verify(g);
+
+  Interpreter interp;
+  std::vector<RtValue> in1{RtValue(Tensor::zeros({2, 2}))};
+  auto before = interp.run(g, in1);
+  core::lowerInplaceOps(g);
+  core::convertToTensorSSA(g);
+  ir::verify(g);
+  std::vector<RtValue> in2{RtValue(Tensor::zeros({2, 2}))};
+  auto after = interp.run(g, in2);
+  EXPECT_TRUE(allClose(before[0].tensor(), after[0].tensor(), 0.0));
+  // The functionalized program no longer mutates the caller's tensor.
+  EXPECT_EQ(in2[0].tensor().scalarAt(Shape{0, 0}), 0.0);
+}
+
+// Chained pipelines run back-to-back reuse compiled state (kernel cache).
+TEST(EdgeCaseTest, PipelineRepeatedRunsAreStable) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor(), "a");
+  IRBuilder b(g);
+  Value* buf = b.clone(a);
+  b.sigmoid_(b.select(buf, 0, b.constInt(0)));
+  g.addOutput(buf);
+  runtime::Pipeline p(runtime::PipelineKind::TensorSsa, g);
+  Rng rng(11);
+  Tensor t = rng.uniform({2, 3});
+  std::vector<RtValue> in{RtValue(t)};
+  auto first = p.run(in);
+  auto second = p.run(in);
+  EXPECT_TRUE(allClose(first[0].tensor(), second[0].tensor(), 0.0));
+  EXPECT_GT(p.profiler().kernelLaunches(), 0);
+}
+
+}  // namespace
+}  // namespace tssa

@@ -1,0 +1,343 @@
+// Tests for vertical fusion, horizontal parallelization, and the pipelines.
+#include <gtest/gtest.h>
+
+#include "src/core/dce.h"
+#include "src/core/fusion.h"
+#include "src/core/lower_inplace.h"
+#include "src/tensor/ops.h"
+#include "src/core/parallelize.h"
+#include "src/core/tensor_ssa.h"
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+#include "src/runtime/pipeline.h"
+#include "src/tensor/random.h"
+
+namespace tssa {
+namespace {
+
+using core::FusionPolicy;
+using ir::Block;
+using ir::Graph;
+using ir::IRBuilder;
+using ir::Node;
+using ir::OpKind;
+using ir::Type;
+using ir::Value;
+using runtime::Pipeline;
+using runtime::PipelineKind;
+using runtime::RtValue;
+
+std::size_t countKind(const Graph& g, OpKind kind) {
+  std::size_t n = 0;
+  std::vector<const Block*> stack{g.topBlock()};
+  while (!stack.empty()) {
+    const Block* b = stack.back();
+    stack.pop_back();
+    for (const Node* node : *b) {
+      if (node->kind() == kind) ++n;
+      for (const Block* inner : node->blocks()) stack.push_back(inner);
+    }
+  }
+  return n;
+}
+
+TEST(FusionTest, FusesElementwiseChain) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor(), "a");
+  Value* b = g.addInput(Type::tensor(), "b");
+  IRBuilder builder(g);
+  Value* r = builder.relu(builder.mul(builder.add(a, b), b));
+  g.addOutput(r);
+  const std::size_t groups = core::fuseKernels(g, FusionPolicy::nnc());
+  EXPECT_EQ(groups, 1u);
+  EXPECT_EQ(countKind(g, OpKind::FusionGroup), 1u);
+  EXPECT_EQ(countKind(g, OpKind::Add), 1u);  // lives inside the group now
+  ir::verify(g);
+
+  // Fused graph computes the same thing.
+  runtime::Interpreter interp;
+  Rng rng(1);
+  Tensor ta = rng.uniform({8}, -1, 1);
+  Tensor tb = rng.uniform({8}, -1, 1);
+  std::vector<RtValue> in{RtValue(ta), RtValue(tb)};
+  auto out = interp.run(g, in);
+  Tensor expect = ops::relu(ops::mul(ops::add(ta, tb), tb));
+  EXPECT_TRUE(allClose(out[0].tensor(), expect));
+}
+
+TEST(FusionTest, SingleOpIsNotFused) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor(), "a");
+  IRBuilder builder(g);
+  g.addOutput(builder.relu(a));
+  EXPECT_EQ(core::fuseKernels(g, FusionPolicy::nnc()), 0u);
+  EXPECT_EQ(countKind(g, OpKind::FusionGroup), 0u);
+}
+
+TEST(FusionTest, MatmulBreaksGroups) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor(), "a");
+  IRBuilder builder(g);
+  Value* x = builder.sigmoid(builder.add(a, a));
+  Value* mm = builder.matmul(x, x);
+  Value* y = builder.relu(builder.mul(mm, mm));
+  g.addOutput(y);
+  const std::size_t groups = core::fuseKernels(g, FusionPolicy::nnc());
+  EXPECT_EQ(groups, 2u);
+  EXPECT_EQ(countKind(g, OpKind::Matmul), 1u);  // stays at top level
+  ir::verify(g);
+}
+
+TEST(FusionTest, MutationBreaksGroupsButAssignDoesNot) {
+  // Imperative form: the copy_ is a fusion barrier for NNC-style fusion.
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  IRBuilder builder(g);
+  Value* a = builder.clone(a0);
+  Value* x = builder.sigmoid(builder.add(a, a));
+  Value* row = builder.select(a, 0, builder.constInt(0));
+  builder.copy_(row, builder.constTensor(Tensor::zeros({}).clone()));
+  Value* y = builder.relu(builder.mul(x, x));
+  g.addOutput(y);
+  g.addOutput(a);
+  auto gm = ir::cloneGraph(g);
+  core::fuseKernels(*gm, FusionPolicy::nnc());
+  // copy_ and select stay; two separate elementwise groups.
+  EXPECT_EQ(countKind(*gm, OpKind::Copy_), 1u);
+  EXPECT_EQ(countKind(*gm, OpKind::FusionGroup), 2u);
+
+  // After TensorSSA conversion, the whole thing fuses into one group.
+  core::lowerInplaceOps(g);
+  core::convertToTensorSSA(g);
+  core::hoistConstants(g);
+  core::fuseKernels(g, FusionPolicy::tensorssa());
+  core::eliminateDeadCode(g);
+  ir::verify(g);
+  EXPECT_EQ(countKind(g, OpKind::Copy_), 0u);
+  EXPECT_EQ(countKind(g, OpKind::FusionGroup), 1u) << toString(g);
+}
+
+TEST(FusionTest, ReductionTailPolicy) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor(), "a");
+  IRBuilder builder(g);
+  Value* x = builder.mul(builder.add(a, a), a);
+  Value* s = builder.softmax(x, 0);
+  g.addOutput(s);
+  auto topLevel = [](const Graph& gr, OpKind kind) {
+    std::size_t n = 0;
+    for (const Node* node : *gr.topBlock()) {
+      if (node->kind() == kind) ++n;
+    }
+    return n;
+  };
+  auto gNvf = ir::cloneGraph(g);
+  core::fuseKernels(*gNvf, FusionPolicy::nvfuser());
+  EXPECT_EQ(topLevel(*gNvf, OpKind::Softmax), 0u);  // absorbed into group
+  EXPECT_EQ(topLevel(*gNvf, OpKind::FusionGroup), 1u);
+  core::fuseKernels(g, FusionPolicy::nnc());
+  EXPECT_EQ(topLevel(g, OpKind::Softmax), 1u);  // NNC: reduction stays out
+}
+
+TEST(FusionTest, HoistConstantsMakesRunsContiguous) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor(), "a");
+  IRBuilder builder(g);
+  Value* x = builder.add(a, builder.constTensor(Tensor::ones({})));
+  Value* y = builder.mul(x, builder.constTensor(Tensor::full({}, Scalar(2))));
+  g.addOutput(y);
+  // Consumer-sinking inside fuseKernels already repairs the run even when
+  // the constants interrupt it textually...
+  auto raw = ir::cloneGraph(g);
+  EXPECT_EQ(core::fuseKernels(*raw, FusionPolicy::nnc()), 1u);
+  ir::verify(*raw);
+  // ...and hoisting also produces a contiguous run on its own.
+  EXPECT_GE(core::hoistConstants(g), 1u);
+  EXPECT_EQ(core::fuseKernels(g, FusionPolicy::nnc()), 1u);
+  ir::verify(g);
+}
+
+TEST(ParallelizeTest, IndependentLoopBecomesParallelMap) {
+  // The functionalized Figure-4 loop: b = assign(b, f(access(b, i)), i).
+  Graph g;
+  Value* b0 = g.addInput(Type::tensor(), "b");
+  Value* n = g.addInput(Type::integer(), "n");
+  IRBuilder b(g);
+  Value* b1 = b.clone(b0);
+  Node* loop = b.makeLoop(n, {});
+  Block* body = loop->block(0);
+  {
+    IRBuilder i(g);
+    i.setInsertionPointToEnd(body);
+    Value* iv = body->param(0);
+    Value* bi = i.select(b1, 0, iv);
+    Value* v = i.add(bi, i.constTensor(Tensor::ones({})));
+    Value* bt = i.select(b1, 0, iv);
+    i.copy_(bt, v);
+  }
+  g.addOutput(b1);
+  ir::verify(g);
+
+  core::lowerInplaceOps(g);
+  core::convertToTensorSSA(g);
+  const std::size_t converted = core::parallelizeLoops(g);
+  EXPECT_EQ(converted, 1u) << toString(g);
+  EXPECT_EQ(countKind(g, OpKind::ParallelMap), 1u);
+  EXPECT_EQ(countKind(g, OpKind::Loop), 0u);
+  ir::verify(g);
+
+  runtime::Interpreter interp;
+  std::vector<RtValue> in{RtValue(Tensor::fromData({1, 2, 3}, {3})),
+                          RtValue(Scalar(std::int64_t{3}))};
+  auto out = interp.run(g, in);
+  EXPECT_EQ(out[0].tensor().scalarAtLinear(0), 2.0);
+  EXPECT_EQ(out[0].tensor().scalarAtLinear(2), 4.0);
+}
+
+TEST(ParallelizeTest, CarriedDependenceStaysSequential) {
+  // h = tanh(h + x[i]) has a loop-carried dependence: must NOT parallelize.
+  Graph g;
+  Value* x = g.addInput(Type::tensor(), "x");
+  Value* h0 = g.addInput(Type::tensor(), "h");
+  Value* n = g.addInput(Type::integer(), "n");
+  IRBuilder b(g);
+  Node* loop = b.makeLoop(n, {h0});
+  Block* body = loop->block(0);
+  {
+    IRBuilder i(g);
+    i.setInsertionPointToEnd(body);
+    Value* iv = body->param(0);
+    Value* h = body->param(1);
+    Value* xi = i.select(x, 0, iv);
+    body->addReturn(i.tanh(i.add(h, xi)));
+  }
+  g.addOutput(loop->output(0));
+  ir::verify(g);
+  core::convertToTensorSSA(g);
+  EXPECT_EQ(core::parallelizeLoops(g), 0u);
+  EXPECT_EQ(countKind(g, OpKind::Loop), 1u);
+}
+
+TEST(ParallelizeTest, CrossSliceReadStaysSequential) {
+  // b[i] = b[i-1] * 2: reads a different slice -> dependence across
+  // iterations; the read index is derived from i, which is only allowed for
+  // non-carried tensors.
+  Graph g;
+  Value* b0 = g.addInput(Type::tensor(), "b");
+  Value* n = g.addInput(Type::integer(), "n");
+  IRBuilder b(g);
+  Value* b1 = b.clone(b0);
+  Node* loop = b.makeLoop(n, {});
+  Block* body = loop->block(0);
+  {
+    IRBuilder i(g);
+    i.setInsertionPointToEnd(body);
+    Value* iv = body->param(0);
+    Value* prev = i.scalarAdd(iv, i.constInt(1));
+    Value* bi = i.select(b1, 0, prev);
+    Value* v = i.mul(bi, i.constTensor(Tensor::full({}, Scalar(2.0))));
+    Value* bt = i.select(b1, 0, iv);
+    i.copy_(bt, v);
+  }
+  g.addOutput(b1);
+  core::lowerInplaceOps(g);
+  core::convertToTensorSSA(g);
+  EXPECT_EQ(core::parallelizeLoops(g), 0u) << toString(g);
+}
+
+// ---- Pipelines ----------------------------------------------------------------------
+
+Graph* buildLoopWorkload(Graph& g) {
+  // for i in range(n): b[i] = sigmoid(b[i] * 2 + 1)
+  Value* b0 = g.addInput(Type::tensor(), "b");
+  Value* n = g.addInput(Type::integer(), "n");
+  IRBuilder b(g);
+  Value* b1 = b.clone(b0);
+  Node* loop = b.makeLoop(n, {});
+  Block* body = loop->block(0);
+  IRBuilder i(g);
+  i.setInsertionPointToEnd(body);
+  Value* iv = body->param(0);
+  Value* bi = i.select(b1, 0, iv);
+  Value* v = i.sigmoid(
+      i.add(i.mul(bi, i.constTensor(Tensor::full({}, Scalar(2.0)))),
+            i.constTensor(Tensor::ones({}))));
+  Value* bt = i.select(b1, 0, iv);
+  i.copy_(bt, v);
+  g.addOutput(b1);
+  ir::verify(g);
+  return &g;
+}
+
+TEST(PipelineTest, AllPipelinesAgreeNumerically) {
+  Graph g;
+  buildLoopWorkload(g);
+  Rng rng(11);
+  Tensor b = rng.uniform({16, 8}, -2, 2);
+  std::vector<RtValue> inputs{RtValue(b), RtValue(Scalar(std::int64_t{16}))};
+
+  std::vector<RtValue> reference;
+  for (PipelineKind kind : runtime::allPipelines()) {
+    Pipeline p(kind, g);
+    auto out = p.run(inputs);
+    ASSERT_EQ(out.size(), 1u) << pipelineName(kind);
+    if (reference.empty()) {
+      reference = out;
+    } else {
+      EXPECT_TRUE(allClose(reference[0].tensor(), out[0].tensor()))
+          << "pipeline " << pipelineName(kind) << " diverges";
+    }
+  }
+}
+
+TEST(PipelineTest, TensorSsaLaunchesFewestKernelsOnLoopWorkload) {
+  Graph g;
+  buildLoopWorkload(g);
+  Rng rng(12);
+  Tensor b = rng.uniform({16, 8});
+  std::vector<RtValue> inputs{RtValue(b), RtValue(Scalar(std::int64_t{16}))};
+
+  std::map<PipelineKind, std::int64_t> launches;
+  std::map<PipelineKind, double> simUs;
+  for (PipelineKind kind : runtime::allPipelines()) {
+    Pipeline p(kind, g);
+    p.run(inputs);
+    launches[kind] = p.profiler().kernelLaunches();
+    simUs[kind] = p.profiler().simTimeUs();
+  }
+  // Eager: ~3 kernels per iteration. TensorSSA: the loop collapses into one
+  // ParallelMap kernel (+ the clone).
+  EXPECT_LE(launches[PipelineKind::TensorSsa], 2);
+  EXPECT_GE(launches[PipelineKind::Eager], 3 * 16);
+  EXPECT_LT(launches[PipelineKind::TensorSsa],
+            launches[PipelineKind::TorchScriptNnc]);
+  // And it is the fastest under the device model.
+  for (PipelineKind kind : runtime::allPipelines()) {
+    if (kind == PipelineKind::TensorSsa) continue;
+    EXPECT_LT(simUs[PipelineKind::TensorSsa], simUs[kind])
+        << "vs " << pipelineName(kind);
+  }
+}
+
+TEST(PipelineTest, CompiledGraphStructureMatchesEnvelope) {
+  Graph g;
+  buildLoopWorkload(g);
+  Pipeline eager(PipelineKind::Eager, g);
+  EXPECT_EQ(countKind(eager.compiled(), OpKind::Copy_), 1u);
+  EXPECT_EQ(countKind(eager.compiled(), OpKind::FusionGroup), 0u);
+
+  Pipeline nnc(PipelineKind::TorchScriptNnc, g);
+  EXPECT_EQ(countKind(nnc.compiled(), OpKind::Copy_), 1u);  // mutation kept
+
+  Pipeline inductor(PipelineKind::DynamoInductor, g);
+  // Mutation crosses control flow: dataflow functionalization bails.
+  EXPECT_EQ(countKind(inductor.compiled(), OpKind::Copy_), 1u);
+
+  Pipeline tssa(PipelineKind::TensorSsa, g);
+  EXPECT_EQ(countKind(tssa.compiled(), OpKind::Copy_), 0u);
+  EXPECT_EQ(countKind(tssa.compiled(), OpKind::ParallelMap), 1u);
+}
+
+}  // namespace
+}  // namespace tssa

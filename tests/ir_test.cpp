@@ -1,0 +1,290 @@
+// Unit tests for the graph-level IR: structure, uses, dominance, cloning,
+// printing, verification.
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+
+namespace tssa::ir {
+namespace {
+
+TEST(IrTest, BuildSimpleGraph) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor(), "a");
+  Value* b = g.addInput(Type::tensor(), "b");
+  IRBuilder builder(g);
+  Value* c = builder.add(a, b);
+  Value* d = builder.sigmoid(c);
+  g.addOutput(d);
+
+  EXPECT_EQ(g.countNodes(), 2u);
+  EXPECT_EQ(c->definingNode()->kind(), OpKind::Add);
+  EXPECT_TRUE(a->isParam());
+  EXPECT_FALSE(c->isParam());
+  EXPECT_EQ(c->uses().size(), 1u);
+  EXPECT_EQ(c->uses()[0].user->kind(), OpKind::Sigmoid);
+  EXPECT_EQ(d->uses().size(), 1u);  // the return sentinel
+  EXPECT_EQ(d->uses()[0].user->kind(), OpKind::Return);
+  verify(g);
+}
+
+TEST(IrTest, UseTrackingOnSetInput) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor());
+  Value* b = g.addInput(Type::tensor());
+  IRBuilder builder(g);
+  Value* c = builder.add(a, a);
+  Node* n = c->definingNode();
+  EXPECT_EQ(a->uses().size(), 2u);
+  n->setInput(1, b);
+  EXPECT_EQ(a->uses().size(), 1u);
+  EXPECT_EQ(b->uses().size(), 1u);
+  verify(g);
+}
+
+TEST(IrTest, InsertAndRemoveInputShiftsUseIndices) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor());
+  Value* b = g.addInput(Type::tensor());
+  IRBuilder builder(g);
+  Node* list = builder.emitNode(OpKind::ListConstruct, {a, b}, 1);
+  list->insertInput(1, a);
+  EXPECT_EQ(list->numInputs(), 3u);
+  EXPECT_EQ(list->input(1), a);
+  EXPECT_EQ(list->input(2), b);
+  verify(g);
+  list->removeInput(0);
+  EXPECT_EQ(list->numInputs(), 2u);
+  EXPECT_EQ(list->input(0), a);
+  EXPECT_EQ(list->input(1), b);
+  verify(g);
+}
+
+TEST(IrTest, ReplaceAllUsesWith) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor());
+  IRBuilder builder(g);
+  Value* c = builder.relu(a);
+  Value* d = builder.sigmoid(c);
+  Value* e = builder.exp(c);
+  g.addOutput(d);
+  g.addOutput(e);
+  Value* z = builder.tanh(a);
+  c->replaceAllUsesWith(z);
+  EXPECT_TRUE(c->uses().empty());
+  EXPECT_EQ(z->uses().size(), 2u);
+  EXPECT_EQ(d->definingNode()->input(0), z);
+}
+
+TEST(IrTest, NodeOrderAndMove) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor());
+  IRBuilder builder(g);
+  Value* x = builder.relu(a);
+  Value* y = builder.exp(a);
+  Node* nx = x->definingNode();
+  Node* ny = y->definingNode();
+  EXPECT_TRUE(nx->isBefore(ny));
+  EXPECT_FALSE(ny->isBefore(nx));
+  ny->moveBefore(nx);
+  EXPECT_TRUE(ny->isBefore(nx));
+  EXPECT_EQ(g.topBlock()->front(), ny);
+  EXPECT_EQ(g.topBlock()->back(), nx);
+}
+
+TEST(IrTest, DestroyReleasesUses) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor());
+  IRBuilder builder(g);
+  Value* x = builder.relu(a);
+  Value* y = builder.sigmoid(x);
+  (void)y;
+  Node* ny = y->definingNode();
+  ny->destroy();
+  EXPECT_EQ(x->uses().size(), 0u);
+  EXPECT_EQ(g.countNodes(), 1u);
+  // Destroying a node with used outputs must throw.
+  Value* z = builder.exp(x);
+  (void)z;
+  EXPECT_THROW(x->definingNode()->destroy(), Error);
+}
+
+TEST(IrTest, LoopStructure) {
+  Graph g;
+  Value* n = g.addInput(Type::integer(), "n");
+  Value* acc0 = g.addInput(Type::tensor(), "acc");
+  IRBuilder builder(g);
+  Node* loop = builder.makeLoop(n, {acc0});
+  Block* body = loop->block(0);
+  EXPECT_EQ(body->numParams(), 2u);
+  EXPECT_EQ(body->param(0)->type().kind(), TypeKind::Int);
+  IRBuilder inner(g);
+  inner.setInsertionPointToEnd(body);
+  Value* next = inner.relu(body->param(1));
+  body->addReturn(next);
+  g.addOutput(loop->output(0));
+  verify(g);
+  EXPECT_EQ(body->depth(), 1u);
+  EXPECT_TRUE(g.topBlock()->encloses(body));
+  EXPECT_FALSE(body->encloses(g.topBlock()));
+}
+
+TEST(IrTest, IfStructure) {
+  Graph g;
+  Value* c = g.addInput(Type::boolean(), "c");
+  Value* a = g.addInput(Type::tensor(), "a");
+  IRBuilder builder(g);
+  Node* ifNode = builder.makeIf(c, 1);
+  IRBuilder inner(g);
+  inner.setInsertionPointToEnd(ifNode->block(0));
+  ifNode->block(0)->addReturn(inner.relu(a));
+  inner.setInsertionPointToEnd(ifNode->block(1));
+  ifNode->block(1)->addReturn(inner.sigmoid(a));
+  g.addOutput(ifNode->output(0));
+  verify(g);
+}
+
+TEST(IrTest, VerifierCatchesScopeViolation) {
+  Graph g;
+  Value* c = g.addInput(Type::boolean());
+  Value* a = g.addInput(Type::tensor());
+  IRBuilder builder(g);
+  Node* ifNode = builder.makeIf(c, 1);
+  IRBuilder inner(g);
+  inner.setInsertionPointToEnd(ifNode->block(0));
+  Value* hidden = inner.relu(a);
+  ifNode->block(0)->addReturn(hidden);
+  inner.setInsertionPointToEnd(ifNode->block(1));
+  ifNode->block(1)->addReturn(inner.sigmoid(a));
+  // Escape the scope: use a then-block value at top level.
+  builder.setInsertionPointToEnd(g.topBlock());
+  Value* bad = builder.exp(hidden);
+  g.addOutput(bad);
+  EXPECT_THROW(verify(g), Error);
+}
+
+TEST(IrTest, VerifierCatchesMalformedLoop) {
+  Graph g;
+  Value* n = g.addInput(Type::integer());
+  Value* acc = g.addInput(Type::tensor());
+  IRBuilder builder(g);
+  Node* loop = builder.makeLoop(n, {acc});
+  // Body forgot its return.
+  g.addOutput(loop->output(0));
+  EXPECT_THROW(verify(g), Error);
+}
+
+TEST(IrTest, DominanceAcrossBlocks) {
+  Graph g;
+  Value* n = g.addInput(Type::integer());
+  Value* a = g.addInput(Type::tensor());
+  IRBuilder builder(g);
+  Value* pre = builder.relu(a);
+  Node* loop = builder.makeLoop(n, {pre});
+  Block* body = loop->block(0);
+  IRBuilder inner(g);
+  inner.setInsertionPointToEnd(body);
+  Value* inLoop = inner.sigmoid(body->param(1));
+  body->addReturn(inLoop);
+  Value* post = builder.exp(loop->output(0));
+  g.addOutput(post);
+
+  Node* nPre = pre->definingNode();
+  Node* nIn = inLoop->definingNode();
+  Node* nPost = post->definingNode();
+  EXPECT_TRUE(nPre->dominates(nIn));    // outer-before dominates inner
+  EXPECT_TRUE(nPre->dominates(nPost));
+  EXPECT_FALSE(nIn->dominates(nPost));  // inner does not dominate outer
+  EXPECT_FALSE(nPost->dominates(nIn));
+  EXPECT_FALSE(loop->dominates(nIn));   // container does not dominate body
+  EXPECT_TRUE(nPre->isBefore(nIn));
+  EXPECT_TRUE(loop->isBefore(nPost));
+  EXPECT_TRUE(loop->isBefore(nIn));     // container begins before contents
+  EXPECT_FALSE(nIn->isBefore(nPre));
+}
+
+TEST(IrTest, CloneGraphIsDeepAndIndependent) {
+  Graph g;
+  Value* n = g.addInput(Type::integer(), "n");
+  Value* a = g.addInput(Type::tensor(), "a");
+  IRBuilder builder(g);
+  Node* loop = builder.makeLoop(n, {builder.relu(a)});
+  Block* body = loop->block(0);
+  IRBuilder inner(g);
+  inner.setInsertionPointToEnd(body);
+  body->addReturn(inner.sigmoid(body->param(1)));
+  g.addOutput(loop->output(0));
+  verify(g);
+
+  auto copy = cloneGraph(g);
+  verify(*copy);
+  EXPECT_EQ(copy->countNodes(), g.countNodes());
+  EXPECT_EQ(toString(*copy).size(), toString(g).size());
+  // Mutating the clone must not affect the original.
+  IRBuilder cb(*copy);
+  cb.relu(copy->inputs()[1]);
+  EXPECT_EQ(copy->countNodes(), g.countNodes() + 1);
+  verify(g);
+  verify(*copy);
+}
+
+TEST(IrTest, PrinterShowsStructure) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor(), "a");
+  Value* n = g.addInput(Type::integer(), "n");
+  IRBuilder builder(g);
+  Value* cloned = builder.clone(a);
+  Node* loop = builder.makeLoop(n, {cloned});
+  Block* body = loop->block(0);
+  IRBuilder inner(g);
+  inner.setInsertionPointToEnd(body);
+  Value* sel = inner.select(body->param(1), 0, body->param(0));
+  Node* mut = inner.copy_(sel, inner.relu(sel));
+  (void)mut;
+  body->addReturn(body->param(1));
+  g.addOutput(loop->output(0));
+
+  const std::string text = toString(g);
+  EXPECT_NE(text.find("prim::Loop"), std::string::npos);
+  EXPECT_NE(text.find("aten::select[dim=0]"), std::string::npos);
+  EXPECT_NE(text.find("aten::copy_"), std::string::npos);
+  EXPECT_NE(text.find("block0("), std::string::npos);
+  EXPECT_NE(text.find("-> ("), std::string::npos);
+  EXPECT_NE(text.find("%a."), std::string::npos);
+}
+
+TEST(IrTest, AttrsTypedAccess) {
+  Graph g;
+  IRBuilder builder(g);
+  Value* z = builder.zeros({2, 3}, DType::Float32);
+  Node* n = z->definingNode();
+  EXPECT_EQ(n->attrs().ints("sizes"), (std::vector<std::int64_t>{2, 3}));
+  EXPECT_EQ(n->attrs().dtype("dtype"), DType::Float32);
+  EXPECT_THROW(n->attrs().i("missing"), Error);
+  EXPECT_THROW(n->attrs().s("sizes"), Error);
+  EXPECT_EQ(n->attrs().iOr("missing", 7), 7);
+}
+
+TEST(OpKindTest, NamesAndCategories) {
+  EXPECT_EQ(opName(OpKind::Copy_), "aten::copy_");
+  EXPECT_EQ(opName(OpKind::Access), "immut::access");
+  EXPECT_TRUE(isViewOp(OpKind::Select));
+  EXPECT_TRUE(isViewOp(OpKind::Slice));
+  EXPECT_FALSE(isViewOp(OpKind::Clone));
+  EXPECT_TRUE(isMutationOp(OpKind::Copy_));
+  EXPECT_TRUE(isMutationOp(OpKind::Sigmoid_));
+  EXPECT_FALSE(isMutationOp(OpKind::Sigmoid));
+  EXPECT_TRUE(isPureOp(OpKind::Add));
+  EXPECT_TRUE(isPureOp(OpKind::Access));
+  EXPECT_FALSE(isPureOp(OpKind::Update));
+  EXPECT_FALSE(isPureOp(OpKind::Copy_));
+  EXPECT_FALSE(isPureOp(OpKind::Select));  // aliasing, not pure
+  EXPECT_TRUE(isFusableOp(OpKind::Assign));
+  EXPECT_FALSE(isFusableOp(OpKind::Matmul));
+  EXPECT_EQ(pureEquivalent(OpKind::Add_), OpKind::Add);
+  EXPECT_EQ(pureEquivalent(OpKind::Copy_), OpKind::Copy_);
+}
+
+}  // namespace
+}  // namespace tssa::ir

@@ -1,0 +1,173 @@
+// Tests for the textual IR parser: print -> parse -> print must be a
+// fixpoint, and parsed graphs must execute identically.
+#include <gtest/gtest.h>
+
+#include "src/core/lower_inplace.h"
+#include "src/core/tensor_ssa.h"
+#include "src/ir/builder.h"
+#include "src/ir/parser.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+#include "src/runtime/interpreter.h"
+#include "src/tensor/random.h"
+#include "src/workloads/workload.h"
+#include "tests/property_gen.h"
+
+namespace tssa {
+namespace {
+
+using ir::Graph;
+using ir::IRBuilder;
+using ir::parseGraph;
+using ir::Type;
+using ir::Value;
+using runtime::Interpreter;
+using runtime::RtValue;
+
+void expectRoundTrip(const Graph& g) {
+  // Transformed graphs have gaps in their value numbering, and parsing
+  // renumbers densely — so compare after one normalizing round trip:
+  // print(parse(s)) must be a fixpoint.
+  const std::string once = toString(g);
+  auto parsed = parseGraph(once);
+  ir::verify(*parsed);
+  const std::string normalized = toString(*parsed);
+  auto reparsed = parseGraph(normalized);
+  ir::verify(*reparsed);
+  EXPECT_EQ(toString(*reparsed), normalized);
+  // And the op/structure sequence must survive the first trip exactly.
+  EXPECT_EQ(parsed->countNodes(), g.countNodes());
+}
+
+TEST(ParserTest, SimpleGraphRoundTrips) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor(DType::Float32), "a");
+  Value* b = g.addInput(Type::tensor(), "b");
+  IRBuilder bld(g);
+  g.addOutput(bld.relu(bld.add(a, b)));
+  expectRoundTrip(g);
+}
+
+TEST(ParserTest, AttributesRoundTrip) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor(), "a");
+  IRBuilder bld(g);
+  Value* z = bld.zeros({2, 3}, DType::Int64);
+  Value* s = bld.slice(a, 0, bld.constInt(1), bld.constInt(-1), 2);
+  Value* c = bld.clamp(s, Scalar(-0.5), Scalar(1.5));
+  Value* srt = bld.argsort(c, true);
+  g.addOutput(z);
+  g.addOutput(srt);
+  expectRoundTrip(g);
+}
+
+TEST(ParserTest, ControlFlowRoundTrips) {
+  Graph g;
+  Value* n = g.addInput(Type::integer(), "n");
+  Value* cond = g.addInput(Type::boolean(), "c");
+  Value* a = g.addInput(Type::tensor(), "a");
+  IRBuilder bld(g);
+  ir::Node* loop = bld.makeLoop(n, {a});
+  ir::Block* body = loop->block(0);
+  {
+    IRBuilder ib(g);
+    ib.setInsertionPointToEnd(body);
+    body->addReturn(ib.sigmoid(body->param(1)));
+  }
+  ir::Node* ifNode = bld.makeIf(cond, 1);
+  {
+    IRBuilder tb(g);
+    tb.setInsertionPointToEnd(ifNode->block(0));
+    ifNode->block(0)->addReturn(tb.relu(loop->output(0)));
+    tb.setInsertionPointToEnd(ifNode->block(1));
+    ifNode->block(1)->addReturn(tb.neg(loop->output(0)));
+  }
+  g.addOutput(ifNode->output(0));
+  expectRoundTrip(g);
+}
+
+TEST(ParserTest, ParsedGraphExecutesIdentically) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor(), "a");
+  IRBuilder bld(g);
+  Value* buf = bld.clone(a);
+  Value* row = bld.select(buf, 0, bld.constInt(0));
+  bld.fill_(row, bld.constFloat(7.0));
+  g.addOutput(buf);
+
+  auto parsed = parseGraph(toString(g));
+  Interpreter interp;
+  std::vector<RtValue> in{RtValue(Tensor::zeros({2, 2}))};
+  auto expected = interp.run(g, in);
+  auto actual = interp.run(*parsed, in);
+  EXPECT_TRUE(allClose(expected[0].tensor(), actual[0].tensor(), 0.0));
+}
+
+TEST(ParserTest, ConvertedGraphRoundTrips) {
+  // TensorSSA output (immut::access/assign with view attrs) parses back.
+  Graph g;
+  Value* a = g.addInput(Type::tensor(), "a");
+  IRBuilder bld(g);
+  Value* buf = bld.clone(a);
+  Value* row = bld.select(buf, 0, bld.constInt(1));
+  bld.copy_(row, bld.relu(row));
+  g.addOutput(buf);
+  core::lowerInplaceOps(g);
+  core::convertToTensorSSA(g);
+  expectRoundTrip(g);
+}
+
+TEST(ParserTest, WorkloadsRoundTripStructurally) {
+  // Tensor-valued constants print only shapes, so a parsed workload has
+  // zeroed weights — but its *printed form* must reach a fixpoint.
+  workloads::WorkloadConfig config;
+  config.seqLen = 4;
+  for (const std::string& name : workloads::workloadNames()) {
+    workloads::Workload w = workloads::buildWorkload(name, config);
+    expectRoundTrip(*w.graph);
+  }
+}
+
+TEST(ParserTest, RandomProgramsRoundTrip) {
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 811 + 3);
+    Graph g;
+    testing_support::ProgramGenerator gen(g, rng);
+    gen.generate(8);
+    expectRoundTrip(g);
+  }
+}
+
+TEST(ParserTest, ErrorsAreDiagnosed) {
+  EXPECT_THROW(parseGraph("not a graph"), Error);
+  EXPECT_THROW(parseGraph("graph(%a : Tensor):\n  %1 : Tensor = "
+                          "aten::nonsense(%a)\n  return (%1)\n"),
+               Error);
+  EXPECT_THROW(parseGraph("graph(%a : Tensor):\n  return (%undefined)\n"),
+               Error);
+}
+
+TEST(ParserTest, ParseAuthoredProgram) {
+  // The parser as a test-authoring tool: write IR as text, run it.
+  const std::string text = R"(graph(%x : f32 Tensor, %n : int):
+  %acc : Tensor = aten::clone(%x)
+  %out : Tensor = prim::Loop(%n, %acc)
+    block0(%i : int, %cur : Tensor):
+      %one : f32 Tensor = prim::Constant[tensor=<f32[]>]()
+      %next : Tensor = aten::add(%cur, %one)
+      -> (%next)
+  return (%out)
+)";
+  auto g = parseGraph(text);
+  ir::verify(*g);
+  Interpreter interp;
+  std::vector<RtValue> in{RtValue(Tensor::zeros({2})),
+                          RtValue(Scalar(std::int64_t{5}))};
+  auto out = interp.run(*g, in);
+  // The parsed constant is zeros (lossy tensor attrs), so adding it five
+  // times keeps zeros — structure and execution still work end to end.
+  EXPECT_EQ(out[0].tensor().scalarAtLinear(0), 0.0);
+}
+
+}  // namespace
+}  // namespace tssa

@@ -1,0 +1,191 @@
+// Shared random-program generator used by property tests and repro tools.
+#pragma once
+#include "src/ir/builder.h"
+#include "src/runtime/pipeline.h"
+#include "src/tensor/random.h"
+
+namespace tssa::testing_support {
+
+using ir::Block;
+using ir::Graph;
+using ir::IRBuilder;
+using ir::Node;
+using ir::OpKind;
+using ir::Type;
+using ir::Value;
+using runtime::RtValue;
+
+/// Random-program generator state: tracks live tensor values with their
+/// runtime shapes so views and mutations stay in bounds.
+class ProgramGenerator {
+ public:
+  ProgramGenerator(Graph& graph, Rng& rng) : graph_(graph), rng_(rng) {}
+
+  struct Entry {
+    Value* value;
+    Shape shape;
+  };
+
+  /// Builds a random program with `numStatements` statements; returns inputs.
+  std::vector<RtValue> generate(std::size_t numStatements) {
+    IRBuilder builder(graph_);
+    std::vector<RtValue> inputs;
+    // 2-3 tensor inputs, cloned to make them mutable buffers.
+    const int numInputs = 2 + static_cast<int>(rng_.nextInt(0, 1));
+    for (int i = 0; i < numInputs; ++i) {
+      Shape shape{rng_.nextInt(2, 4), rng_.nextInt(2, 4), rng_.nextInt(2, 4)};
+      Value* in = graph_.addInput(Type::tensor(DType::Float32),
+                                  "in" + std::to_string(i));
+      inputs.emplace_back(rng_.uniform(shape, -2, 2));
+      Value* buffer = builder.clone(in);
+      live_.push_back({buffer, shape});
+    }
+    for (std::size_t s = 0; s < numStatements; ++s) emitStatement(builder, 0);
+    // Every live value is observed as an output (maximizes the chance that
+    // a bad rewrite is visible).
+    for (const Entry& e : live_) graph_.addOutput(e.value);
+    return inputs;
+  }
+
+ private:
+  Entry& randomLive() {
+    return live_[static_cast<std::size_t>(
+        rng_.nextInt(0, static_cast<std::int64_t>(live_.size()) - 1))];
+  }
+
+  /// A random view of `e` (possibly chained), with its shape.
+  Entry randomView(IRBuilder& b, const Entry& e) {
+    Entry cur = e;
+    const int depth = static_cast<int>(rng_.nextInt(1, 2));
+    for (int i = 0; i < depth && !cur.shape.empty(); ++i) {
+      const std::int64_t rank = static_cast<std::int64_t>(cur.shape.size());
+      switch (rng_.nextInt(0, 2)) {
+        case 0: {  // select
+          const std::int64_t dim = rng_.nextInt(0, rank - 1);
+          const std::int64_t idx =
+              rng_.nextInt(0, cur.shape[static_cast<std::size_t>(dim)] - 1);
+          cur.value = b.select(cur.value, dim, b.constInt(idx));
+          cur.shape.erase(cur.shape.begin() + dim);
+          break;
+        }
+        case 1: {  // slice
+          const std::int64_t dim = rng_.nextInt(0, rank - 1);
+          const std::int64_t extent = cur.shape[static_cast<std::size_t>(dim)];
+          const std::int64_t start = rng_.nextInt(0, extent - 1);
+          const std::int64_t end = rng_.nextInt(start + 1, extent);
+          cur.value = b.slice(cur.value, dim, b.constInt(start),
+                              b.constInt(end));
+          cur.shape[static_cast<std::size_t>(dim)] = end - start;
+          break;
+        }
+        default: {  // transpose (rank >= 2) or unsqueeze
+          if (rank >= 2) {
+            const std::int64_t d0 = rng_.nextInt(0, rank - 1);
+            const std::int64_t d1 = rng_.nextInt(0, rank - 1);
+            cur.value = b.transpose(cur.value, d0, d1);
+            std::swap(cur.shape[static_cast<std::size_t>(d0)],
+                      cur.shape[static_cast<std::size_t>(d1)]);
+          } else {
+            cur.value = b.unsqueeze(cur.value, 0);
+            cur.shape.insert(cur.shape.begin(), 1);
+          }
+          break;
+        }
+      }
+    }
+    return cur;
+  }
+
+  void emitMutation(IRBuilder& b, const Entry& target) {
+    switch (rng_.nextInt(0, 3)) {
+      case 0: {  // copy_ from a same-shaped computed tensor
+        Value* src = b.mul(b.relu(constLike(b)), constLike(b));
+        b.copy_(target.value, src);
+        break;
+      }
+      case 1:
+        b.add_(target.value, constLike(b));
+        break;
+      case 2:
+        b.relu_(target.value);
+        break;
+      default:
+        b.fill_(target.value, b.constFloat(rng_.nextDouble(-1, 1)));
+        break;
+    }
+  }
+
+  Value* constLike(IRBuilder& b) {
+    return b.constTensor(Tensor::full({}, Scalar(rng_.nextDouble(-2, 2))));
+  }
+
+  void emitStatement(IRBuilder& b, int depth) {
+    const std::int64_t kind = rng_.nextInt(0, depth < 1 ? 9 : 7);
+    if (kind <= 2) {
+      // Pure compute on a whole live buffer -> new live value.
+      Entry& e = randomLive();
+      Value* v = nullptr;
+      switch (kind) {
+        case 0: v = b.sigmoid(e.value); break;
+        case 1: v = b.add(e.value, constLike(b)); break;
+        default: v = b.relu(e.value); break;
+      }
+      live_.push_back({v, e.shape});
+      return;
+    }
+    if (kind <= 5) {
+      // Mutation through a random view chain.
+      Entry target = randomView(b, randomLive());
+      emitMutation(b, target);
+      return;
+    }
+    if (kind == 6) {
+      // Read through a view, keep as live value.
+      Entry v = randomView(b, randomLive());
+      live_.push_back({b.relu(v.value), v.shape});
+      return;
+    }
+    if (kind == 7) {
+      // Snapshot a buffer (clone) - fresh origin for later mutations.
+      Entry& e = randomLive();
+      live_.push_back({b.clone(e.value), e.shape});
+      return;
+    }
+    if (kind == 8) {
+      // Branch: mutate inside one or both arms.
+      Value* cond = b.constBool(rng_.nextBool());
+      Node* ifNode = b.makeIf(cond, 0);
+      for (Block* arm : ifNode->blocks()) {
+        if (rng_.nextBool(0.7)) {
+          IRBuilder ib(graph_);
+          ib.setInsertionPointToEnd(arm);
+          Entry target = randomView(ib, randomLive());
+          emitMutation(ib, target);
+        }
+      }
+      return;
+    }
+    // Loop over the leading dim of a live buffer, mutating row i.
+    Entry& e = randomLive();
+    if (e.shape.empty()) return;
+    Value* trip = b.constInt(e.shape[0]);
+    Node* loop = b.makeLoop(trip, {});
+    Block* body = loop->block(0);
+    IRBuilder ib(graph_);
+    ib.setInsertionPointToEnd(body);
+    Value* row = ib.select(e.value, 0, body->param(0));
+    if (rng_.nextBool()) {
+      ib.add_(row, constLike(ib));
+    } else {
+      Value* other = ib.sigmoid(row);
+      ib.copy_(row, other);
+    }
+  }
+
+  Graph& graph_;
+  Rng& rng_;
+  std::vector<Entry> live_;
+};
+
+
+}  // namespace tssa::testing_support

@@ -1,0 +1,582 @@
+// Tests for the TensorSSA conversion (Algorithm 1): functional equivalence
+// against the reference interpreter, structural postconditions, and
+// eligibility bailouts.
+#include <gtest/gtest.h>
+
+#include "src/analysis/alias_graph.h"
+#include "src/core/dce.h"
+#include "src/core/lower_inplace.h"
+#include "src/core/tensor_ssa.h"
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+#include "src/runtime/interpreter.h"
+#include "src/tensor/random.h"
+
+namespace tssa {
+namespace {
+
+using core::convertToTensorSSA;
+using core::lowerInplaceOps;
+using ir::Block;
+using ir::Graph;
+using ir::IRBuilder;
+using ir::Node;
+using ir::OpKind;
+using ir::Type;
+using ir::Value;
+using runtime::Interpreter;
+using runtime::RtValue;
+
+/// Counts nodes of a kind-predicate anywhere in the graph.
+std::size_t countNodes(const Graph& g, bool (*pred)(OpKind)) {
+  std::size_t n = 0;
+  std::vector<const Block*> stack{g.topBlock()};
+  while (!stack.empty()) {
+    const Block* b = stack.back();
+    stack.pop_back();
+    for (const Node* node : *b) {
+      if (pred(node->kind())) ++n;
+      for (const Block* inner : node->blocks()) stack.push_back(inner);
+    }
+  }
+  return n;
+}
+
+bool isMutation(OpKind k) { return ir::isMutationOp(k); }
+bool isView(OpKind k) { return ir::isViewOp(k); }
+bool isUpdate(OpKind k) { return k == OpKind::Update; }
+
+/// Runs `g` eagerly, converts to TensorSSA, runs again, and expects
+/// identical outputs. Returns the conversion stats.
+core::ConversionStats expectEquivalent(Graph& g, std::vector<RtValue> inputs) {
+  ir::verify(g);
+  Interpreter interp;
+  auto before = interp.run(g, inputs);
+  lowerInplaceOps(g);
+  ir::verify(g);
+  auto stats = convertToTensorSSA(g);
+  ir::verify(g);
+  EXPECT_EQ(countNodes(g, isUpdate), 0u) << toString(g);
+  auto after = interp.run(g, inputs);
+  EXPECT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i].isTensor()) {
+      EXPECT_TRUE(allClose(before[i].tensor(), after[i].tensor()))
+          << "output " << i << " differs:\n"
+          << before[i].tensor().toString() << "\nvs\n"
+          << after[i].tensor().toString() << "\n"
+          << toString(g);
+    } else if (before[i].isScalar()) {
+      EXPECT_EQ(before[i].scalar(), after[i].scalar());
+    }
+  }
+  return stats;
+}
+
+// ---- Straight-line cases -----------------------------------------------------------
+
+// Figure 1: B = A[0]; B.copy_(C); use A.
+TEST(TensorSsaTest, Figure1SelectCopy) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "A");
+  Value* c = g.addInput(Type::tensor(), "C");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Value* view = b.select(a, 0, b.constInt(0));
+  b.copy_(view, c);
+  g.addOutput(a);
+
+  auto stats = expectEquivalent(
+      g, {RtValue(Tensor::fromData({1, 2, 3, 4}, {2, 2})),
+          RtValue(Tensor::fromData({9, 8}, {2}))});
+  EXPECT_EQ(stats.setsFunctionalized, 1u);
+  EXPECT_EQ(stats.mutationsRemoved, 1u);
+  EXPECT_EQ(countNodes(g, isMutation), 0u) << toString(g);
+  EXPECT_EQ(countNodes(g, isView), 0u) << toString(g);
+}
+
+// Whole-tensor mutation (scalar-SSA case): a.copy_(w); use a.
+TEST(TensorSsaTest, WholeTensorMutation) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  Value* w = g.addInput(Type::tensor(), "w");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  b.copy_(a, w);
+  g.addOutput(b.relu(a));
+
+  auto stats = expectEquivalent(g, {RtValue(Tensor::zeros({3})),
+                                    RtValue(Tensor::fromData({-1, 2, 3}, {3}))});
+  EXPECT_EQ(stats.mutationsRemoved, 1u);
+  EXPECT_EQ(countNodes(g, isMutation), 0u);
+}
+
+// Two sequential mutations of sibling views: versions must chain.
+TEST(TensorSsaTest, SequentialMutationsOfSiblingViews) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Value* row0 = b.select(a, 0, b.constInt(0));
+  Value* row1 = b.select(a, 0, b.constInt(1));
+  b.copy_(row0, b.mul(row1, b.constTensor(Tensor::full({}, Scalar(2.0)))));
+  b.copy_(row1, b.relu(row0));
+  g.addOutput(a);
+
+  auto stats = expectEquivalent(
+      g, {RtValue(Tensor::fromData({1, -2, 3, -4}, {2, 2}))});
+  EXPECT_EQ(stats.mutationsRemoved, 2u);
+  EXPECT_EQ(countNodes(g, isMutation), 0u);
+}
+
+// Mutation through a chain of views: a[0][1].copy_(s) updates grandparent.
+TEST(TensorSsaTest, ChainedViewMutation) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  Value* s = g.addInput(Type::tensor(), "s");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Value* plane = b.select(a, 0, b.constInt(0));
+  Value* row = b.select(plane, 0, b.constInt(1));
+  b.copy_(row, s);
+  g.addOutput(a);
+  g.addOutput(plane);
+
+  Rng rng(1);
+  auto stats =
+      expectEquivalent(g, {RtValue(rng.uniform({2, 3, 4})),
+                           RtValue(rng.uniform({4}))});
+  EXPECT_EQ(stats.mutationsRemoved, 1u);
+  EXPECT_EQ(countNodes(g, isView), 0u);
+}
+
+// Slice (strided) mutation: a[1:7:2] *= 2.
+TEST(TensorSsaTest, StridedSliceMutation) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Value* sl = b.slice(a, 0, b.constInt(1), b.constInt(7), 2);
+  b.mul_(sl, b.constTensor(Tensor::full({}, Scalar(2.0))));
+  g.addOutput(a);
+
+  Rng rng(2);
+  auto stats = expectEquivalent(g, {RtValue(rng.uniform({8}))});
+  EXPECT_EQ(stats.mutationsRemoved, 1u);
+}
+
+// The view is read both before and after the mutation.
+TEST(TensorSsaTest, ViewReadBeforeAndAfterMutation) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Value* row = b.select(a, 0, b.constInt(0));
+  Value* preRead = b.relu(row);  // pre-mutation value
+  b.copy_(row, b.neg(row));
+  Value* postRead = b.relu(row);  // must see the mutation
+  g.addOutput(preRead);
+  g.addOutput(postRead);
+  g.addOutput(a);
+
+  expectEquivalent(g, {RtValue(Tensor::fromData({1, -2, 3, -4}, {2, 2}))});
+}
+
+// In-place operator family lowers and functionalizes.
+TEST(TensorSsaTest, InplaceFamilyLowersToCopy) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  Value* m = g.addInput(Type::tensor(), "m");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Value* row = b.select(a, 0, b.constInt(1));
+  b.add_(row, b.constTensor(Tensor::ones({})));
+  b.sigmoid_(row);
+  b.maskedFill_(row, m, b.constFloat(0.5));
+  Value* other = b.select(a, 0, b.constInt(0));
+  b.fill_(other, b.constFloat(-3.0));
+  g.addOutput(a);
+
+  Rng rng(3);
+  Tensor mask = rng.bernoulli({3}, 0.5);
+  auto stats = expectEquivalent(
+      g, {RtValue(rng.uniform({2, 3})), RtValue(mask)});
+  EXPECT_EQ(stats.mutationsRemoved, 4u);
+  EXPECT_EQ(countNodes(g, isMutation), 0u);
+}
+
+// ---- Control flow: If ------------------------------------------------------------------
+
+// Figure 2: both branches mutate `a` (whole) and `b[i]` (view).
+TEST(TensorSsaTest, Figure2BranchMutation) {
+  auto buildAndCheck = [](bool condValue) {
+    Graph g;
+    Value* a0 = g.addInput(Type::tensor(), "a");
+    Value* b0 = g.addInput(Type::tensor(), "b");
+    Value* idx = g.addInput(Type::integer(), "idx");
+    IRBuilder b(g);
+    Value* a = b.clone(a0);
+    Value* bb = b.clone(b0);
+    Value* cond = b.scalarGe(idx, b.constInt(0));
+    Node* ifNode = b.makeIf(cond, 0);
+    {
+      IRBuilder t(g);
+      t.setInsertionPointToEnd(ifNode->block(0));
+      // a += 1; b[0] = a[0]
+      Value* one = t.constTensor(Tensor::ones({}));
+      Value* a2 = t.add(a, one);
+      t.copy_(a, a2);
+      Value* btgt = t.select(bb, 0, t.constInt(0));
+      Value* asrc = t.select(a, 0, t.constInt(0));
+      t.copy_(btgt, asrc);
+    }
+    {
+      IRBuilder e(g);
+      e.setInsertionPointToEnd(ifNode->block(1));
+      // a -= 1; b[1] = a[1]
+      Value* one = e.constTensor(Tensor::ones({}));
+      Value* a4 = e.sub(a, one);
+      e.copy_(a, a4);
+      Value* btgt = e.select(bb, 0, e.constInt(1));
+      Value* asrc = e.select(a, 0, e.constInt(1));
+      e.copy_(btgt, asrc);
+    }
+    g.addOutput(a);
+    g.addOutput(bb);
+
+    Rng rng(4);
+    expectEquivalent(
+        g, {RtValue(rng.uniform({2, 2})), RtValue(rng.uniform({2, 2})),
+            RtValue(Scalar(condValue ? std::int64_t{1} : std::int64_t{-1}))});
+    EXPECT_EQ(countNodes(g, isMutation), 0u) << toString(g);
+  };
+  buildAndCheck(true);
+  buildAndCheck(false);
+}
+
+// Mutation in only one branch: the sibling must pass the old version through.
+TEST(TensorSsaTest, MutationInSingleBranch) {
+  for (bool condValue : {true, false}) {
+    Graph g;
+    Value* a0 = g.addInput(Type::tensor(), "a");
+    Value* cond = g.addInput(Type::boolean(), "c");
+    IRBuilder b(g);
+    Value* a = b.clone(a0);
+    Node* ifNode = b.makeIf(cond, 0);
+    {
+      IRBuilder t(g);
+      t.setInsertionPointToEnd(ifNode->block(0));
+      Value* row = t.select(a, 0, t.constInt(0));
+      t.fill_(row, t.constFloat(7.0));
+    }
+    // else: empty
+    g.addOutput(b.relu(a));
+
+    expectEquivalent(g, {RtValue(Tensor::fromData({1, 2, 3, 4}, {2, 2})),
+                         RtValue(Scalar(condValue))});
+    EXPECT_EQ(countNodes(g, isMutation), 0u) << toString(g);
+  }
+}
+
+// ---- Control flow: Loop ----------------------------------------------------------------
+
+// Figure 4: for i in range(n): b[i] = b[i] + 1.
+TEST(TensorSsaTest, Figure4LoopMutation) {
+  Graph g;
+  Value* b0 = g.addInput(Type::tensor(), "b");
+  Value* n = g.addInput(Type::integer(), "n");
+  IRBuilder b(g);
+  Value* b1 = b.clone(b0);
+  Node* loop = b.makeLoop(n, {});
+  Block* body = loop->block(0);
+  {
+    IRBuilder i(g);
+    i.setInsertionPointToEnd(body);
+    Value* iv = body->param(0);
+    Value* bi = i.select(b1, 0, iv);
+    Value* sum = i.add(bi, i.constTensor(Tensor::ones({})));
+    Value* bt = i.select(b1, 0, iv);
+    i.copy_(bt, sum);
+  }
+  g.addOutput(b1);
+
+  auto stats = expectEquivalent(
+      g, {RtValue(Tensor::fromData({10, 20, 30, 40}, {4})),
+          RtValue(Scalar(std::int64_t{3}))});
+  EXPECT_EQ(stats.mutationsRemoved, 1u);
+  EXPECT_EQ(countNodes(g, isMutation), 0u) << toString(g);
+  // The loop now carries the buffer as a functional value.
+  const std::string text = toString(g);
+  EXPECT_NE(text.find("immut::assign"), std::string::npos) << text;
+  EXPECT_NE(text.find("immut::access"), std::string::npos) << text;
+}
+
+// Sequence accumulation: out[:, i] = h after h = tanh(h + x[:, i]).
+TEST(TensorSsaTest, LoopWritesColumns) {
+  Graph g;
+  Value* x = g.addInput(Type::tensor(), "x");
+  Value* h0 = g.addInput(Type::tensor(), "h");
+  Value* n = g.addInput(Type::integer(), "n");
+  IRBuilder b(g);
+  Value* out = b.zeros({4, 6});
+  Node* loop = b.makeLoop(n, {h0});
+  Block* body = loop->block(0);
+  {
+    IRBuilder i(g);
+    i.setInsertionPointToEnd(body);
+    Value* iv = body->param(0);
+    Value* h = body->param(1);
+    Value* xi = i.select(x, 1, iv);
+    Value* hNew = i.tanh(i.add(h, xi));
+    Value* col = i.select(out, 1, iv);
+    i.copy_(col, hNew);
+    body->addReturn(hNew);
+  }
+  g.addOutput(loop->output(0));
+  g.addOutput(out);
+
+  Rng rng(5);
+  auto stats = expectEquivalent(
+      g, {RtValue(rng.uniform({4, 6})), RtValue(rng.uniform({4})),
+          RtValue(Scalar(std::int64_t{6}))});
+  EXPECT_EQ(countNodes(g, isMutation), 0u);
+  EXPECT_GE(stats.updatesInserted, 2u);
+}
+
+// Nested: loop containing a branch that mutates.
+TEST(TensorSsaTest, LoopWithBranchMutation) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  Value* n = g.addInput(Type::integer(), "n");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Node* loop = b.makeLoop(n, {});
+  Block* body = loop->block(0);
+  {
+    IRBuilder i(g);
+    i.setInsertionPointToEnd(body);
+    Value* iv = body->param(0);
+    Value* isEven = i.scalarEq(i.emit(OpKind::ScalarMod, {iv, i.constInt(2)}),
+                               i.constInt(0));
+    isEven->setType(Type::boolean());
+    Node* ifNode = i.makeIf(isEven, 0);
+    {
+      IRBuilder t(g);
+      t.setInsertionPointToEnd(ifNode->block(0));
+      Value* row = t.select(a, 0, iv);
+      t.add_(row, t.constTensor(Tensor::ones({})));
+    }
+  }
+  g.addOutput(a);
+
+  Rng rng(6);
+  auto stats = expectEquivalent(
+      g, {RtValue(rng.uniform({5, 3})), RtValue(Scalar(std::int64_t{5}))});
+  EXPECT_EQ(countNodes(g, isMutation), 0u) << toString(g);
+  EXPECT_GE(stats.updatesInserted, 3u);
+}
+
+// Two nested loops mutating a 2-D buffer.
+TEST(TensorSsaTest, NestedLoopsMutate2D) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  Value* n = g.addInput(Type::integer(), "n");
+  Value* m = g.addInput(Type::integer(), "m");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Node* outer = b.makeLoop(n, {});
+  Block* obody = outer->block(0);
+  {
+    IRBuilder o(g);
+    o.setInsertionPointToEnd(obody);
+    Value* i = obody->param(0);
+    Value* row = o.select(a, 0, i);
+    Node* inner = o.makeLoop(m, {});
+    Block* ibody = inner->block(0);
+    {
+      IRBuilder in(g);
+      in.setInsertionPointToEnd(ibody);
+      Value* j = ibody->param(0);
+      Value* cell = in.select(row, 0, j);
+      in.add_(cell, in.constTensor(Tensor::ones({})));
+    }
+  }
+  g.addOutput(a);
+
+  Rng rng(7);
+  expectEquivalent(g, {RtValue(rng.uniform({3, 4})),
+                       RtValue(Scalar(std::int64_t{3})),
+                       RtValue(Scalar(std::int64_t{4}))});
+  EXPECT_EQ(countNodes(g, isMutation), 0u);
+}
+
+// ---- Bailouts --------------------------------------------------------------------------
+
+// A list holds a view and a mutation follows: must NOT functionalize.
+TEST(TensorSsaTest, ContainerHazardBailsOut) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Value* row = b.select(a, 0, b.constInt(0));
+  Value* list = b.cat({row, row}, 0);  // ListConstruct inside
+  b.fill_(row, b.constFloat(1.0));     // mutation AFTER the list
+  g.addOutput(list);
+  g.addOutput(a);
+
+  ir::verify(g);
+  lowerInplaceOps(g);
+  auto stats = convertToTensorSSA(g);
+  EXPECT_EQ(stats.setsFunctionalized, 0u);
+  EXPECT_EQ(stats.setsSkipped, 1u);
+  EXPECT_GE(countNodes(g, isMutation), 1u);
+  ir::verify(g);
+}
+
+// Same shape but the list is built after all mutations: safe, functionalize.
+TEST(TensorSsaTest, ContainerAfterMutationIsSafe) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Value* row = b.select(a, 0, b.constInt(0));
+  b.fill_(row, b.constFloat(1.0));
+  Value* list = b.cat({row, row}, 0);  // after the mutation
+  g.addOutput(list);
+  g.addOutput(a);
+
+  auto stats = expectEquivalent(g, {RtValue(Tensor::zeros({2, 3}))});
+  EXPECT_EQ(stats.setsFunctionalized, 1u);
+  EXPECT_EQ(countNodes(g, isMutation), 0u);
+}
+
+// A pure program converts trivially (no sets functionalized, no changes).
+TEST(TensorSsaTest, PureProgramUntouched) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor(), "a");
+  IRBuilder b(g);
+  g.addOutput(b.relu(b.add(a, a)));
+  const std::size_t nodesBefore = g.countNodes();
+  auto stats = expectEquivalent(g, {RtValue(Tensor::fromData({-1, 2}, {2}))});
+  EXPECT_EQ(stats.setsFunctionalized, 0u);
+  EXPECT_EQ(stats.mutationsRemoved, 0u);
+  EXPECT_EQ(g.countNodes(), nodesBefore);
+}
+
+// ---- Alias analysis unit checks ---------------------------------------------------------
+
+TEST(AliasInfoTest, EdgesAndSets) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Value* v = b.select(a, 0, b.constInt(0));
+  Value* w = b.slice(v, 0, b.constInt(0), b.constInt(2), 1);
+  Node* mut = b.copy_(w, b.constTensor(Tensor::zeros({2})));
+  g.addOutput(a);
+  ir::verify(g);
+
+  auto info = analysis::AliasInfo::analyze(g);
+  EXPECT_TRUE(info.mustAlias(v, a));
+  EXPECT_TRUE(info.mustAlias(w, a));
+  EXPECT_TRUE(info.mustAlias(w, v));
+  EXPECT_TRUE(info.mayAlias(mut->output(0), a));
+  EXPECT_FALSE(info.mustAlias(a, a0));  // clone breaks aliasing
+  EXPECT_EQ(info.memoryRoot(w), a);
+
+  ASSERT_EQ(info.sets().size(), 1u);
+  const auto& set = info.sets()[0];
+  EXPECT_EQ(set.origin, a);
+  EXPECT_EQ(set.mutations.size(), 1u);
+  EXPECT_TRUE(set.functionalizable);
+  // v, w, and the mutation's returned alias.
+  EXPECT_EQ(set.views.size(), 3u);
+}
+
+TEST(AliasInfoTest, ControlFlowEdges) {
+  Graph g;
+  Value* n = g.addInput(Type::integer(), "n");
+  Value* t0 = g.addInput(Type::tensor(), "t");
+  IRBuilder b(g);
+  Node* loop = b.makeLoop(n, {t0});
+  Block* body = loop->block(0);
+  IRBuilder i(g);
+  i.setInsertionPointToEnd(body);
+  body->addReturn(i.relu(body->param(1)));
+  g.addOutput(loop->output(0));
+  ir::verify(g);
+
+  auto info = analysis::AliasInfo::analyze(g);
+  EXPECT_TRUE(info.mayAlias(body->param(1), t0));
+  EXPECT_TRUE(info.mayAlias(loop->output(0), body->returns()[0]));
+  EXPECT_FALSE(info.mustAlias(body->param(1), t0));
+}
+
+TEST(AliasInfoTest, PureSetNotFunctionalizable) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor(), "a");
+  IRBuilder b(g);
+  g.addOutput(b.select(a, 0, b.constInt(0)));
+  auto info = analysis::AliasInfo::analyze(g);
+  ASSERT_EQ(info.sets().size(), 1u);
+  EXPECT_FALSE(info.sets()[0].functionalizable);
+  EXPECT_EQ(info.sets()[0].mutations.size(), 0u);
+}
+
+// ---- DCE / lower-inplace unit checks -----------------------------------------------------
+
+TEST(DceTest, RemovesDeadPureChainKeepsMutation) {
+  Graph g;
+  Value* a = g.addInput(Type::tensor(), "a");
+  IRBuilder b(g);
+  Value* dead = b.relu(b.add(a, a));
+  (void)dead;
+  Value* live = b.clone(a);
+  b.fill_(b.select(live, 0, b.constInt(0)), b.constFloat(1.0));
+  g.addOutput(live);
+  const std::size_t removed = core::eliminateDeadCode(g);
+  EXPECT_EQ(removed, 2u);
+  EXPECT_GE(countNodes(g, isMutation), 1u);
+  ir::verify(g);
+}
+
+TEST(DceTest, KeepsLoopWithMutationInside) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  Value* n = g.addInput(Type::integer(), "n");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  Node* loop = b.makeLoop(n, {});
+  Block* body = loop->block(0);
+  IRBuilder i(g);
+  i.setInsertionPointToEnd(body);
+  i.fill_(i.select(a, 0, body->param(0)), i.constFloat(5.0));
+  g.addOutput(a);
+  // Loop has no outputs but mutates: must survive DCE.
+  core::eliminateDeadCode(g);
+  EXPECT_EQ(countNodes(g, [](OpKind k) { return k == OpKind::Loop; }), 1u);
+}
+
+TEST(LowerInplaceTest, RewritesAllForms) {
+  Graph g;
+  Value* a0 = g.addInput(Type::tensor(), "a");
+  Value* m = g.addInput(Type::tensor(), "m");
+  IRBuilder b(g);
+  Value* a = b.clone(a0);
+  b.add_(a, b.constTensor(Tensor::ones({})));
+  b.relu_(a);
+  b.zero_(a);
+  b.fill_(a, b.constFloat(2.0));
+  b.maskedFill_(a, m, b.constFloat(9.0));
+  b.copy_(a, a0);
+  g.addOutput(a);
+  const std::size_t lowered = lowerInplaceOps(g);
+  EXPECT_EQ(lowered, 5u);  // copy_ stays
+  EXPECT_EQ(countNodes(g, [](OpKind k) { return ir::isMutationOp(k); }), 6u);
+  EXPECT_EQ(countNodes(g, [](OpKind k) { return k == OpKind::Copy_; }), 6u);
+  ir::verify(g);
+}
+
+}  // namespace
+}  // namespace tssa

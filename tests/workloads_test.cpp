@@ -1,0 +1,149 @@
+// Integration tests: every workload runs under every pipeline with
+// identical numerics, and the compiled structures match the paper's claims
+// (fewer kernels under TensorSSA, ParallelMap on the independent loops).
+#include <gtest/gtest.h>
+
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+#include "src/runtime/pipeline.h"
+#include "src/workloads/workload.h"
+
+namespace tssa {
+namespace {
+
+using runtime::Pipeline;
+using runtime::PipelineKind;
+using runtime::RtValue;
+using workloads::buildWorkload;
+using workloads::Workload;
+using workloads::WorkloadConfig;
+
+std::size_t countKindRecursive(const ir::Graph& g, ir::OpKind kind) {
+  std::size_t n = 0;
+  std::vector<const ir::Block*> stack{g.topBlock()};
+  while (!stack.empty()) {
+    const ir::Block* b = stack.back();
+    stack.pop_back();
+    for (const ir::Node* node : *b) {
+      if (node->kind() == kind) ++n;
+      for (const ir::Block* inner : node->blocks()) stack.push_back(inner);
+    }
+  }
+  return n;
+}
+
+class WorkloadPipelineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadPipelineTest, AllPipelinesAgree) {
+  WorkloadConfig config;
+  config.batch = 2;
+  config.seqLen = 12;
+  Workload w = buildWorkload(GetParam(), config);
+  ir::verify(*w.graph);
+
+  std::vector<RtValue> reference;
+  std::int64_t tssaLaunches = 0;
+  double tssaSim = 0;
+  std::int64_t eagerLaunches = 0;
+  double bestBaselineSim = 1e300;
+  for (PipelineKind kind : runtime::allPipelines()) {
+    Pipeline p(kind, *w.graph);
+    auto out = p.run(w.inputs);
+    if (reference.empty()) {
+      reference = out;
+    } else {
+      ASSERT_EQ(reference.size(), out.size());
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (!reference[i].isTensor()) continue;
+        EXPECT_TRUE(allClose(reference[i].tensor(), out[i].tensor(), 1e-4))
+            << w.name << " output " << i << " differs under "
+            << pipelineName(kind);
+      }
+    }
+    if (kind == PipelineKind::TensorSsa) {
+      tssaLaunches = p.profiler().kernelLaunches();
+      tssaSim = p.profiler().simTimeUs();
+    } else {
+      bestBaselineSim = std::min(bestBaselineSim, p.profiler().simTimeUs());
+      if (kind == PipelineKind::Eager)
+        eagerLaunches = p.profiler().kernelLaunches();
+    }
+  }
+  // The paper's headline: TensorSSA is fastest on every workload, and
+  // launches (far) fewer kernels than eager.
+  EXPECT_LT(tssaSim, bestBaselineSim) << w.name;
+  EXPECT_LT(tssaLaunches, eagerLaunches) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadPipelineTest,
+                         ::testing::ValuesIn(workloads::workloadNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(WorkloadStructureTest, IndependentLoopsParallelize) {
+  WorkloadConfig config;
+  config.batch = 1;
+  config.seqLen = 8;
+  for (const std::string& name : {std::string("yolact")}) {
+    Workload w = buildWorkload(name, config);
+    Pipeline p(PipelineKind::TensorSsa, *w.graph);
+    EXPECT_EQ(countKindRecursive(p.compiled(), ir::OpKind::ParallelMap), 1u)
+        << name << ":\n"
+        << toString(p.compiled());
+    EXPECT_EQ(countKindRecursive(p.compiled(), ir::OpKind::Loop), 0u) << name;
+  }
+}
+
+TEST(WorkloadStructureTest, SequentialLoopsStaySequential) {
+  WorkloadConfig config;
+  config.seqLen = 8;
+  for (const std::string& name :
+       {std::string("lstm"), std::string("nasrnn"), std::string("seq2seq"),
+        std::string("attention")}) {
+    Workload w = buildWorkload(name, config);
+    Pipeline p(PipelineKind::TensorSsa, *w.graph);
+    EXPECT_EQ(countKindRecursive(p.compiled(), ir::OpKind::Loop), 1u) << name;
+    EXPECT_EQ(countKindRecursive(p.compiled(), ir::OpKind::ParallelMap), 0u)
+        << name;
+  }
+}
+
+TEST(WorkloadStructureTest, TensorSsaRemovesAllMutation) {
+  WorkloadConfig config;
+  config.seqLen = 8;
+  for (const std::string& name : workloads::workloadNames()) {
+    Workload w = buildWorkload(name, config);
+    Pipeline p(PipelineKind::TensorSsa, *w.graph);
+    EXPECT_EQ(countKindRecursive(p.compiled(), ir::OpKind::Copy_), 0u)
+        << name << ":\n"
+        << toString(p.compiled());
+  }
+}
+
+TEST(WorkloadStructureTest, TensorSsaFusesEveryWorkload) {
+  WorkloadConfig config;
+  config.seqLen = 8;
+  for (const std::string& name : workloads::workloadNames()) {
+    Workload w = buildWorkload(name, config);
+    Pipeline p(PipelineKind::TensorSsa, *w.graph);
+    EXPECT_GE(countKindRecursive(p.compiled(), ir::OpKind::FusionGroup), 1u)
+        << name;
+  }
+}
+
+TEST(WorkloadConfigTest, BatchAndSeqLenChangeInputShapes) {
+  WorkloadConfig small;
+  small.batch = 1;
+  small.seqLen = 4;
+  WorkloadConfig big;
+  big.batch = 4;
+  big.seqLen = 16;
+  Workload a = buildWorkload("lstm", small);
+  Workload b = buildWorkload("lstm", big);
+  EXPECT_EQ(a.inputs[0].tensor().size(0), 1);
+  EXPECT_EQ(a.inputs[0].tensor().size(1), 4);
+  EXPECT_EQ(b.inputs[0].tensor().size(0), 4);
+  EXPECT_EQ(b.inputs[0].tensor().size(1), 16);
+}
+
+}  // namespace
+}  // namespace tssa
