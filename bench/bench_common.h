@@ -22,6 +22,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -82,6 +83,39 @@ inline double backboneUs(const std::string& workload, double eagerBatch1Us,
 inline double endToEndUs(const std::string& workload, double eagerBatch1Us,
                          std::int64_t batch, double imperativeUs) {
   return backboneUs(workload, eagerBatch1Us, batch) + imperativeUs;
+}
+
+/// Best-of-`reps` wall-clock time of one pipeline run, in microseconds.
+/// (Min, not mean: scheduling noise only ever adds time.)
+inline double wallClockUs(runtime::Pipeline& pipeline,
+                          std::span<const runtime::RtValue> inputs,
+                          int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto out = pipeline.run(inputs);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  return best;
+}
+
+/// Bitwise equality of two output vectors (tensor outputs only).
+inline bool outputsBitwiseEqual(const std::vector<runtime::RtValue>& a,
+                                const std::vector<runtime::RtValue>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].isTensor() != b[i].isTensor()) return false;
+    if (!a[i].isTensor()) continue;
+    const Tensor& x = a[i].tensor();
+    const Tensor& y = b[i].tensor();
+    if (x.sizes() != y.sizes() || x.dtype() != y.dtype()) return false;
+    for (IndexIterator it(x.sizes()); it.valid(); it.next()) {
+      if (x.scalarAt(it.index()) != y.scalarAt(it.index())) return false;
+    }
+  }
+  return true;
 }
 
 inline double geomean(const std::vector<double>& xs) {

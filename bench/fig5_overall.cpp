@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "src/runtime/thread_pool.h"
 
 namespace {
 
@@ -63,6 +64,63 @@ void printFigure5(const DeviceSpec& device) {
               "summary", bench::geomean(vsBestAll), maxVsBest);
 }
 
+std::size_t countParallelMaps(const ir::Graph& g) {
+  std::size_t n = 0;
+  std::vector<const ir::Block*> stack{g.topBlock()};
+  while (!stack.empty()) {
+    const ir::Block* b = stack.back();
+    stack.pop_back();
+    for (const ir::Node* node : *b) {
+      if (node->kind() == ir::OpKind::ParallelMap) ++n;
+      for (const ir::Block* inner : node->blocks()) stack.push_back(inner);
+    }
+  }
+  return n;
+}
+
+/// Wall-clock (not simulated) comparison of the threaded execution engine:
+/// the same compiled TensorSSA program, run serially and with 4 workers.
+/// Outputs and kernel-launch counts are asserted identical — threading is
+/// unobservable except in time. Speedup > 1 requires actual CPU cores;
+/// on a single-core host the two columns should be ~equal.
+void printWallClock() {
+  std::printf("\n=== Threaded executor: wall-clock, TensorSSA pipeline "
+              "(threads=1 vs threads=4, %d hardware threads) ===\n",
+              runtime::ThreadPool::hardwareThreads());
+  std::printf("%-10s %8s %12s %12s %8s %9s %10s\n", "workload", "#parmap",
+              "serial-us", "threaded-us", "speedup", "outputs", "launches");
+  bench::printRule(76);
+
+  workloads::WorkloadConfig config;
+  config.batch = 8;
+  config.seqLen = 64;
+  for (const std::string& name : workloads::workloadNames()) {
+    workloads::Workload w = workloads::buildWorkload(name, config);
+    runtime::PipelineOptions serialOpts;
+    serialOpts.threads = 1;
+    runtime::PipelineOptions threadedOpts;
+    threadedOpts.threads = 4;
+    runtime::Pipeline serial(PipelineKind::TensorSsa, *w.graph, serialOpts);
+    runtime::Pipeline threaded(PipelineKind::TensorSsa, *w.graph,
+                               threadedOpts);
+
+    auto serialOut = serial.run(w.inputs);
+    auto threadedOut = threaded.run(w.inputs);
+    const bool outputsEq = bench::outputsBitwiseEqual(serialOut, threadedOut);
+    const bool launchesEq = serial.profiler().kernelLaunches() ==
+                                threaded.profiler().kernelLaunches() &&
+                            serial.profiler().kernelHistogram() ==
+                                threaded.profiler().kernelHistogram();
+
+    const double serialUs = bench::wallClockUs(serial, w.inputs, 3);
+    const double threadedUs = bench::wallClockUs(threaded, w.inputs, 3);
+    std::printf("%-10s %8zu %12.0f %12.0f %7.2fx %9s %10s\n", name.c_str(),
+                countParallelMaps(serial.compiled()), serialUs, threadedUs,
+                serialUs / threadedUs, outputsEq ? "equal" : "DIFFER",
+                launchesEq ? "equal" : "DIFFER");
+  }
+}
+
 /// Real-CPU-time benchmark of the actual executor (compile once, run many).
 void BM_PipelineRun(benchmark::State& state, std::string workload,
                     PipelineKind kind) {
@@ -85,6 +143,7 @@ void BM_PipelineRun(benchmark::State& state, std::string workload,
 int main(int argc, char** argv) {
   printFigure5(DeviceSpec::consumer());
   printFigure5(DeviceSpec::dataCenter());
+  printWallClock();
 
   for (const std::string& name : tssa::workloads::workloadNames()) {
     for (PipelineKind kind :

@@ -29,8 +29,12 @@ Value* selectIndexOperand(const Node& node) {
 }
 
 /// Verifies one carried slot: returns(k) must be an assign chain over
-/// param(k+1) confined to slice `iv`, all reads likewise confined.
-bool carriedSlotIndependent(const Block& body, std::size_t k, Value* iv) {
+/// param(k+1) confined to slice `iv`, all reads likewise confined. On
+/// success `outWriteDim` receives the written dimension, or -1 when the slot
+/// is a read-only pass-through.
+bool carriedSlotIndependent(const Block& body, std::size_t k, Value* iv,
+                            std::int64_t* outWriteDim) {
+  *outWriteDim = -1;
   Value* param = body.param(k + 1);
   Value* ret = body.returns()[k];
   if (ret == param) return true;  // read-only carried value
@@ -72,6 +76,7 @@ bool carriedSlotIndependent(const Block& body, std::size_t k, Value* iv) {
       return false;
     }
   }
+  *outWriteDim = writeDim;
   return true;
 }
 
@@ -106,8 +111,12 @@ bool inductionUsesSafe(Value* iv) {
 
 namespace {
 
-/// `alias` may be null (strict mode: views disallowed).
-bool loopIsParallelizable(const Node& loop, const AliasInfo* alias) {
+/// `alias` may be null (strict mode: views disallowed). On success
+/// `outWriteDims` (when non-null) receives one entry per carried slot: the
+/// dimension its assign chain writes at index `i`, or -1 for read-only
+/// pass-throughs.
+bool loopIsParallelizable(const Node& loop, const AliasInfo* alias,
+                          std::vector<std::int64_t>* outWriteDims = nullptr) {
   if (loop.kind() != OpKind::Loop) return false;
   const Block& body = *loop.block(0);
   for (const Node* n : body) {
@@ -129,9 +138,11 @@ bool loopIsParallelizable(const Node& loop, const AliasInfo* alias) {
   }
   Value* iv = body.param(0);
   if (!inductionUsesSafe(iv)) return false;
+  std::vector<std::int64_t> writeDims(loop.numOutputs(), -1);
   for (std::size_t k = 0; k < loop.numOutputs(); ++k) {
-    if (!carriedSlotIndependent(body, k, iv)) return false;
+    if (!carriedSlotIndependent(body, k, iv, &writeDims[k])) return false;
   }
+  if (outWriteDims != nullptr) *outWriteDims = std::move(writeDims);
   return true;
 }
 
@@ -139,8 +150,15 @@ std::size_t parallelizeInBlock(Block& block, const AliasInfo& alias) {
   std::size_t converted = 0;
   for (Node* node : block.nodesSnapshot()) {
     for (Block* b : node->blocks()) converted += parallelizeInBlock(*b, alias);
-    if (node->kind() == OpKind::Loop && loopIsParallelizable(*node, &alias)) {
+    std::vector<std::int64_t> writeDims;
+    if (node->kind() == OpKind::Loop &&
+        loopIsParallelizable(*node, &alias, &writeDims)) {
       node->setKind(OpKind::ParallelMap);
+      // The proof travels with the node: the runtime's threaded executor
+      // needs the written dimension of each carried slot to pre-allocate
+      // output buffers and merge per-iteration slices without locks. A
+      // ParallelMap lacking this attribute falls back to serial execution.
+      node->attrs().set("par_dims", std::move(writeDims));
       ++converted;
     }
   }

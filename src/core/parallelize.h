@@ -24,7 +24,11 @@
 
 namespace tssa::core {
 
-/// Re-tags every provably independent prim::Loop; returns how many.
+/// Re-tags every provably independent prim::Loop; returns how many. Each
+/// converted node is annotated with a `par_dims` attribute (one entry per
+/// carried slot: the dimension whose slice `i` the iteration writes, -1 for
+/// read-only pass-throughs), which the runtime's threaded ParallelMap
+/// executor uses to merge per-iteration results without locks.
 std::size_t parallelizeLoops(ir::Graph& graph);
 
 /// Exposed for testing: checks a single loop node.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/ir/printer.h"
+#include "src/runtime/thread_pool.h"
 #include "src/tensor/ops.h"
 
 namespace tssa::runtime {
@@ -17,61 +18,66 @@ std::int64_t ewiseFlops(const Tensor& out) { return out.numel(); }
 
 }  // namespace
 
+void Interpreter::setThreads(int threads) {
+  threads_ = threads == 0 ? ThreadPool::hardwareThreads()
+                          : std::max(threads, 1);
+}
+
 // ---- Merge scope: collapse kernels recorded inside into one launch ---------------
 
 struct Interpreter::MergeScope {
-  explicit MergeScope(Interpreter& in) : in_(in) { ++in_.mergeDepth_; }
-  ~MergeScope() { --in_.mergeDepth_; }
+  explicit MergeScope(ExecContext& ctx) : ctx_(ctx) { ++ctx_.mergeDepth; }
+  ~MergeScope() { --ctx_.mergeDepth; }
   MergeScope(const MergeScope&) = delete;
   MergeScope& operator=(const MergeScope&) = delete;
-  Interpreter& in_;
+  ExecContext& ctx_;
 };
 
 // Inside a FusionGroup body: no kernels are recorded, only the per-element
 // op count (the group itself is priced as one kernel by its caller).
 struct Interpreter::SuppressScope {
-  explicit SuppressScope(Interpreter& in) : in_(in) {
-    ++in_.suppressDepth_;
-    saved_ = in_.suppressFlops_;
-    savedBytes_ = in_.suppressSavedBytes_;
-    in_.suppressFlops_ = 0;
-    in_.suppressSavedBytes_ = 0;
+  explicit SuppressScope(ExecContext& ctx) : ctx_(ctx) {
+    ++ctx_.suppressDepth;
+    saved_ = ctx_.suppressFlops;
+    savedBytes_ = ctx_.suppressSavedBytes;
+    ctx_.suppressFlops = 0;
+    ctx_.suppressSavedBytes = 0;
   }
   ~SuppressScope() {
-    in_.suppressFlops_ = saved_;
-    in_.suppressSavedBytes_ = savedBytes_;
-    --in_.suppressDepth_;
+    ctx_.suppressFlops = saved_;
+    ctx_.suppressSavedBytes = savedBytes_;
+    --ctx_.suppressDepth;
   }
   SuppressScope(const SuppressScope&) = delete;
   SuppressScope& operator=(const SuppressScope&) = delete;
-  Interpreter& in_;
+  ExecContext& ctx_;
   std::int64_t saved_ = 0;
   std::int64_t savedBytes_ = 0;
 };
 
 void Interpreter::chargeKernel(const Node& node, std::int64_t bytes,
-                               std::int64_t flops) {
+                               std::int64_t flops, ExecContext& ctx) {
   if (profiler_ == nullptr) return;
-  if (suppressDepth_ > 0) {
-    suppressFlops_ += flops;
+  if (ctx.suppressDepth > 0) {
+    ctx.suppressFlops += flops;
     return;
   }
-  if (mergeDepth_ > 0) {
-    if (mergePos_ >= mergeSlots_.size()) {
-      mergeSlots_.push_back(
+  if (ctx.mergeDepth > 0) {
+    if (ctx.mergePos >= ctx.mergeSlots.size()) {
+      ctx.mergeSlots.push_back(
           MergedKernel{std::string(opName(node.kind())), 0, 0});
     }
-    mergeSlots_[mergePos_].bytes += bytes;
-    mergeSlots_[mergePos_].flops += flops;
-    ++mergePos_;
+    ctx.mergeSlots[ctx.mergePos].bytes += bytes;
+    ctx.mergeSlots[ctx.mergePos].flops += flops;
+    ++ctx.mergePos;
     return;
   }
   profiler_->kernel(opName(node.kind()), bytes, flops,
                     profiler_->host().perOpUs);
 }
 
-void Interpreter::chargeOpDispatch() {
-  if (profiler_ == nullptr || mergeDepth_ > 0) return;
+void Interpreter::chargeOpDispatch(ExecContext& ctx) {
+  if (profiler_ == nullptr || ctx.mergeDepth > 0) return;
   profiler_->opDispatch();
 }
 
@@ -85,15 +91,17 @@ std::vector<RtValue> Interpreter::run(const ir::Graph& graph,
   Env env;
   for (std::size_t i = 0; i < inputs.size(); ++i)
     env[graph.inputs()[i]] = inputs[i];
-  runBlockBody(*graph.topBlock(), env);
+  ExecContext ctx;
+  runBlockBody(*graph.topBlock(), env, ctx);
   return blockReturns(*graph.topBlock(), env);
 }
 
-void Interpreter::runBlockBody(const ir::Block& block, Env& env) {
+void Interpreter::runBlockBody(const ir::Block& block, Env& env,
+                               ExecContext& ctx) {
   // Graph-break model: entering a block whose compiled segment contains
   // generated kernels costs one region call (guard checks, Python resume).
-  if (profiler_ != nullptr && mergeDepth_ == 0 && suppressDepth_ == 0 &&
-      profiler_->host().perRegionCallUs > 0) {
+  if (profiler_ != nullptr && ctx.mergeDepth == 0 && ctx.suppressDepth == 0 &&
+      !ctx.onWorker && profiler_->host().perRegionCallUs > 0) {
     auto it = blockHasFusion_.find(&block);
     if (it == blockHasFusion_.end()) {
       bool has = false;
@@ -107,7 +115,7 @@ void Interpreter::runBlockBody(const ir::Block& block, Env& env) {
     }
     if (it->second) profiler_->regionCall();
   }
-  for (const Node* node : block) execNode(*node, env);
+  for (const Node* node : block) execNode(*node, env, ctx);
 }
 
 std::vector<RtValue> Interpreter::blockReturns(const ir::Block& block,
@@ -173,9 +181,117 @@ Tensor Interpreter::applyView(OpKind viewKind, const Node& node,
   }
 }
 
+// ---- Fusion kernel cache -----------------------------------------------------------------
+
+texpr::Kernel* Interpreter::kernelFor(const Node& node,
+                                      const ir::Block& body) {
+  std::lock_guard<std::mutex> lock(kernelsMutex_);
+  auto it = kernels_.find(&node);
+  if (it == kernels_.end()) {
+    std::unique_ptr<texpr::Kernel> compiled;
+    if (texpr::Kernel::supports(body))
+      compiled = std::make_unique<texpr::Kernel>(body);
+    it = kernels_.emplace(&node, std::move(compiled)).first;
+  }
+  return it->second.get();
+}
+
+// ---- Threaded ParallelMap ----------------------------------------------------------------
+
+bool Interpreter::tryParallelMap(const Node& node, Env& env, ExecContext& ctx,
+                                 std::int64_t trip,
+                                 const std::vector<RtValue>& carried) {
+  // Preconditions: a worker budget, top-level context (a ParallelMap cannot
+  // nest inside another one's body, but be defensive), and the converting
+  // pass's independence proof attached as metadata.
+  if (threads_ <= 1 || trip <= 1 || ctx.onWorker || ctx.mergeDepth > 0 ||
+      ctx.suppressDepth > 0) {
+    return false;
+  }
+  if (!node.attrs().has("par_dims")) return false;
+  const std::vector<std::int64_t>& dims = node.attrs().ints("par_dims");
+  if (dims.size() != carried.size()) return false;
+  for (std::size_t k = 0; k < carried.size(); ++k) {
+    if (dims[k] < 0) continue;  // read-only pass-through
+    if (!carried[k].isTensor()) return false;
+    const Tensor& t = carried[k].tensor();
+    // Every iteration writes slice `i` of this dimension, so the extent must
+    // cover the trip count (the serial path would throw out-of-range too —
+    // let it produce that error).
+    if (dims[k] >= t.dim() || t.size(dims[k]) < trip) return false;
+  }
+
+  const ir::Block& body = *node.block(0);
+
+  // Pre-allocated output slots. Written slots get a private buffer cloned
+  // from the carried input: slices the loop never writes (trip < extent)
+  // keep their input values, exactly as in serial execution. The clone is an
+  // execution artifact of the threaded engine, not a modelled kernel — the
+  // profiler charge below is derived purely from the merged slots, matching
+  // the serial path bit-for-bit.
+  std::vector<RtValue> outs(carried.size());
+  for (std::size_t k = 0; k < carried.size(); ++k)
+    outs[k] = dims[k] >= 0 ? RtValue(carried[k].tensor().clone()) : carried[k];
+
+  const int workers =
+      static_cast<int>(std::min<std::int64_t>(threads_, trip));
+  std::vector<std::vector<MergedKernel>> workerSlots(
+      static_cast<std::size_t>(workers));
+
+  ThreadPool::shared().parallelFor(
+      trip, workers, [&](std::int64_t begin, std::int64_t end, int chunk) {
+        // Private environment: binding values is cheap (tensors are views).
+        // Iterations of this chunk run serially against it, exactly like the
+        // serial executor, but read the ParallelMap's *input* versions of
+        // the carried values — legal because the pass proved each iteration
+        // touches only its own slice.
+        Env wenv = env;
+        ExecContext wctx;
+        wctx.onWorker = true;
+        MergeScope merge(wctx);
+        for (std::int64_t it = begin; it < end; ++it) {
+          wctx.mergePos = 0;  // kernel j of every iteration shares launch j
+          wenv[body.param(0)] = Scalar(it);
+          for (std::size_t k = 0; k < carried.size(); ++k)
+            wenv[body.param(k + 1)] = carried[k];
+          runBlockBody(body, wenv, wctx);
+          std::vector<RtValue> rets = blockReturns(body, wenv);
+          for (std::size_t k = 0; k < carried.size(); ++k) {
+            if (dims[k] < 0) continue;
+            // This iteration owns slice `it` exclusively — lock-free write.
+            Tensor dst = outs[k].tensor().select(dims[k], it);
+            dst.copy_(rets[k].tensor().select(dims[k], it));
+          }
+        }
+        workerSlots[static_cast<std::size_t>(chunk)] =
+            std::move(wctx.mergeSlots);
+      });
+
+  // Deterministic slot merge: chunk order, position-wise. Every iteration
+  // records the same kernel sequence (the body has no control flow), so this
+  // reproduces the serial accumulation exactly.
+  std::vector<MergedKernel> slots;
+  for (const std::vector<MergedKernel>& ws : workerSlots) {
+    for (std::size_t j = 0; j < ws.size(); ++j) {
+      if (j >= slots.size()) slots.push_back(MergedKernel{ws[j].name, 0, 0});
+      slots[j].bytes += ws[j].bytes;
+      slots[j].flops += ws[j].flops;
+    }
+  }
+  if (profiler_ != nullptr) {
+    for (const MergedKernel& slot : slots) {
+      profiler_->kernel("tssa::ParallelMap(" + slot.name + ")", slot.bytes,
+                        slot.flops, profiler_->host().perOpUs);
+    }
+  }
+  for (std::size_t k = 0; k < outs.size(); ++k)
+    env[node.output(k)] = std::move(outs[k]);
+  return true;
+}
+
 // ---- Node execution ----------------------------------------------------------------------
 
-void Interpreter::execNode(const Node& node, Env& env) {
+void Interpreter::execNode(const Node& node, Env& env, ExecContext& ctx) {
   const OpKind kind = node.kind();
   const auto& attrs = node.attrs();
 
@@ -189,13 +305,14 @@ void Interpreter::execNode(const Node& node, Env& env) {
     Tensor b = tensorIn(node, 1, env);
     Tensor out = fn(a, b);
     chargeKernel(node, tensorBytes(a) + tensorBytes(b) + tensorBytes(out),
-                 ewiseFlops(out));
+                 ewiseFlops(out), ctx);
     bindOut(0, std::move(out));
   };
   auto evalUnary = [&](auto&& fn) {
     Tensor a = tensorIn(node, 0, env);
     Tensor out = fn(a);
-    chargeKernel(node, tensorBytes(a) + tensorBytes(out), ewiseFlops(out));
+    chargeKernel(node, tensorBytes(a) + tensorBytes(out), ewiseFlops(out),
+                 ctx);
     bindOut(0, std::move(out));
   };
   // In-place op: compute pure equivalent, write through the target view.
@@ -204,7 +321,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
     Tensor target = tensorIn(node, 0, env);
     Tensor result = fn(target);
     target.copy_(result);
-    chargeKernel(node, 2 * tensorBytes(target), ewiseFlops(target));
+    chargeKernel(node, 2 * tensorBytes(target), ewiseFlops(target), ctx);
     bindOut(0, target);
   };
 
@@ -221,7 +338,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
       std::vector<Tensor> list;
       for (std::size_t i = 0; i < node.numInputs(); ++i)
         list.push_back(tensorIn(node, i, env));
-      chargeOpDispatch();
+      chargeOpDispatch(ctx);
       bindOut(0, std::move(list));
       return;
     }
@@ -230,7 +347,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
       const std::int64_t i = scalarIn(node, 1, env).toInt();
       TSSA_CHECK(i >= 0 && i < static_cast<std::int64_t>(list.size()),
                  "list index out of range");
-      chargeOpDispatch();
+      chargeOpDispatch(ctx);
       bindOut(0, list[static_cast<std::size_t>(i)]);
       return;
     }
@@ -243,9 +360,9 @@ void Interpreter::execNode(const Node& node, Env& env) {
     // ---- control flow -----------------------------------------------------
     case OpKind::If: {
       const bool cond = scalarIn(node, 0, env).toBool();
-      if (profiler_ != nullptr && mergeDepth_ == 0) profiler_->branch();
+      if (profiler_ != nullptr && ctx.mergeDepth == 0) profiler_->branch();
       const ir::Block& block = *node.block(cond ? 0 : 1);
-      runBlockBody(block, env);
+      runBlockBody(block, env, ctx);
       auto rets = blockReturns(block, env);
       for (std::size_t i = 0; i < rets.size(); ++i)
         bindOut(i, std::move(rets[i]));
@@ -258,12 +375,12 @@ void Interpreter::execNode(const Node& node, Env& env) {
       for (std::size_t i = 1; i < node.numInputs(); ++i)
         carried.push_back(get(node.input(i), env));
       for (std::int64_t it = 0; it < trip; ++it) {
-        if (profiler_ != nullptr && mergeDepth_ == 0)
+        if (profiler_ != nullptr && ctx.mergeDepth == 0)
           profiler_->loopIteration();
         env[body.param(0)] = Scalar(it);
         for (std::size_t i = 0; i < carried.size(); ++i)
           env[body.param(i + 1)] = carried[i];
-        runBlockBody(body, env);
+        runBlockBody(body, env, ctx);
         carried = blockReturns(body, env);
       }
       for (std::size_t i = 0; i < carried.size(); ++i)
@@ -271,29 +388,31 @@ void Interpreter::execNode(const Node& node, Env& env) {
       return;
     }
     case OpKind::ParallelMap: {
-      // Semantics of Loop, priced as one batched kernel: the horizontal
+      // Semantics of Loop, executed as one batched kernel: the horizontal
       // parallelization result (§4.2.2). Iterations are independent by
-      // construction (the pass proved it), so a real backend launches one
-      // grid over all iterations.
+      // construction (the pass proved it), so the threaded engine really
+      // runs them concurrently; without metadata or a worker budget the
+      // serial walk below executes the same batched-launch pricing.
       const std::int64_t trip = scalarIn(node, 0, env).toInt();
       const ir::Block& body = *node.block(0);
       std::vector<RtValue> carried;
       for (std::size_t i = 1; i < node.numInputs(); ++i)
         carried.push_back(get(node.input(i), env));
+      if (tryParallelMap(node, env, ctx, trip, carried)) return;
       std::vector<MergedKernel> slots;
       {
-        MergeScope merge(*this);
+        MergeScope merge(ctx);
         for (std::int64_t it = 0; it < trip; ++it) {
-          mergePos_ = 0;  // kernel j of every iteration shares launch j
+          ctx.mergePos = 0;  // kernel j of every iteration shares launch j
           env[body.param(0)] = Scalar(it);
           for (std::size_t i = 0; i < carried.size(); ++i)
             env[body.param(i + 1)] = carried[i];
-          runBlockBody(body, env);
+          runBlockBody(body, env, ctx);
           carried = blockReturns(body, env);
         }
-        slots.swap(mergeSlots_);
+        slots.swap(ctx.mergeSlots);
       }
-      if (profiler_ != nullptr && mergeDepth_ == 0) {
+      if (profiler_ != nullptr && ctx.mergeDepth == 0) {
         for (const MergedKernel& slot : slots) {
           profiler_->kernel("tssa::ParallelMap(" + slot.name + ")",
                             slot.bytes, slot.flops,
@@ -319,40 +438,33 @@ void Interpreter::execNode(const Node& node, Env& env) {
 
       // Prefer the tensor-expression kernel (the NNC-substitute backend);
       // bodies it cannot express fall back to per-node interpretation.
-      texpr::Kernel* kernel = nullptr;
-      if (useTexpr_) {
-        auto it = kernels_.find(&node);
-        if (it == kernels_.end()) {
-          std::unique_ptr<texpr::Kernel> compiled;
-          if (texpr::Kernel::supports(body))
-            compiled = std::make_unique<texpr::Kernel>(body);
-          it = kernels_.emplace(&node, std::move(compiled)).first;
-        }
-        kernel = it->second.get();
-      }
+      texpr::Kernel* kernel =
+          useTexpr_ ? kernelFor(node, body) : nullptr;
 
       std::vector<RtValue> rets;
       std::int64_t flops = 0;
       std::int64_t savedBytes = 0;
       if (kernel != nullptr) {
         texpr::Kernel::RunStats stats;
-        rets = kernel->run(groupInputs, &stats);
+        // Pool workers must not recurse into the pool: a ParallelMap body's
+        // fused kernels run single-threaded inside their iteration.
+        rets = kernel->run(groupInputs, &stats, ctx.onWorker ? 1 : threads_);
         flops = stats.flops;
         savedBytes = stats.savedBytes;
       } else {
         for (std::size_t i = 0; i < node.numInputs(); ++i)
           env[body.param(i)] = groupInputs[i];
-        SuppressScope suppress(*this);
-        runBlockBody(body, env);
-        flops = suppressFlops_;
-        savedBytes = suppressSavedBytes_;
+        SuppressScope suppress(ctx);
+        runBlockBody(body, env, ctx);
+        flops = ctx.suppressFlops;
+        savedBytes = ctx.suppressSavedBytes;
         rets = blockReturns(body, env);
       }
       for (const RtValue& r : rets) {
         if (r.isTensor()) bytes += tensorBytes(r.tensor());
       }
       bytes = std::max<std::int64_t>(0, bytes - savedBytes);
-      if (profiler_ != nullptr) chargeKernel(node, bytes, flops);
+      if (profiler_ != nullptr) chargeKernel(node, bytes, flops, ctx);
       for (std::size_t i = 0; i < rets.size(); ++i)
         bindOut(i, std::move(rets[i]));
       return;
@@ -367,7 +479,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
     case OpKind::ScalarMax: {
       const Scalar a = scalarIn(node, 0, env);
       const Scalar b = scalarIn(node, 1, env);
-      chargeOpDispatch();
+      chargeOpDispatch(ctx);
       if (a.isFloat() || b.isFloat()) {
         const double x = a.toDouble(), y = b.toDouble();
         double r = 0;
@@ -404,7 +516,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
     case OpKind::ScalarNe: {
       const double x = scalarIn(node, 0, env).toDouble();
       const double y = scalarIn(node, 1, env).toDouble();
-      chargeOpDispatch();
+      chargeOpDispatch(ctx);
       bool r = false;
       switch (kind) {
         case OpKind::ScalarLt: r = x < y; break;
@@ -462,7 +574,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
       chargeKernel(node,
                    tensorBytes(c) + tensorBytes(a) + tensorBytes(b) +
                        tensorBytes(out),
-                   ewiseFlops(out));
+                   ewiseFlops(out), ctx);
       bindOut(0, std::move(out));
       return;
     }
@@ -472,7 +584,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
       const Scalar v = scalarIn(node, 2, env);
       Tensor out = ops::maskedFill(a, mask, v);
       chargeKernel(node, tensorBytes(a) + tensorBytes(mask) + tensorBytes(out),
-                   ewiseFlops(out));
+                   ewiseFlops(out), ctx);
       bindOut(0, std::move(out));
       return;
     }
@@ -481,7 +593,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
     case OpKind::Sum: {
       Tensor a = tensorIn(node, 0, env);
       Tensor out = ops::sum(a);
-      chargeKernel(node, tensorBytes(a), a.numel());
+      chargeKernel(node, tensorBytes(a), a.numel(), ctx);
       bindOut(0, std::move(out));
       return;
     }
@@ -502,21 +614,22 @@ void Interpreter::execNode(const Node& node, Env& env) {
         case OpKind::Argmax: out = ops::argmax(a, dim, keep); break;
         default: break;
       }
-      chargeKernel(node, tensorBytes(a) + tensorBytes(out), a.numel());
+      chargeKernel(node, tensorBytes(a) + tensorBytes(out), a.numel(), ctx);
       bindOut(0, std::move(out));
       return;
     }
     case OpKind::Softmax: {
       Tensor a = tensorIn(node, 0, env);
       Tensor out = ops::softmax(a, attrs.i("dim"));
-      chargeKernel(node, 2 * tensorBytes(a) + tensorBytes(out), 5 * a.numel());
+      chargeKernel(node, 2 * tensorBytes(a) + tensorBytes(out), 5 * a.numel(),
+                   ctx);
       bindOut(0, std::move(out));
       return;
     }
     case OpKind::Cumsum: {
       Tensor a = tensorIn(node, 0, env);
       Tensor out = ops::cumsum(a, attrs.i("dim"));
-      chargeKernel(node, tensorBytes(a) + tensorBytes(out), a.numel());
+      chargeKernel(node, tensorBytes(a) + tensorBytes(out), a.numel(), ctx);
       bindOut(0, std::move(out));
       return;
     }
@@ -529,8 +642,8 @@ void Interpreter::execNode(const Node& node, Env& env) {
       const std::int64_t flops =
           a.dim() == 2 ? 2 * a.size(0) * a.size(1) * b.size(b.dim() - 1)
                        : 2 * a.size(0) * a.size(1) * a.size(2) * b.size(2);
-      chargeKernel(node,
-                   tensorBytes(a) + tensorBytes(b) + tensorBytes(out), flops);
+      chargeKernel(node, tensorBytes(a) + tensorBytes(b) + tensorBytes(out),
+                   flops, ctx);
       bindOut(0, std::move(out));
       return;
     }
@@ -539,7 +652,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
       Tensor b = tensorIn(node, 1, env);
       Tensor out = ops::bmm(a, b);
       chargeKernel(node, tensorBytes(a) + tensorBytes(b) + tensorBytes(out),
-                   2 * a.size(0) * a.size(1) * a.size(2) * b.size(2));
+                   2 * a.size(0) * a.size(1) * a.size(2) * b.size(2), ctx);
       bindOut(0, std::move(out));
       return;
     }
@@ -551,7 +664,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
       const std::int64_t dim = attrs.i("dim");
       Tensor out = kind == OpKind::Cat ? ops::cat(list, dim)
                                        : ops::stack(list, dim);
-      chargeKernel(node, 2 * tensorBytes(out), 0);
+      chargeKernel(node, 2 * tensorBytes(out), 0, ctx);
       bindOut(0, std::move(out));
       return;
     }
@@ -559,7 +672,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
       Tensor a = tensorIn(node, 0, env);
       Tensor idx = tensorIn(node, 1, env);
       Tensor out = ops::indexSelect(a, attrs.i("dim"), idx);
-      chargeKernel(node, tensorBytes(out) * 2 + tensorBytes(idx), 0);
+      chargeKernel(node, tensorBytes(out) * 2 + tensorBytes(idx), 0, ctx);
       bindOut(0, std::move(out));
       return;
     }
@@ -567,7 +680,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
       Tensor a = tensorIn(node, 0, env);
       Tensor idx = tensorIn(node, 1, env);
       Tensor out = ops::gather(a, attrs.i("dim"), idx);
-      chargeKernel(node, tensorBytes(out) * 2 + tensorBytes(idx), 0);
+      chargeKernel(node, tensorBytes(out) * 2 + tensorBytes(idx), 0, ctx);
       bindOut(0, std::move(out));
       return;
     }
@@ -578,9 +691,11 @@ void Interpreter::execNode(const Node& node, Env& env) {
       Tensor a = tensorIn(node, 0, env);
       auto [values, indices] = ops::topk(a, attrs.i("k"));
       for (int pass = 0; pass < 4; ++pass) {
-        chargeKernel(node, tensorBytes(a) + tensorBytes(values), a.numel());
+        chargeKernel(node, tensorBytes(a) + tensorBytes(values), a.numel(),
+                     ctx);
       }
-      if (profiler_ != nullptr && mergeDepth_ == 0 && suppressDepth_ == 0)
+      if (profiler_ != nullptr && ctx.mergeDepth == 0 &&
+          ctx.suppressDepth == 0)
         profiler_->hostOnly(2 * profiler_->device().syncLatencyUs);
       bindOut(0, std::move(values));
       bindOut(1, std::move(indices));
@@ -590,9 +705,10 @@ void Interpreter::execNode(const Node& node, Env& env) {
       Tensor a = tensorIn(node, 0, env);
       Tensor out = ops::argsort(a, attrs.b("descending"));
       for (int pass = 0; pass < 4; ++pass) {
-        chargeKernel(node, tensorBytes(a) + tensorBytes(out), a.numel());
+        chargeKernel(node, tensorBytes(a) + tensorBytes(out), a.numel(), ctx);
       }
-      if (profiler_ != nullptr && mergeDepth_ == 0 && suppressDepth_ == 0)
+      if (profiler_ != nullptr && ctx.mergeDepth == 0 &&
+          ctx.suppressDepth == 0)
         profiler_->hostOnly(2 * profiler_->device().syncLatencyUs);
       bindOut(0, std::move(out));
       return;
@@ -601,7 +717,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
     case OpKind::Contiguous: {
       Tensor a = tensorIn(node, 0, env);
       Tensor out = kind == OpKind::Clone ? a.clone() : a.contiguous();
-      chargeKernel(node, 2 * tensorBytes(a), 0);
+      chargeKernel(node, 2 * tensorBytes(a), 0, ctx);
       bindOut(0, std::move(out));
       return;
     }
@@ -613,7 +729,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
       const DType dt = attrs.dtype("dtype");
       Tensor out = kind == OpKind::Zeros ? Tensor::zeros(sizes, dt)
                                          : Tensor::ones(sizes, dt);
-      chargeKernel(node, tensorBytes(out), 0);
+      chargeKernel(node, tensorBytes(out), 0, ctx);
       bindOut(0, std::move(out));
       return;
     }
@@ -621,7 +737,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
       Shape sizes = attrs.ints("sizes");
       Tensor out =
           Tensor::full(sizes, scalarIn(node, 0, env), attrs.dtype("dtype"));
-      chargeKernel(node, tensorBytes(out), 0);
+      chargeKernel(node, tensorBytes(out), 0, ctx);
       bindOut(0, std::move(out));
       return;
     }
@@ -629,7 +745,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
       Tensor out = Tensor::arange(scalarIn(node, 0, env).toInt(),
                                   scalarIn(node, 1, env).toInt(),
                                   scalarIn(node, 2, env).toInt());
-      chargeKernel(node, tensorBytes(out), 0);
+      chargeKernel(node, tensorBytes(out), 0, ctx);
       bindOut(0, std::move(out));
       return;
     }
@@ -646,7 +762,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
     case OpKind::Flatten:
     case OpKind::Identity: {
       Tensor base = tensorIn(node, 0, env);
-      chargeOpDispatch();
+      chargeOpDispatch(ctx);
       bindOut(0, applyView(kind, node, base, 1, env));
       return;
     }
@@ -656,21 +772,21 @@ void Interpreter::execNode(const Node& node, Env& env) {
       Tensor dst = tensorIn(node, 0, env);
       Tensor src = tensorIn(node, 1, env);
       dst.copy_(src);
-      chargeKernel(node, tensorBytes(dst) + tensorBytes(src), 0);
+      chargeKernel(node, tensorBytes(dst) + tensorBytes(src), 0, ctx);
       bindOut(0, dst);
       return;
     }
     case OpKind::Fill_: {
       Tensor dst = tensorIn(node, 0, env);
       dst.fill_(scalarIn(node, 1, env));
-      chargeKernel(node, tensorBytes(dst), 0);
+      chargeKernel(node, tensorBytes(dst), 0, ctx);
       bindOut(0, dst);
       return;
     }
     case OpKind::Zero_: {
       Tensor dst = tensorIn(node, 0, env);
       dst.fill_(Scalar(0));
-      chargeKernel(node, tensorBytes(dst), 0);
+      chargeKernel(node, tensorBytes(dst), 0, ctx);
       bindOut(0, dst);
       return;
     }
@@ -707,7 +823,7 @@ void Interpreter::execNode(const Node& node, Env& env) {
       Tensor base = tensorIn(node, 0, env);
       const OpKind viewKind = static_cast<OpKind>(attrs.i("view"));
       Tensor out = applyView(viewKind, node, base, 1, env).clone();
-      chargeKernel(node, 2 * tensorBytes(out), 0);
+      chargeKernel(node, 2 * tensorBytes(out), 0, ctx);
       bindOut(0, std::move(out));
       return;
     }
@@ -722,13 +838,13 @@ void Interpreter::execNode(const Node& node, Env& env) {
       Tensor out = inplace ? base : base.clone();
       applyView(viewKind, node, out, 2, env).copy_(src);
       if (inplace) {
-        if (suppressDepth_ > 0) {
-          suppressSavedBytes_ += std::max<std::int64_t>(
+        if (ctx.suppressDepth > 0) {
+          ctx.suppressSavedBytes += std::max<std::int64_t>(
               0, 2 * (tensorBytes(base) - tensorBytes(src)));
         }
-        chargeKernel(node, 2 * tensorBytes(src), 0);
+        chargeKernel(node, 2 * tensorBytes(src), 0, ctx);
       } else {
-        chargeKernel(node, 2 * tensorBytes(base) + tensorBytes(src), 0);
+        chargeKernel(node, 2 * tensorBytes(base) + tensorBytes(src), 0, ctx);
       }
       bindOut(0, std::move(out));
       return;

@@ -11,11 +11,23 @@
 // When a Profiler is attached, execution also produces the paper's metrics:
 // kernel-launch counts and modelled latency. Fusion constructs are priced
 // structurally (one launch; external bytes only), everything else per op.
+//
+// Threading (see DESIGN.md "Threading model"): with `threads > 1`, a
+// tssa::ParallelMap whose converting pass attached `par_dims` metadata runs
+// its iterations concurrently on the shared runtime ThreadPool — each worker
+// executes whole iterations against a private environment clone and an
+// ExecContext of its own, and writes its iterations' slices into
+// pre-allocated output buffers (slices are disjoint by the pass's proof, so
+// no locks are needed). Fused element-kernels likewise split their index
+// space across the pool. `threads == 1` reproduces the serial executor
+// bit-for-bit, and any thread count yields bitwise-identical tensors and
+// identical profiler numbers.
 #pragma once
 
 #include <unordered_map>
 
 #include <memory>
+#include <mutex>
 
 #include "src/ir/ir.h"
 #include "src/runtime/profiler.h"
@@ -30,9 +42,19 @@ class Interpreter {
   /// `useTexpr` is set (default), supported FusionGroup bodies execute
   /// through the tensor-expression kernel (single pass, no intermediates);
   /// otherwise bodies are interpreted node by node. Both paths are
-  /// cross-checked for equality in tests.
-  explicit Interpreter(Profiler* profiler = nullptr, bool useTexpr = true)
-      : profiler_(profiler), useTexpr_(useTexpr) {}
+  /// cross-checked for equality in tests. `threads` caps the worker count
+  /// for parallel constructs: 1 (default) executes fully serially, 0 means
+  /// ThreadPool::hardwareThreads().
+  explicit Interpreter(Profiler* profiler = nullptr, bool useTexpr = true,
+                       int threads = 1)
+      : profiler_(profiler), useTexpr_(useTexpr) {
+    setThreads(threads);
+  }
+
+  /// Worker-count cap for ParallelMap iteration batches and fused element
+  /// kernels; 0 resolves to the hardware concurrency.
+  void setThreads(int threads);
+  int threads() const { return threads_; }
 
   /// Runs `graph` on `inputs` (one per graph input) and returns its outputs.
   std::vector<RtValue> run(const ir::Graph& graph,
@@ -40,26 +62,6 @@ class Interpreter {
 
  private:
   using Env = std::unordered_map<const ir::Value*, RtValue>;
-
-  void runBlockBody(const ir::Block& block, Env& env);
-  std::vector<RtValue> blockReturns(const ir::Block& block, const Env& env);
-  void execNode(const ir::Node& node, Env& env);
-
-  const RtValue& get(const ir::Value* v, const Env& env) const;
-  Tensor tensorIn(const ir::Node& node, std::size_t i, const Env& env) const;
-  Scalar scalarIn(const ir::Node& node, std::size_t i, const Env& env) const;
-
-  /// Applies the view rule of `viewKind` to `base`; dynamic view operands
-  /// (select index, slice bounds) start at node input `operandStart`.
-  Tensor applyView(ir::OpKind viewKind, const ir::Node& node,
-                   const Tensor& base, std::size_t operandStart,
-                   const Env& env) const;
-
-  // ---- Cost accounting ----
-  void chargeKernel(const ir::Node& node, std::int64_t bytes,
-                    std::int64_t flops);
-  void chargeOpDispatch();
-  struct MergeScope;  // accumulates kernels into batched launches
 
   /// One batched launch being accumulated: the j-th kernel of every
   /// ParallelMap iteration merges into slot j (a batched grid), matching
@@ -71,19 +73,60 @@ class Interpreter {
     std::int64_t flops = 0;
   };
 
+  /// Per-execution-thread interpreter state. The root context belongs to the
+  /// caller of run(); every ParallelMap worker gets a fresh context, which is
+  /// what makes block execution re-entrant across threads. Cost accounting
+  /// accumulates here and is only merged into the shared Profiler at
+  /// single-threaded points (parallelFor barriers).
+  struct ExecContext {
+    int mergeDepth = 0;        ///< >0 inside a ParallelMap merge scope
+    std::size_t mergePos = 0;  ///< next slot for the current iteration
+    std::vector<MergedKernel> mergeSlots;
+    int suppressDepth = 0;  ///< >0 inside an interpreted FusionGroup body
+    std::int64_t suppressFlops = 0;
+    std::int64_t suppressSavedBytes = 0;
+    bool onWorker = false;  ///< true on pool threads (no nested parallelism)
+  };
+
+  void runBlockBody(const ir::Block& block, Env& env, ExecContext& ctx);
+  std::vector<RtValue> blockReturns(const ir::Block& block, const Env& env);
+  void execNode(const ir::Node& node, Env& env, ExecContext& ctx);
+
+  /// The threaded ParallelMap path; returns false when the node lacks the
+  /// pass metadata or a runtime precondition fails (caller then runs the
+  /// serial path).
+  bool tryParallelMap(const ir::Node& node, Env& env, ExecContext& ctx,
+                      std::int64_t trip, const std::vector<RtValue>& carried);
+
+  const RtValue& get(const ir::Value* v, const Env& env) const;
+  Tensor tensorIn(const ir::Node& node, std::size_t i, const Env& env) const;
+  Scalar scalarIn(const ir::Node& node, std::size_t i, const Env& env) const;
+
+  /// Applies the view rule of `viewKind` to `base`; dynamic view operands
+  /// (select index, slice bounds) start at node input `operandStart`.
+  Tensor applyView(ir::OpKind viewKind, const ir::Node& node,
+                   const Tensor& base, std::size_t operandStart,
+                   const Env& env) const;
+
+  /// Compiled texpr kernel for a FusionGroup node, cached across runs and
+  /// threads (nullptr when the body is unsupported).
+  texpr::Kernel* kernelFor(const ir::Node& node, const ir::Block& body);
+
+  // ---- Cost accounting ----
+  void chargeKernel(const ir::Node& node, std::int64_t bytes,
+                    std::int64_t flops, ExecContext& ctx);
+  void chargeOpDispatch(ExecContext& ctx);
+  struct MergeScope;     // accumulates kernels into batched launches
   struct SuppressScope;  // FusionGroup interiors: count flops, no kernels
 
   Profiler* profiler_;
   bool useTexpr_ = true;
-  /// Compiled kernels, cached per FusionGroup node across runs.
+  int threads_ = 1;
+  /// Compiled kernels, cached per FusionGroup node across runs. Guarded by
+  /// `kernelsMutex_`: ParallelMap workers may compile concurrently.
   std::unordered_map<const ir::Node*, std::unique_ptr<texpr::Kernel>>
       kernels_;
-  int mergeDepth_ = 0;
-  std::size_t mergePos_ = 0;
-  std::vector<MergedKernel> mergeSlots_;
-  int suppressDepth_ = 0;
-  std::int64_t suppressFlops_ = 0;
-  std::int64_t suppressSavedBytes_ = 0;
+  std::mutex kernelsMutex_;
   std::unordered_map<const ir::Block*, bool> blockHasFusion_;
 };
 

@@ -104,10 +104,14 @@ void compileFor(PipelineKind kind, ir::Graph& graph) {
 
 Pipeline::Pipeline(PipelineKind kind, const ir::Graph& source,
                    DeviceSpec device)
+    : Pipeline(kind, source, PipelineOptions{std::move(device)}) {}
+
+Pipeline::Pipeline(PipelineKind kind, const ir::Graph& source,
+                   const PipelineOptions& options)
     : kind_(kind),
       graph_(ir::cloneGraph(source)),
-      profiler_(std::move(device), hostFor(kind)),
-      interpreter_(&profiler_) {
+      profiler_(options.device, hostFor(kind)),
+      interpreter_(&profiler_, options.useTexpr, options.threads) {
   compileFor(kind, *graph_);
 }
 

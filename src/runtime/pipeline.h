@@ -33,12 +33,27 @@ const std::vector<PipelineKind>& allPipelines();
 
 std::string_view pipelineName(PipelineKind kind);
 
+/// Knobs shared by every pipeline. `threads` caps the runtime worker count
+/// used for ParallelMap iteration batches and fused element kernels:
+/// 1 executes fully serially (bit-for-bit the historical behaviour), 0 means
+/// ThreadPool::hardwareThreads(). Results and profiler numbers are identical
+/// at any thread count — only wall-clock time changes.
+struct PipelineOptions {
+  DeviceSpec device = DeviceSpec::dataCenter();
+  int threads = 1;
+  bool useTexpr = true;
+};
+
 class Pipeline {
  public:
   /// Compiles `source` for `kind` on `device`. The source graph is not
   /// modified.
   Pipeline(PipelineKind kind, const ir::Graph& source,
            DeviceSpec device = DeviceSpec::dataCenter());
+
+  /// Same, with explicit runtime options (thread count, backend choice).
+  Pipeline(PipelineKind kind, const ir::Graph& source,
+           const PipelineOptions& options);
 
   PipelineKind kind() const { return kind_; }
   std::string_view name() const { return pipelineName(kind_); }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "src/runtime/device.h"
@@ -13,6 +14,15 @@ namespace tssa::runtime {
 /// and simulated latency (Figs. 5/7/8). The interpreter reports every
 /// framework action and kernel; the profiler prices them with the device and
 /// host models and combines per-op as max(host, kernel).
+///
+/// Thread safety: recording (`kernel`, `hostOnly`, ...) and `reset` are
+/// serialized by an internal mutex, so events may be reported from worker
+/// threads (the threaded ParallelMap executor batches per-worker events and
+/// merges them at its barrier, but stray in-worker calls are still safe —
+/// `perKernel_` is no longer a bare map mutated without synchronization).
+/// Readers are expected to run after parallel regions completed (the
+/// interpreter's barrier guarantees it), so the getters take the same lock
+/// only where a torn map read could crash.
 class Profiler {
  public:
   Profiler(DeviceSpec device, HostSpec host)
@@ -23,10 +33,11 @@ class Profiler {
   /// A device kernel plus the host work that dispatched it.
   void kernel(std::string_view name, std::int64_t bytes, std::int64_t flops,
               double hostUs) {
+    const double k = device_.kernelTimeUs(bytes, flops);
+    std::lock_guard<std::mutex> lock(mutex_);
     ++launches_;
     bytes_ += bytes;
     flops_ += flops;
-    const double k = device_.kernelTimeUs(bytes, flops);
     gpuUs_ += k;
     hostUs_ += hostUs;
     // Asynchronous dispatch pipelines host work under kernel execution;
@@ -37,6 +48,7 @@ class Profiler {
 
   /// Host-only work (view bookkeeping, scalar ops, control flow).
   void hostOnly(double hostUs) {
+    std::lock_guard<std::mutex> lock(mutex_);
     hostUs_ += hostUs;
     simUs_ += hostUs;
   }
@@ -48,15 +60,34 @@ class Profiler {
 
   // ---- Results ------------------------------------------------------------
 
-  std::int64_t kernelLaunches() const { return launches_; }
-  std::int64_t bytesMoved() const { return bytes_; }
-  std::int64_t flops() const { return flops_; }
+  std::int64_t kernelLaunches() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return launches_;
+  }
+  std::int64_t bytesMoved() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_;
+  }
+  std::int64_t flops() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return flops_;
+  }
   /// Pure device busy time.
-  double gpuTimeUs() const { return gpuUs_; }
+  double gpuTimeUs() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return gpuUs_;
+  }
   /// Pure host (framework) time.
-  double hostTimeUs() const { return hostUs_; }
+  double hostTimeUs() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hostUs_;
+  }
   /// Modelled end-to-end latency.
-  double simTimeUs() const { return simUs_; }
+  double simTimeUs() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return simUs_;
+  }
+  /// Snapshot-by-reference; only call once recording has quiesced.
   const std::map<std::string, std::int64_t>& kernelHistogram() const {
     return perKernel_;
   }
@@ -65,6 +96,7 @@ class Profiler {
   const HostSpec& host() const { return host_; }
 
   void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
     launches_ = 0;
     bytes_ = 0;
     flops_ = 0;
@@ -75,6 +107,7 @@ class Profiler {
  private:
   DeviceSpec device_;
   HostSpec host_;
+  mutable std::mutex mutex_;
   std::int64_t launches_ = 0;
   std::int64_t bytes_ = 0;
   std::int64_t flops_ = 0;

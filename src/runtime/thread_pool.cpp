@@ -1,0 +1,139 @@
+#include "src/runtime/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+namespace tssa::runtime {
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+int ThreadPool::hardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::workerCount() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::ensureWorkers(int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (static_cast<int>(workers_.size()) < count)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallelFor(
+    std::int64_t n, int maxWorkers,
+    const std::function<void(std::int64_t, std::int64_t, int)>& fn) {
+  if (n <= 0) return;
+  const int chunks =
+      static_cast<int>(std::min<std::int64_t>(std::max(maxWorkers, 1), n));
+  if (chunks <= 1) {
+    fn(0, n, 0);
+    return;
+  }
+  ensureWorkers(chunks - 1);
+
+  // Completion barrier + first-chunk exception, shared with the tasks.
+  struct Barrier {
+    std::mutex mutex;
+    std::condition_variable done;
+    int pending;
+    std::vector<std::exception_ptr> errors;
+  };
+  auto barrier = std::make_shared<Barrier>();
+  barrier->pending = chunks - 1;
+  barrier->errors.assign(static_cast<std::size_t>(chunks), nullptr);
+
+  auto chunkBounds = [n, chunks](int c) {
+    const std::int64_t begin = n * c / chunks;
+    const std::int64_t end = n * (c + 1) / chunks;
+    return std::pair<std::int64_t, std::int64_t>{begin, end};
+  };
+  auto runChunk = [&fn, barrier, chunkBounds](int c) {
+    const auto [begin, end] = chunkBounds(c);
+    try {
+      fn(begin, end, c);
+    } catch (...) {
+      barrier->errors[static_cast<std::size_t>(c)] = std::current_exception();
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int c = 1; c < chunks; ++c) {
+      queue_.emplace_back([runChunk, barrier, c] {
+        runChunk(c);
+        {
+          std::lock_guard<std::mutex> dlock(barrier->mutex);
+          --barrier->pending;
+        }
+        barrier->done.notify_one();
+      });
+    }
+  }
+  wake_.notify_all();
+
+  runChunk(0);  // the caller takes the first (cache-warm) chunk
+
+  // Helping barrier: while chunks of this region are pending, the caller
+  // executes queued tasks (possibly belonging to other regions) instead of
+  // blocking. This makes nested parallelFor calls deadlock-free even when
+  // every worker thread is itself parked on an inner barrier.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> block(barrier->mutex);
+      if (barrier->pending == 0) break;
+    }
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+    }
+    if (task) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> block(barrier->mutex);
+    // Timed wait: a task enqueued by a *nested* region after we started
+    // waiting would not signal this barrier, so re-poll the queue.
+    barrier->done.wait_for(block, std::chrono::milliseconds(1),
+                           [&] { return barrier->pending == 0; });
+  }
+  for (const std::exception_ptr& e : barrier->errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace tssa::runtime

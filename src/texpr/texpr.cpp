@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/runtime/thread_pool.h"
 #include "src/tensor/shape.h"
 
 namespace tssa::texpr {
@@ -570,8 +571,15 @@ double Kernel::evalAt(const Value* v, std::span<const std::int64_t> coord,
 
 // ---- Entry -------------------------------------------------------------------------------------
 
+namespace {
+
+/// Elements below this count are not worth a trip through the pool.
+constexpr std::int64_t kMinParallelElems = 1024;
+
+}  // namespace
+
 std::vector<RtValue> Kernel::run(std::span<const RtValue> inputs,
-                                 RunStats* stats) const {
+                                 RunStats* stats, int threads) const {
   TSSA_CHECK(inputs.size() == body_.numParams(),
              "texpr kernel expects " << body_.numParams() << " inputs");
   Binding b;
@@ -600,8 +608,29 @@ std::vector<RtValue> Kernel::run(std::span<const RtValue> inputs,
   outputs.reserve(body_.numReturns());
   for (const Value* r : body_.returns()) {
     Tensor out = Tensor::empty(b.shapeOf(r), b.dtypeOf(r));
-    for (IndexIterator it(out.sizes()); it.valid(); it.next())
-      out.setScalarAt(it.index(), evalAt(r, it.index(), b));
+    const std::int64_t numel = out.numel();
+    if (threads > 1 && numel >= kMinParallelElems) {
+      // Each chunk writes a disjoint contiguous range of the fresh output;
+      // evalAt reads only the immutable Binding and input tensors.
+      runtime::ThreadPool::shared().parallelFor(
+          numel, threads,
+          [&](std::int64_t begin, std::int64_t end, int /*chunk*/) {
+            Shape coord = delinearize(begin, out.sizes());
+            for (std::int64_t lin = begin; lin < end; ++lin) {
+              out.setScalarAt(coord, evalAt(r, coord, b));
+              for (std::int64_t d =
+                       static_cast<std::int64_t>(coord.size()) - 1;
+                   d >= 0; --d) {
+                const auto ud = static_cast<std::size_t>(d);
+                if (++coord[ud] < out.sizes()[ud]) break;
+                coord[ud] = 0;
+              }
+            }
+          });
+    } else {
+      for (IndexIterator it(out.sizes()); it.valid(); it.next())
+        out.setScalarAt(it.index(), evalAt(r, it.index(), b));
+    }
     outputs.emplace_back(std::move(out));
   }
   return outputs;

@@ -41,8 +41,15 @@ class Kernel {
   /// Executes: one RtValue per body parameter, returns one tensor per body
   /// return. Tensor inputs may be views; scalar inputs feed dynamic view
   /// operands (select indices, slice bounds).
+  ///
+  /// With `threads > 1` the per-element loop of each output is split into
+  /// static chunks on the shared runtime thread pool (every element is
+  /// computed independently from read-only state, so the result — and the
+  /// reported RunStats, which derive from shapes alone — is bitwise
+  /// identical to the serial run at any thread count).
   std::vector<runtime::RtValue> run(std::span<const runtime::RtValue> inputs,
-                                    RunStats* stats = nullptr) const;
+                                    RunStats* stats = nullptr,
+                                    int threads = 1) const;
 
   struct Binding;  // per-run resolved shapes/dtypes/input tensors
 

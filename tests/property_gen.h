@@ -165,7 +165,10 @@ class ProgramGenerator {
       }
       return;
     }
-    // Loop over the leading dim of a live buffer, mutating row i.
+    // Loop over the leading dim of a live buffer, mutating row i. Bodies can
+    // hold several statements; occasionally a nested inner loop mutates the
+    // row element-wise — nested control flow that the parallelization pass
+    // must reject (and the serial paths must still execute correctly).
     Entry& e = randomLive();
     if (e.shape.empty()) return;
     Value* trip = b.constInt(e.shape[0]);
@@ -174,11 +177,23 @@ class ProgramGenerator {
     IRBuilder ib(graph_);
     ib.setInsertionPointToEnd(body);
     Value* row = ib.select(e.value, 0, body->param(0));
-    if (rng_.nextBool()) {
-      ib.add_(row, constLike(ib));
-    } else {
-      Value* other = ib.sigmoid(row);
-      ib.copy_(row, other);
+    const int stmts = static_cast<int>(rng_.nextInt(1, 2));
+    for (int s = 0; s < stmts; ++s) {
+      if (rng_.nextBool()) {
+        ib.add_(row, constLike(ib));
+      } else {
+        Value* other = ib.sigmoid(row);
+        ib.copy_(row, other);
+      }
+    }
+    if (e.shape.size() >= 2 && rng_.nextBool(0.3)) {
+      Value* innerTrip = ib.constInt(e.shape[1]);
+      Node* inner = ib.makeLoop(innerTrip, {});
+      Block* innerBody = inner->block(0);
+      IRBuilder iib(graph_);
+      iib.setInsertionPointToEnd(innerBody);
+      Value* cell = iib.select(row, 0, innerBody->param(0));
+      iib.add_(cell, constLike(iib));
     }
   }
 

@@ -11,7 +11,10 @@
 #include <gtest/gtest.h>
 
 #include "src/core/dce.h"
+#include "src/core/fusion.h"
+#include "src/core/inplace_reuse.h"
 #include "src/core/lower_inplace.h"
+#include "src/core/parallelize.h"
 #include "src/core/tensor_ssa.h"
 #include "src/ir/builder.h"
 #include "src/ir/printer.h"
@@ -82,6 +85,54 @@ TEST_P(RandomProgramTest, AllPipelinesAgreeOnRandomPrograms) {
       EXPECT_TRUE(allClose(reference[i].tensor(), out[i].tensor(), 1e-5))
           << "seed " << GetParam() << " pipeline " << pipelineName(kind)
           << " output " << i;
+    }
+  }
+}
+
+// The full optimization sequence (the TensorSSA pipeline's passes), applied
+// to random loop nests with the IR verified after every pass, then executed
+// both serially and on the threaded engine. Generated programs contain
+// parallelizable single loops, multi-statement bodies, and nested loops the
+// parallelizer must reject — so this covers both the threaded ParallelMap
+// path and its serial fallback against one reference.
+TEST_P(RandomProgramTest, ParallelizedExecutionMatchesSerial) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863 + 3);
+  Graph g;
+  ProgramGenerator gen(g, rng);
+  auto inputs = gen.generate(10);
+  ir::verify(g);
+
+  runtime::Interpreter reference;
+  auto expected = reference.run(g, inputs);
+
+  using core::FusionPolicy;
+  auto verified = [&](const char* pass, auto&& fn) {
+    fn();
+    ASSERT_NO_THROW(ir::verify(g)) << "seed " << GetParam()
+                                   << ": IR broken after " << pass << ":\n"
+                                   << toString(g);
+  };
+  verified("lowerInplaceOps", [&] { core::lowerInplaceOps(g); });
+  verified("convertToTensorSSA", [&] { core::convertToTensorSSA(g); });
+  verified("readonlyViewsToAccess", [&] {
+    core::readonlyViewsToAccess(g, FusionPolicy::tensorssa());
+  });
+  verified("parallelizeLoops", [&] { core::parallelizeLoops(g); });
+  verified("hoistConstants", [&] { core::hoistConstants(g); });
+  verified("fuseKernels",
+           [&] { core::fuseKernels(g, FusionPolicy::tensorssa()); });
+  verified("markInplaceAssigns", [&] { core::markInplaceAssigns(g); });
+  verified("eliminateDeadCode", [&] { core::eliminateDeadCode(g); });
+
+  for (int threads : {1, 4}) {
+    runtime::Interpreter interp(nullptr, /*useTexpr=*/true, threads);
+    auto actual = interp.run(g, inputs);
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_TRUE(allClose(expected[i].tensor(), actual[i].tensor(), 1e-5))
+          << "seed " << GetParam() << " output " << i << " threads=" << threads
+          << "\n"
+          << toString(g);
     }
   }
 }
