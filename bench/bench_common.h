@@ -22,9 +22,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -117,6 +119,76 @@ inline bool outputsBitwiseEqual(const std::vector<runtime::RtValue>& a,
   }
   return true;
 }
+
+/// Command-line flags shared by every fig bench. Parsed (and stripped) from
+/// argv before benchmark::Initialize sees it, so google-benchmark's own flags
+/// keep working alongside:
+///
+///   --threads=N        worker threads for threaded-executor comparisons
+///   --reps=N           repetitions per wall-clock / google-benchmark timing
+///   --pipeline=NAME    only run pipelines whose name contains NAME
+///                      (case-insensitive; e.g. "tensorssa", "eager", "ts")
+struct BenchFlags {
+  int threads = 4;
+  int reps = 3;
+  std::string pipelineFilter;  ///< empty = all pipelines
+
+  /// True when `kind` passes the --pipeline filter.
+  bool enabled(runtime::PipelineKind kind) const {
+    if (pipelineFilter.empty()) return true;
+    return lower(std::string(runtime::pipelineName(kind)))
+               .find(lower(pipelineFilter)) != std::string::npos;
+  }
+
+  /// allPipelines() restricted to the --pipeline filter. Falls back to the
+  /// full list when the filter matches nothing (a typo should not silently
+  /// print empty figures).
+  std::vector<runtime::PipelineKind> kinds() const {
+    std::vector<runtime::PipelineKind> out;
+    for (runtime::PipelineKind kind : runtime::allPipelines())
+      if (enabled(kind)) out.push_back(kind);
+    if (out.empty()) return runtime::allPipelines();
+    return out;
+  }
+
+  /// Parses known flags out of argv, compacting it in place so later
+  /// benchmark::Initialize(&argc, argv) only sees what it understands.
+  static BenchFlags parse(int& argc, char** argv) {
+    BenchFlags flags;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (!consume(arg, "--threads=", flags.threads) &&
+          !consume(arg, "--reps=", flags.reps) &&
+          !consumeStr(arg, "--pipeline=", flags.pipelineFilter)) {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+    flags.threads = std::max(flags.threads, 1);
+    flags.reps = std::max(flags.reps, 1);
+    return flags;
+  }
+
+ private:
+  static std::string lower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+  }
+  static bool consume(const std::string& arg, const std::string& prefix,
+                      int& out) {
+    if (arg.rfind(prefix, 0) != 0) return false;
+    out = std::atoi(arg.c_str() + prefix.size());
+    return true;
+  }
+  static bool consumeStr(const std::string& arg, const std::string& prefix,
+                         std::string& out) {
+    if (arg.rfind(prefix, 0) != 0) return false;
+    out = arg.substr(prefix.size());
+    return true;
+  }
+};
 
 inline double geomean(const std::vector<double>& xs) {
   double acc = 0;

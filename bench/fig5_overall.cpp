@@ -18,14 +18,17 @@ using bench::runSim;
 using runtime::DeviceSpec;
 using runtime::PipelineKind;
 
-void printFigure5(const DeviceSpec& device) {
+void printFigure5(const DeviceSpec& device, const bench::BenchFlags& flags) {
+  // Columns honor --pipeline; the simulation always runs every pipeline so
+  // the eager anchor and best-baseline summary stay well-defined.
+  const std::vector<PipelineKind> shown = flags.kinds();
   std::printf("\n=== Figure 5: speedup over eager (end-to-end), %s ===\n",
               device.name.c_str());
   std::printf("%-10s", "workload");
-  for (PipelineKind kind : runtime::allPipelines())
+  for (PipelineKind kind : shown)
     std::printf(" %15s", std::string(pipelineName(kind)).c_str());
   std::printf(" %12s\n", "vs-best-base");
-  bench::printRule(10 + 16 * 5 + 13);
+  bench::printRule(10 + 16 * static_cast<int>(shown.size()) + 13);
 
   workloads::WorkloadConfig config;
   config.batch = 1;
@@ -49,11 +52,11 @@ void printFigure5(const DeviceSpec& device) {
     std::printf("%-10s", name.c_str());
     double bestBaseline = 1e300;
     for (PipelineKind kind : runtime::allPipelines()) {
-      const double speedup = e2e[PipelineKind::Eager] / e2e[kind];
-      std::printf(" %14.2fx", speedup);
       if (kind != PipelineKind::Eager && kind != PipelineKind::TensorSsa)
         bestBaseline = std::min(bestBaseline, e2e[kind]);
     }
+    for (PipelineKind kind : shown)
+      std::printf(" %14.2fx", e2e[PipelineKind::Eager] / e2e[kind]);
     const double vsBest = bestBaseline / e2e[PipelineKind::TensorSsa];
     vsBestAll.push_back(vsBest);
     maxVsBest = std::max(maxVsBest, vsBest);
@@ -83,10 +86,12 @@ std::size_t countParallelMaps(const ir::Graph& g) {
 /// Outputs and kernel-launch counts are asserted identical — threading is
 /// unobservable except in time. Speedup > 1 requires actual CPU cores;
 /// on a single-core host the two columns should be ~equal.
-void printWallClock() {
+void printWallClock(const bench::BenchFlags& flags) {
   std::printf("\n=== Threaded executor: wall-clock, TensorSSA pipeline "
-              "(threads=1 vs threads=4, %d hardware threads) ===\n",
-              runtime::ThreadPool::hardwareThreads());
+              "(threads=1 vs threads=%d, %d hardware threads, best of %d) "
+              "===\n",
+              flags.threads, runtime::ThreadPool::hardwareThreads(),
+              flags.reps);
   std::printf("%-10s %8s %12s %12s %8s %9s %10s\n", "workload", "#parmap",
               "serial-us", "threaded-us", "speedup", "outputs", "launches");
   bench::printRule(76);
@@ -99,7 +104,7 @@ void printWallClock() {
     runtime::PipelineOptions serialOpts;
     serialOpts.threads = 1;
     runtime::PipelineOptions threadedOpts;
-    threadedOpts.threads = 4;
+    threadedOpts.threads = flags.threads;
     runtime::Pipeline serial(PipelineKind::TensorSsa, *w.graph, serialOpts);
     runtime::Pipeline threaded(PipelineKind::TensorSsa, *w.graph,
                                threadedOpts);
@@ -112,8 +117,9 @@ void printWallClock() {
                             serial.profiler().kernelHistogram() ==
                                 threaded.profiler().kernelHistogram();
 
-    const double serialUs = bench::wallClockUs(serial, w.inputs, 3);
-    const double threadedUs = bench::wallClockUs(threaded, w.inputs, 3);
+    const double serialUs = bench::wallClockUs(serial, w.inputs, flags.reps);
+    const double threadedUs =
+        bench::wallClockUs(threaded, w.inputs, flags.reps);
     std::printf("%-10s %8zu %12.0f %12.0f %7.2fx %9s %10s\n", name.c_str(),
                 countParallelMaps(serial.compiled()), serialUs, threadedUs,
                 serialUs / threadedUs, outputsEq ? "equal" : "DIFFER",
@@ -141,18 +147,20 @@ void BM_PipelineRun(benchmark::State& state, std::string workload,
 }  // namespace
 
 int main(int argc, char** argv) {
-  printFigure5(DeviceSpec::consumer());
-  printFigure5(DeviceSpec::dataCenter());
-  printWallClock();
+  const tssa::bench::BenchFlags flags = tssa::bench::BenchFlags::parse(argc, argv);
+  printFigure5(DeviceSpec::consumer(), flags);
+  printFigure5(DeviceSpec::dataCenter(), flags);
+  printWallClock(flags);
 
   for (const std::string& name : tssa::workloads::workloadNames()) {
     for (PipelineKind kind :
          {PipelineKind::Eager, PipelineKind::TensorSsa}) {
+      if (!flags.enabled(kind)) continue;
       benchmark::RegisterBenchmark(
           (name + "/" + std::string(pipelineName(kind))).c_str(),
           [name, kind](benchmark::State& s) { BM_PipelineRun(s, name, kind); })
           ->Unit(benchmark::kMillisecond)
-          ->Iterations(3);
+          ->Iterations(flags.reps);
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -16,13 +16,14 @@ using bench::runSim;
 using runtime::DeviceSpec;
 using runtime::PipelineKind;
 
-void printFigure6() {
+void printFigure6(const bench::BenchFlags& flags) {
+  const std::vector<PipelineKind> shown = flags.kinds();
   std::printf("\n=== Figure 6: kernel launch counts (imperative region) ===\n");
   std::printf("%-10s", "workload");
-  for (PipelineKind kind : runtime::allPipelines())
+  for (PipelineKind kind : shown)
     std::printf(" %15s", std::string(pipelineName(kind)).c_str());
   std::printf("\n");
-  bench::printRule(10 + 16 * 5);
+  bench::printRule(10 + 16 * static_cast<int>(shown.size()));
 
   workloads::WorkloadConfig config;
   config.batch = 1;
@@ -33,15 +34,16 @@ void printFigure6() {
     workloads::Workload w = workloads::buildWorkload(name, config);
     std::printf("%-10s", name.c_str());
     std::vector<std::int64_t> counts;
-    for (PipelineKind kind : runtime::allPipelines()) {
+    for (PipelineKind kind : shown) {
       bench::SimResult r = runSim(w, kind, device);
       std::printf(" %15lld", static_cast<long long>(r.launches));
       counts.push_back(r.launches);
     }
     std::printf("\n");
   }
-  std::printf("(columns follow the paper: eager, TS+NNC, TS+nvFuser, "
-              "Dynamo+Inductor, TensorSSA)\n");
+  if (shown.size() == runtime::allPipelines().size())
+    std::printf("(columns follow the paper: eager, TS+NNC, TS+nvFuser, "
+                "Dynamo+Inductor, TensorSSA)\n");
 }
 
 void BM_CountLaunches(benchmark::State& state, std::string workload) {
@@ -61,13 +63,14 @@ void BM_CountLaunches(benchmark::State& state, std::string workload) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  printFigure6();
+  const tssa::bench::BenchFlags flags = tssa::bench::BenchFlags::parse(argc, argv);
+  printFigure6(flags);
   for (const std::string& name : tssa::workloads::workloadNames()) {
     benchmark::RegisterBenchmark(
         ("launches/" + name).c_str(),
         [name](benchmark::State& s) { BM_CountLaunches(s, name); })
         ->Unit(benchmark::kMillisecond)
-        ->Iterations(2);
+        ->Iterations(flags.reps);
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

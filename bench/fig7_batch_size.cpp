@@ -70,6 +70,7 @@ void BM_TensorSsaBatch(benchmark::State& state, std::string workload) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const tssa::bench::BenchFlags flags = tssa::bench::BenchFlags::parse(argc, argv);
   printFigure7();
   for (const std::string& name : kWorkloads) {
     benchmark::RegisterBenchmark(
@@ -78,7 +79,7 @@ int main(int argc, char** argv) {
         ->Arg(1)
         ->Arg(4)
         ->Unit(benchmark::kMillisecond)
-        ->Iterations(2);
+        ->Iterations(flags.reps);
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

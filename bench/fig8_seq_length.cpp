@@ -19,7 +19,7 @@ const std::vector<std::int64_t> kSeqLens = {16, 32, 64, 128, 256};
 const std::vector<std::string> kWorkloads = {"nasrnn", "lstm", "seq2seq",
                                              "attention"};
 
-void printFigure8() {
+void printFigure8(const bench::BenchFlags& flags) {
   std::printf("\n=== Figure 8: latency (ms, end-to-end) vs sequence length "
               "(data-center) ===\n");
   const DeviceSpec device = DeviceSpec::dataCenter();
@@ -49,14 +49,17 @@ void printFigure8() {
     }
     bool tssaLowestEverywhere = true;
     for (PipelineKind kind : runtime::allPipelines()) {
-      std::printf("%-16s", std::string(pipelineName(kind)).c_str());
       for (std::size_t i = 0; i < kSeqLens.size(); ++i) {
-        std::printf(" %9.2f", rows[kind][i]);
         if (kind != PipelineKind::TensorSsa &&
             rows[PipelineKind::TensorSsa][i] > rows[kind][i]) {
           tssaLowestEverywhere = false;
         }
       }
+    }
+    for (PipelineKind kind : flags.kinds()) {
+      std::printf("%-16s", std::string(pipelineName(kind)).c_str());
+      for (std::size_t i = 0; i < kSeqLens.size(); ++i)
+        std::printf(" %9.2f", rows[kind][i]);
       std::printf("\n");
     }
     const auto& t = rows[PipelineKind::TensorSsa];
@@ -84,7 +87,8 @@ void BM_SeqLen(benchmark::State& state, std::string workload,
 }  // namespace
 
 int main(int argc, char** argv) {
-  printFigure8();
+  const tssa::bench::BenchFlags flags = tssa::bench::BenchFlags::parse(argc, argv);
+  printFigure8(flags);
   for (const std::string& name : kWorkloads) {
     benchmark::RegisterBenchmark(
         ("seq_scaling/" + name + "/TensorSSA").c_str(),
@@ -94,7 +98,7 @@ int main(int argc, char** argv) {
         ->Arg(16)
         ->Arg(64)
         ->Unit(benchmark::kMillisecond)
-        ->Iterations(2);
+        ->Iterations(flags.reps);
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -37,6 +37,9 @@ struct DeviceSpec {
     return DeviceSpec{"datacenter-3090", 5.0, 936.0, 35600.0, 8.0};
   }
 
+  /// Device specs are compared member-wise (program caches key on them).
+  friend bool operator==(const DeviceSpec&, const DeviceSpec&) = default;
+
   /// Kernel execution time (µs) for a memory/compute footprint.
   double kernelTimeUs(std::int64_t bytes, std::int64_t flops) const {
     const double memUs =

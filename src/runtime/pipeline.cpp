@@ -1,5 +1,7 @@
 #include "src/runtime/pipeline.h"
 
+#include <functional>
+
 #include "src/core/dce.h"
 #include "src/core/fusion.h"
 #include "src/core/inplace_reuse.h"
@@ -102,9 +104,19 @@ void compileFor(PipelineKind kind, ir::Graph& graph) {
 
 }  // namespace
 
-Pipeline::Pipeline(PipelineKind kind, const ir::Graph& source,
-                   DeviceSpec device)
-    : Pipeline(kind, source, PipelineOptions{std::move(device)}) {}
+std::size_t hashValue(const PipelineOptions& options) {
+  std::size_t h = std::hash<std::string>{}(options.device.name);
+  auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<double>{}(options.device.launchOverheadUs));
+  mix(std::hash<double>{}(options.device.memBandwidthGBps));
+  mix(std::hash<double>{}(options.device.computeGFlops));
+  mix(std::hash<double>{}(options.device.syncLatencyUs));
+  mix(std::hash<int>{}(options.threads));
+  mix(std::hash<bool>{}(options.useTexpr));
+  return h;
+}
 
 Pipeline::Pipeline(PipelineKind kind, const ir::Graph& source,
                    const PipelineOptions& options)

@@ -42,18 +42,26 @@ struct PipelineOptions {
   DeviceSpec device = DeviceSpec::dataCenter();
   int threads = 1;
   bool useTexpr = true;
+
+  friend bool operator==(const PipelineOptions&,
+                         const PipelineOptions&) = default;
 };
+
+/// Order-insensitive hash consistent with PipelineOptions::operator==, for
+/// keying compiled-program caches (see src/serve/program_cache.h).
+std::size_t hashValue(const PipelineOptions& options);
 
 class Pipeline {
  public:
-  /// Compiles `source` for `kind` on `device`. The source graph is not
-  /// modified.
-  Pipeline(PipelineKind kind, const ir::Graph& source,
-           DeviceSpec device = DeviceSpec::dataCenter());
-
-  /// Same, with explicit runtime options (thread count, backend choice).
+  /// Compiles `source` for `kind` with explicit runtime options (device,
+  /// thread count, backend choice). The source graph is not modified.
   Pipeline(PipelineKind kind, const ir::Graph& source,
            const PipelineOptions& options);
+
+  /// Convenience: default options on `device`.
+  Pipeline(PipelineKind kind, const ir::Graph& source,
+           DeviceSpec device = DeviceSpec::dataCenter())
+      : Pipeline(kind, source, PipelineOptions{std::move(device)}) {}
 
   PipelineKind kind() const { return kind_; }
   std::string_view name() const { return pipelineName(kind_); }

@@ -36,6 +36,15 @@ void ThreadPool::ensureWorkers(int count) {
     workers_.emplace_back([this] { workerLoop(); });
 }
 
+void ThreadPool::submit(std::function<void()> task, int minWorkers) {
+  ensureWorkers(std::max(minWorkers, 1));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -52,6 +52,16 @@ class ThreadPool {
       const std::function<void(std::int64_t begin, std::int64_t end,
                                int chunk)>& fn);
 
+  /// Enqueues a detached task on the pool (fire-and-forget: completion and
+  /// error delivery are the caller's responsibility — wrap the body if you
+  /// need either). At least `minWorkers` workers are spawned so the task is
+  /// guaranteed to run even when no parallelFor ever created workers; pass a
+  /// larger value to allow that many submitted tasks to run concurrently.
+  /// Used by the serving engine to execute micro-batches on the same pool
+  /// that runs their ParallelMap / fused-kernel chunks (the helping barrier
+  /// in parallelFor keeps that nesting deadlock-free).
+  void submit(std::function<void()> task, int minWorkers = 1);
+
   /// Number of live worker threads (excluding callers). Grows on demand.
   int workerCount();
 

@@ -1,0 +1,123 @@
+#include "src/serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tssa::serve {
+
+using Clock = std::chrono::steady_clock;
+
+MicroBatcher::MicroBatcher(Options options, DispatchFn dispatch)
+    : options_(options), dispatch_(std::move(dispatch)) {
+  timer_ = std::thread([this] { timerLoop(); });
+}
+
+MicroBatcher::~MicroBatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  timer_.join();
+  // The timer drained every open batch before exiting; nothing left here.
+}
+
+bool MicroBatcher::compatible(const PendingRequest& a,
+                              const PendingRequest& b) {
+  // Same key ⇒ same workload, same per-request input signature. Shared
+  // inputs (batch dim -1) must additionally agree on their values; in the
+  // registry those are always scalars (yolact num_dets, fcos normalize).
+  for (std::size_t i = 0; i < a.traits.inputDims.size(); ++i) {
+    if (a.traits.inputDims[i] >= 0) continue;
+    const runtime::RtValue& x = a.request.inputs[i];
+    const runtime::RtValue& y = b.request.inputs[i];
+    if (x.isScalar() != y.isScalar()) return false;
+    if (x.isScalar() && !(x.scalar() == y.scalar())) return false;
+    if (!x.isScalar()) return false;  // shared tensors: be conservative
+  }
+  return true;
+}
+
+void MicroBatcher::enqueue(std::unique_ptr<PendingRequest> request) {
+  const bool batchingOff = options_.maxBatch <= 1 || options_.maxWaitUs <= 0;
+  if (batchingOff || !request->traits.batchable()) {
+    std::vector<std::unique_ptr<PendingRequest>> solo;
+    solo.push_back(std::move(request));
+    dispatch_(std::move(solo));
+    return;
+  }
+
+  std::vector<std::unique_ptr<PendingRequest>> sealed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string keyStr = request->key.toString();
+    auto it = open_.find(keyStr);
+    if (it != open_.end() &&
+        !compatible(*it->second.requests.front(), *request)) {
+      sealed = std::move(it->second.requests);  // incompatible: seal the old
+      open_.erase(it);
+      it = open_.end();
+    }
+    if (it == open_.end()) {
+      OpenBatch batch;
+      batch.deadline =
+          Clock::now() + std::chrono::microseconds(options_.maxWaitUs);
+      batch.requests.push_back(std::move(request));
+      open_.emplace(keyStr, std::move(batch));
+    } else {
+      it->second.requests.push_back(std::move(request));
+      if (static_cast<int>(it->second.requests.size()) >= options_.maxBatch) {
+        // Full: seal right here, don't wait for the window.
+        sealed = std::move(it->second.requests);
+        open_.erase(it);
+      }
+    }
+  }
+  wake_.notify_all();  // deadlines changed
+  if (!sealed.empty()) dispatch_(std::move(sealed));
+}
+
+void MicroBatcher::flush() {
+  std::vector<std::vector<std::unique_ptr<PendingRequest>>> batches;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [key, batch] : open_) batches.push_back(std::move(batch.requests));
+    open_.clear();
+  }
+  for (auto& b : batches) dispatch_(std::move(b));
+}
+
+void MicroBatcher::timerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stopping_ && open_.empty()) return;
+    if (open_.empty()) {
+      wake_.wait(lock, [this] { return stopping_ || !open_.empty(); });
+      continue;
+    }
+    auto earliest = Clock::time_point::max();
+    for (const auto& [key, batch] : open_)
+      earliest = std::min(earliest, batch.deadline);
+    // On shutdown every open batch is due immediately.
+    if (!stopping_) {
+      wake_.wait_until(lock, earliest);
+      if (stopping_) continue;  // re-enter with everything due
+    }
+    const auto now = stopping_ ? Clock::time_point::max() : Clock::now();
+    std::vector<std::vector<std::unique_ptr<PendingRequest>>> due;
+    for (auto it = open_.begin(); it != open_.end();) {
+      if (it->second.deadline <= now) {
+        due.push_back(std::move(it->second.requests));
+        it = open_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (due.empty()) continue;
+    lock.unlock();
+    for (auto& b : due) dispatch_(std::move(b));
+    lock.lock();
+  }
+}
+
+}  // namespace tssa::serve

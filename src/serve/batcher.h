@@ -1,0 +1,75 @@
+// Dynamic micro-batcher.
+//
+// Requests for the same program key arriving within a bounded window are
+// coalesced into one batched execution along the workload's batch dimension.
+// A batch is sealed and dispatched as soon as it reaches `maxBatch` requests
+// or its window (`maxWaitUs`, counted from the first request that opened it)
+// expires — the classic throughput/latency trade of serving stacks. The
+// batcher only groups; executing a sealed batch is the dispatch callback's
+// job (the Engine submits it to the shared runtime ThreadPool).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/serve/request.h"
+
+namespace tssa::serve {
+
+class MicroBatcher {
+ public:
+  struct Options {
+    int maxBatch = 8;            ///< seal when this many requests coalesced
+    std::int64_t maxWaitUs = 200;  ///< seal when the window expires
+  };
+
+  /// Called with every sealed batch (≥ 1 request, all same program key and
+  /// compatible shared inputs). May run on the submitting thread (batch full
+  /// or batching disabled) or on the batcher's timer thread (window expiry).
+  using DispatchFn =
+      std::function<void(std::vector<std::unique_ptr<PendingRequest>>)>;
+
+  MicroBatcher(Options options, DispatchFn dispatch);
+  /// Seals and dispatches everything still open, then joins the timer.
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Adds a request to the open batch for its key (sealing first when the
+  /// request is incompatible with it), or dispatches immediately when
+  /// batching is disabled (maxBatch <= 1 or maxWaitUs <= 0) or the workload
+  /// is not batchable.
+  void enqueue(std::unique_ptr<PendingRequest> request);
+
+  /// Seals and dispatches all open batches now (used by Engine::drain).
+  void flush();
+
+ private:
+  struct OpenBatch {
+    std::vector<std::unique_ptr<PendingRequest>> requests;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  /// Two requests may share a batch iff their shared (non-batched) inputs
+  /// agree; batched tensor inputs are free to differ per request.
+  static bool compatible(const PendingRequest& a, const PendingRequest& b);
+
+  void timerLoop();
+
+  const Options options_;
+  const DispatchFn dispatch_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::map<std::string, OpenBatch> open_;  ///< keyed by ProgramKey::toString
+  bool stopping_ = false;
+  std::thread timer_;
+};
+
+}  // namespace tssa::serve

@@ -1,0 +1,270 @@
+#include "src/serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "src/runtime/thread_pool.h"
+#include "src/support/error.h"
+#include "src/tensor/ops.h"
+
+namespace tssa::serve {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double usSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+/// The graph-structure guard of the cache key: config parameters that are
+/// baked into the built graph (output buffer shapes, loop trip counts,
+/// constant weights) beyond what the input shapes already pin down.
+std::string configGuard(const workloads::WorkloadConfig& config) {
+  std::ostringstream os;
+  os << "|b=" << config.batch << "|t=" << config.seqLen
+     << "|seed=" << config.seed;
+  return os.str();
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(options), cache_(options.cacheCapacity) {
+  batcher_ = std::make_unique<MicroBatcher>(
+      MicroBatcher::Options{options_.maxBatch, options_.maxWaitUs},
+      [this](std::vector<std::unique_ptr<PendingRequest>> batch) {
+        onBatchDispatched(std::move(batch));
+      });
+}
+
+Engine::~Engine() {
+  batcher_.reset();  // seal + dispatch everything still open, join the timer
+  std::unique_lock<std::mutex> lock(drainMutex_);
+  drainCv_.wait(lock, [this] { return pendingRequests_.load() == 0; });
+}
+
+Session Engine::openSession(std::string id) {
+  const std::uint64_t n = ++sessionCounter_;
+  if (id.empty()) id = "session-" + std::to_string(n);
+  metrics_.recordSessionOpened();
+  return Session(this, std::move(id));
+}
+
+std::future<Response> Engine::submit(Request request) {
+  return submitInternal("anonymous", std::move(request));
+}
+
+std::future<Response> Session::submit(Request request) {
+  ++*submitted_;
+  return engine_->submitInternal(id_, std::move(request));
+}
+
+Response Session::infer(Request request) {
+  return submit(std::move(request)).get();
+}
+
+ProgramKey Engine::keyFor(const Request& request) const {
+  ProgramKey key;
+  key.workload = request.workload;
+  key.kind = options_.kind;
+  key.signature =
+      workloads::inputSignature(request.inputs) + configGuard(request.config);
+  key.options = options_.pipeline;
+  return key;
+}
+
+std::vector<runtime::RtValue> Engine::defaultInputs(
+    const std::string& workload, const workloads::WorkloadConfig& config) {
+  return workloads::buildWorkload(workload, config).inputs;
+}
+
+std::future<Response> Engine::submitInternal(const std::string& sessionId,
+                                             Request request) {
+  // Validation happens here, synchronously: a malformed request throws on
+  // the submitting thread rather than poisoning a shared batch later.
+  const workloads::BatchTraits& traits =
+      workloads::workloadBatchTraits(request.workload);
+  if (request.inputs.empty())
+    request.inputs = defaultInputs(request.workload, request.config);
+  TSSA_CHECK(request.inputs.size() == traits.inputDims.size(),
+             "workload '" << request.workload << "' takes "
+                          << traits.inputDims.size() << " inputs, got "
+                          << request.inputs.size());
+  for (std::size_t i = 0; i < request.inputs.size(); ++i) {
+    const int d = traits.inputDims[i];
+    if (d < 0) continue;
+    TSSA_CHECK(request.inputs[i].isTensor(),
+               "input " << i << " of '" << request.workload
+                        << "' must be a tensor");
+    const Tensor& t = request.inputs[i].tensor();
+    TSSA_CHECK(t.dim() > d && t.size(d) == request.config.batch,
+               "input " << i << " of '" << request.workload
+                        << "': batch dim " << d << " must equal config.batch="
+                        << request.config.batch);
+  }
+
+  auto pending = std::make_unique<PendingRequest>();
+  pending->key = keyFor(request);
+  pending->request = std::move(request);
+  pending->enqueueTime = Clock::now();
+  pending->traits = traits;
+  pending->sessionId = sessionId;
+  std::future<Response> future = pending->promise.get_future();
+
+  ++pendingRequests_;
+  batcher_->enqueue(std::move(pending));
+  return future;
+}
+
+void Engine::onBatchDispatched(
+    std::vector<std::unique_ptr<PendingRequest>> batch) {
+  // Hand the sealed batch to the shared pool. The wrapper owns the batch;
+  // executeBatch itself never throws (errors go through the promises).
+  auto shared =
+      std::make_shared<std::vector<std::unique_ptr<PendingRequest>>>(
+          std::move(batch));
+  const int workers = options_.executeConcurrency > 0
+                          ? options_.executeConcurrency
+                          : runtime::ThreadPool::hardwareThreads();
+  runtime::ThreadPool::shared().submit(
+      [this, shared] { executeBatch(std::move(*shared)); }, workers);
+}
+
+void Engine::drain() {
+  batcher_->flush();
+  std::unique_lock<std::mutex> lock(drainMutex_);
+  drainCv_.wait(lock, [this] { return pendingRequests_.load() == 0; });
+}
+
+void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
+  const auto execStart = Clock::now();
+  const int k = static_cast<int>(batch.size());
+  const PendingRequest& first = *batch.front();
+  const workloads::BatchTraits& traits = first.traits;
+
+  std::vector<Response> responses;
+  std::exception_ptr failure;
+  try {
+    // 1. Coalesce inputs along the workload's batch dimension. Same program
+    //    key ⇒ identical per-request shapes, so rows are uniform.
+    const std::int64_t rowsPer = first.request.config.batch;
+    const std::int64_t totalRows = rowsPer * k;
+    std::vector<runtime::RtValue> inputs;
+    inputs.reserve(first.request.inputs.size());
+    for (std::size_t i = 0; i < first.request.inputs.size(); ++i) {
+      const int d = i < traits.inputDims.size() ? traits.inputDims[i] : -1;
+      if (k == 1 || d < 0) {
+        inputs.push_back(first.request.inputs[i]);
+        continue;
+      }
+      std::vector<Tensor> parts;
+      parts.reserve(batch.size());
+      for (const auto& r : batch)
+        parts.push_back(r->request.inputs[i].tensor());
+      inputs.emplace_back(ops::cat(parts, d));
+    }
+
+    // 2. Look up (or compile) the shape-specialized program for the
+    //    *batched* shapes. A solo request at batch=N and a coalesced run of
+    //    N batch-1 requests share the same program.
+    workloads::WorkloadConfig batchedConfig = first.request.config;
+    batchedConfig.batch = totalRows;
+    ProgramKey key;
+    key.workload = first.request.workload;
+    key.kind = options_.kind;
+    key.signature =
+        workloads::inputSignature(inputs) + configGuard(batchedConfig);
+    key.options = options_.pipeline;
+
+    ProgramCache::Lookup lookup = cache_.getOrCompile(key, [&] {
+      workloads::Workload w =
+          workloads::buildWorkload(key.workload, batchedConfig);
+      return std::make_unique<runtime::Pipeline>(options_.kind, *w.graph,
+                                                 options_.pipeline);
+    });
+
+    // 3. Execute. One batch at a time per program; distinct programs (other
+    //    shapes / workloads) run concurrently on other pool workers.
+    const auto runStart = Clock::now();
+    std::vector<runtime::RtValue> outputs;
+    {
+      std::lock_guard<std::mutex> execLock(lookup.program->execMutex);
+      outputs = lookup.program->pipeline->run(inputs);
+    }
+
+    // 4. De-interleave: row block j of every output belongs to request j.
+    const double execUs = usSince(runStart);
+    for (int j = 0; j < k; ++j) {
+      std::vector<runtime::RtValue> mine;
+      mine.reserve(outputs.size());
+      if (k == 1) {
+        mine = outputs;
+      } else {
+        for (std::size_t o = 0; o < outputs.size(); ++o) {
+          const int d = o < traits.outputDims.size() ? traits.outputDims[o] : -1;
+          TSSA_CHECK(d >= 0 && outputs[o].isTensor(),
+                     "workload '" << key.workload
+                                  << "' output " << o
+                                  << " cannot be de-interleaved");
+          mine.emplace_back(outputs[o]
+                                .tensor()
+                                .narrow(d, j * rowsPer, rowsPer)
+                                .clone());
+        }
+      }
+      Response resp;
+      resp.outputs = std::move(mine);
+      resp.timing.queueUs = std::chrono::duration<double, std::micro>(
+                                execStart - batch[static_cast<std::size_t>(j)]
+                                                ->enqueueTime)
+                                .count();
+      resp.timing.compileUs = lookup.waitUs;
+      resp.timing.execUs = execUs;
+      resp.batchedWith = k;
+      resp.cacheHit = lookup.hit;
+      responses.push_back(std::move(resp));
+    }
+  } catch (...) {
+    failure = std::current_exception();
+  }
+
+  // Deliver outside the try: each promise is touched exactly once.
+  metrics_.recordBatch(k);
+  if (failure != nullptr) {
+    metrics_.recordError(k);
+    for (auto& r : batch) r->promise.set_exception(failure);
+  } else {
+    for (int j = 0; j < k; ++j) {
+      metrics_.recordRequest(responses[static_cast<std::size_t>(j)].timing);
+      batch[static_cast<std::size_t>(j)]->promise.set_value(
+          std::move(responses[static_cast<std::size_t>(j)]));
+    }
+  }
+
+  {
+    // Notify under the mutex: the destructor destroys drainCv_ as soon as
+    // its wait observes pending == 0, so the notify must complete before
+    // the waiter can reacquire the lock and return.
+    std::lock_guard<std::mutex> lock(drainMutex_);
+    pendingRequests_ -= static_cast<std::uint64_t>(k);
+    drainCv_.notify_all();
+  }
+}
+
+MetricsSnapshot Engine::metrics() const {
+  MetricsSnapshot snap;
+  metrics_.fill(snap);
+  const ProgramCache::Stats cs = cache_.stats();
+  snap.cacheHits = cs.hits;
+  snap.cacheMisses = cs.misses;
+  snap.cacheEvictions = cs.evictions;
+  snap.cacheCompiles = cs.compiles;
+  snap.cacheSize = cs.size;
+  snap.compileUsTotal = cs.compileUsTotal;
+  return snap;
+}
+
+}  // namespace tssa::serve

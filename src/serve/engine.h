@@ -1,0 +1,129 @@
+// Shape-specialized inference serving engine.
+//
+// The traffic-facing subsystem over the PR-1 execution engine: an Engine
+// accepts typed requests for any registered workload, amortizes compilation
+// through a ProgramCache keyed on (workload, pipeline kind, shape signature,
+// device, texpr flag), coalesces same-key requests arriving within a bounded
+// window into micro-batches along the workload's batch dimension, and
+// executes them concurrently on the shared runtime::ThreadPool. Clients talk
+// to the engine through lightweight Session handles; every response carries
+// its latency decomposition (queue / compile / exec), and the engine exports
+// an aggregate MetricsSnapshot (p50/p95/p99, throughput, cache stats).
+//
+// Batching contract: a micro-batched execution of K same-shape requests is
+// bitwise identical to the K individual executions (tests/serve_test.cpp
+// asserts it). This holds because every registered workload computes
+// batch rows independently (BatchTraits in the registry) and because the
+// executor itself is deterministic at any thread count (DESIGN.md §6).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/serve/batcher.h"
+#include "src/serve/metrics.h"
+#include "src/serve/program_cache.h"
+#include "src/serve/request.h"
+
+namespace tssa::serve {
+
+struct EngineOptions {
+  runtime::PipelineKind kind = runtime::PipelineKind::TensorSsa;
+  /// Device model, per-program interpreter thread cap, texpr backend — part
+  /// of the program cache key.
+  runtime::PipelineOptions pipeline{};
+  std::size_t cacheCapacity = 32;      ///< compiled programs kept (LRU)
+  int maxBatch = 8;                    ///< micro-batch request cap
+  std::int64_t maxWaitUs = 200;        ///< micro-batch window; <= 0 disables
+  /// Worker threads guaranteed on the shared pool for batch execution
+  /// (0 = hardware concurrency). Distinct cached programs execute
+  /// concurrently; runs of one program are serialized.
+  int executeConcurrency = 0;
+};
+
+class Engine;
+
+/// A client handle. Sessions are cheap, movable, and thread-compatible (one
+/// session per client thread is the intended pattern; the engine itself is
+/// fully thread-safe). The Engine must outlive its sessions.
+class Session {
+ public:
+  /// Asynchronous submit; the future throws tssa::Error on failure.
+  std::future<Response> submit(Request request);
+  /// Blocking convenience: submit + get.
+  Response infer(Request request);
+
+  const std::string& id() const { return id_; }
+  std::uint64_t requestsSubmitted() const { return *submitted_; }
+
+ private:
+  friend class Engine;
+  Session(Engine* engine, std::string id)
+      : engine_(engine),
+        id_(std::move(id)),
+        submitted_(std::make_shared<std::atomic<std::uint64_t>>(0)) {}
+
+  Engine* engine_;
+  std::string id_;
+  std::shared_ptr<std::atomic<std::uint64_t>> submitted_;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  /// Seals every open micro-batch, waits for all in-flight requests, then
+  /// tears down. Outstanding futures are fulfilled before this returns.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Session openSession(std::string id = "");
+
+  /// Session-less submit (uses an implicit anonymous session).
+  std::future<Response> submit(Request request);
+
+  /// Blocks until every submitted request has completed (open batches are
+  /// sealed immediately rather than waiting out their window).
+  void drain();
+
+  MetricsSnapshot metrics() const;
+  ProgramCache::Stats cacheStats() const { return cache_.stats(); }
+  const EngineOptions& options() const { return options_; }
+
+  /// The registry's example input tuple for (workload, config) — a valid
+  /// payload for Request::inputs. Builds the workload; not cheap, intended
+  /// for client setup, not the request path.
+  static std::vector<runtime::RtValue> defaultInputs(
+      const std::string& workload, const workloads::WorkloadConfig& config);
+
+ private:
+  friend class Session;
+
+  std::future<Response> submitInternal(const std::string& sessionId,
+                                       Request request);
+  /// Runs one sealed batch: concat inputs → cached compile → execute →
+  /// de-interleave → fulfill promises. Executes on a pool worker.
+  void executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch);
+  void onBatchDispatched(std::vector<std::unique_ptr<PendingRequest>> batch);
+  ProgramKey keyFor(const Request& request) const;
+
+  const EngineOptions options_;
+  ProgramCache cache_;
+  MetricsCollector metrics_;
+  std::atomic<std::uint64_t> pendingRequests_{0};
+  std::mutex drainMutex_;
+  std::condition_variable drainCv_;
+  std::atomic<std::uint64_t> sessionCounter_{0};
+  /// Last member: destroyed first, so its flush-on-destroy happens while
+  /// cache/metrics are still alive.
+  std::unique_ptr<MicroBatcher> batcher_;
+};
+
+}  // namespace tssa::serve

@@ -1,0 +1,108 @@
+#include "src/serve/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tssa::serve {
+
+namespace {
+
+/// Nearest-rank percentile over an unsorted sample copy.
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const auto n = static_cast<double>(xs.size());
+  auto rank = static_cast<std::size_t>(q * n);
+  if (rank >= xs.size()) rank = xs.size() - 1;
+  return xs[rank];
+}
+
+LatencyStats statsOf(const std::vector<double>& xs) {
+  LatencyStats s;
+  if (xs.empty()) return s;
+  s.p50Us = percentile(xs, 0.50);
+  s.p95Us = percentile(xs, 0.95);
+  s.p99Us = percentile(xs, 0.99);
+  double sum = 0, mx = 0;
+  for (double x : xs) {
+    sum += x;
+    mx = std::max(mx, x);
+  }
+  s.meanUs = sum / static_cast<double>(xs.size());
+  s.maxUs = mx;
+  return s;
+}
+
+}  // namespace
+
+void MetricsCollector::recordRequest(const RequestTiming& timing) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  totalUs_.push_back(timing.totalUs());
+  queueUs_.push_back(timing.queueUs);
+  execUs_.push_back(timing.execUs);
+  if (!haveSpan_) {
+    firstComplete_ = now;
+    haveSpan_ = true;
+  }
+  lastComplete_ = now;
+}
+
+void MetricsCollector::recordBatch(int size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  batchedRequests_ += static_cast<std::uint64_t>(size);
+}
+
+void MetricsCollector::recordError(int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  errors_ += static_cast<std::uint64_t>(count);
+}
+
+void MetricsCollector::recordSessionOpened() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++sessions_;
+}
+
+void MetricsCollector::fill(MetricsSnapshot& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.requests = totalUs_.size();
+  out.errors = errors_;
+  out.batches = batches_;
+  out.meanBatchSize =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(batchedRequests_) /
+                          static_cast<double>(batches_);
+  out.total = statsOf(totalUs_);
+  out.queue = statsOf(queueUs_);
+  out.exec = statsOf(execUs_);
+  out.sessionsOpened = sessions_;
+  out.throughputRps = 0;
+  if (haveSpan_ && totalUs_.size() > 1) {
+    const double spanUs = std::chrono::duration<double, std::micro>(
+                              lastComplete_ - firstComplete_)
+                              .count();
+    if (spanUs > 0)
+      out.throughputRps = static_cast<double>(totalUs_.size() - 1) /
+                          (spanUs * 1e-6);
+  }
+}
+
+std::string MetricsSnapshot::toString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "requests=%llu errors=%llu rps=%.1f p50=%.0fus p95=%.0fus p99=%.0fus "
+      "batches=%llu mean_batch=%.2f cache_hit_rate=%.1f%% (hits=%llu "
+      "misses=%llu evictions=%llu) compile_total=%.0fus",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(errors), throughputRps, total.p50Us,
+      total.p95Us, total.p99Us, static_cast<unsigned long long>(batches),
+      meanBatchSize, cacheHitRate() * 100.0,
+      static_cast<unsigned long long>(cacheHits),
+      static_cast<unsigned long long>(cacheMisses),
+      static_cast<unsigned long long>(cacheEvictions), compileUsTotal);
+  return buf;
+}
+
+}  // namespace tssa::serve

@@ -1,0 +1,89 @@
+// Engine-wide serving metrics: per-request latency decomposition (queue /
+// compile / exec), latency percentiles, throughput, and micro-batch
+// occupancy. Cache statistics live in ProgramCache and are merged into the
+// snapshot by the Engine.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tssa::serve {
+
+/// Latency decomposition of one served request, all in microseconds.
+struct RequestTiming {
+  double queueUs = 0;    ///< submit → the batch actually starts executing
+  double compileUs = 0;  ///< program-cache fill (or wait on a concurrent fill)
+  double execUs = 0;     ///< batched run + response de-interleave
+  double totalUs() const { return queueUs + compileUs + execUs; }
+};
+
+struct LatencyStats {
+  double p50Us = 0;
+  double p95Us = 0;
+  double p99Us = 0;
+  double meanUs = 0;
+  double maxUs = 0;
+};
+
+/// Point-in-time view of everything the engine measures.
+struct MetricsSnapshot {
+  std::uint64_t requests = 0;  ///< completed successfully
+  std::uint64_t errors = 0;    ///< completed with an exception
+  std::uint64_t batches = 0;   ///< executed micro-batches
+  double meanBatchSize = 0;    ///< requests per executed batch
+  LatencyStats total;          ///< end-to-end request latency
+  LatencyStats queue;          ///< queueing component only
+  LatencyStats exec;           ///< execution component only
+  double throughputRps = 0;    ///< completions / wall-clock completion span
+
+  // Program-cache counters (filled by the Engine from ProgramCache::stats).
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t cacheEvictions = 0;
+  std::uint64_t cacheCompiles = 0;
+  std::size_t cacheSize = 0;
+  double compileUsTotal = 0;
+  double cacheHitRate() const {
+    const std::uint64_t n = cacheHits + cacheMisses;
+    return n == 0 ? 0.0 : static_cast<double>(cacheHits) / static_cast<double>(n);
+  }
+
+  std::uint64_t sessionsOpened = 0;
+
+  /// One-line human-readable summary (used by bench/serve_throughput).
+  std::string toString() const;
+};
+
+/// Thread-safe recorder. All recording methods may be called from pool
+/// workers; snapshots may be taken concurrently.
+class MetricsCollector {
+ public:
+  /// Records one completed request and its batch context.
+  void recordRequest(const RequestTiming& timing);
+  /// Records one executed micro-batch of `size` requests.
+  void recordBatch(int size);
+  void recordError(int count);
+  void recordSessionOpened();
+
+  /// Fills the latency / throughput / batching part of `out` (the engine
+  /// adds cache stats on top).
+  void fill(MetricsSnapshot& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> totalUs_;
+  std::vector<double> queueUs_;
+  std::vector<double> execUs_;
+  std::uint64_t errors_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batchedRequests_ = 0;
+  std::uint64_t sessions_ = 0;
+  bool haveSpan_ = false;
+  std::chrono::steady_clock::time_point firstComplete_;
+  std::chrono::steady_clock::time_point lastComplete_;
+};
+
+}  // namespace tssa::serve

@@ -1,0 +1,134 @@
+#include "src/serve/program_cache.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "src/support/error.h"
+
+namespace tssa::serve {
+
+std::string ProgramKey::toString() const {
+  std::ostringstream os;
+  os << workload << "/" << runtime::pipelineName(kind) << "/" << signature
+     << "/" << options.device.name << "/threads=" << options.threads
+     << "/texpr=" << (options.useTexpr ? 1 : 0);
+  return os.str();
+}
+
+std::size_t ProgramKeyHash::operator()(const ProgramKey& key) const {
+  std::size_t h = std::hash<std::string>{}(key.workload);
+  auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<int>{}(static_cast<int>(key.kind)));
+  mix(std::hash<std::string>{}(key.signature));
+  mix(runtime::hashValue(key.options));
+  return h;
+}
+
+ProgramCache::ProgramCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+ProgramCache::Lookup ProgramCache::getOrCompile(const ProgramKey& key,
+                                                const CompileFn& compile) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsedUs = [&t0] {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  std::shared_ptr<CachedProgram> program;
+  bool weCompile = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lruIt);  // touch
+      program = it->second.program;
+    } else {
+      ++stats_.misses;
+      program = std::make_shared<CachedProgram>();
+      lru_.push_front(key);
+      map_.emplace(key, Slot{program, lru_.begin()});
+      evictExcess(key);
+      weCompile = true;
+    }
+  }
+
+  if (weCompile) {
+    std::unique_ptr<runtime::Pipeline> compiled;
+    std::exception_ptr error;
+    try {
+      compiled = compile();
+      TSSA_CHECK(compiled != nullptr, "program compile returned null");
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const double us = elapsedUs();
+    {
+      std::lock_guard<std::mutex> lock(program->stateMutex);
+      program->pipeline = std::move(compiled);
+      program->compileUs = us;
+      program->error = error;
+      program->ready = true;
+    }
+    program->readyCv.notify_all();
+    if (error != nullptr) {
+      forget(key, program.get());
+      std::rethrow_exception(error);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.compiles;
+      stats_.compileUsTotal += us;
+    }
+    return {std::move(program), false, us};
+  }
+
+  // Someone else is (or was) compiling: wait for the rendezvous.
+  {
+    std::unique_lock<std::mutex> lock(program->stateMutex);
+    program->readyCv.wait(lock, [&] { return program->ready; });
+    if (program->error != nullptr) std::rethrow_exception(program->error);
+  }
+  return {std::move(program), true, elapsedUs()};
+}
+
+void ProgramCache::evictExcess(const ProgramKey& justInserted) {
+  // Walk from the LRU tail; never evict the entry we are about to compile.
+  auto it = lru_.end();
+  while (map_.size() > capacity_ && it != lru_.begin()) {
+    --it;
+    if (*it == justInserted) continue;
+    auto mapIt = map_.find(*it);
+    mapIt->second.program.reset();  // in-flight users keep their shared_ptr
+    map_.erase(mapIt);
+    it = lru_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+void ProgramCache::forget(const ProgramKey& key, const CachedProgram* program) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end() || it->second.program.get() != program) return;
+  lru_.erase(it->second.lruIt);
+  map_.erase(it);
+}
+
+ProgramCache::Stats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.size = map_.size();
+  return s;
+}
+
+std::size_t ProgramCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+}  // namespace tssa::serve

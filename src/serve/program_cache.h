@@ -1,0 +1,111 @@
+// Shape-specialized compiled-program cache.
+//
+// Serving traffic re-runs the same few programs with the same few shapes, so
+// compilation must be paid once per (workload, pipeline kind, shape
+// signature, device, texpr flag) — the same unit of specialization that
+// TorchDynamo guards on and TensorIR serves as compiled artifacts. The cache
+// is an LRU map from ProgramKey to a ready-to-run Pipeline; concurrent
+// requests for a key being compiled block on that entry (single-flight: one
+// compile per key, everyone else reuses it), and eviction only unlinks an
+// entry — in-flight executions keep it alive through their shared_ptr.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/runtime/pipeline.h"
+
+namespace tssa::serve {
+
+/// The unit of specialization: everything that changes the compiled program
+/// or the machine it is priced for.
+struct ProgramKey {
+  std::string workload;
+  runtime::PipelineKind kind = runtime::PipelineKind::TensorSsa;
+  /// Shape guard: dtype+shape of every runtime input plus the workload
+  /// config parameters that are baked into the graph (batch, seqLen, seed).
+  std::string signature;
+  runtime::PipelineOptions options;
+
+  friend bool operator==(const ProgramKey&, const ProgramKey&) = default;
+  std::string toString() const;
+};
+
+struct ProgramKeyHash {
+  std::size_t operator()(const ProgramKey& key) const;
+};
+
+/// One cached, shape-specialized compiled program. `execMutex` serializes
+/// runs of the contained Pipeline (its interpreter and profiler are
+/// per-program state); distinct programs execute concurrently.
+struct CachedProgram {
+  std::unique_ptr<runtime::Pipeline> pipeline;  ///< set once ready
+  double compileUs = 0;
+  std::mutex execMutex;
+
+  // Single-flight rendezvous: the inserting thread compiles, everyone else
+  // waits on `readyCv` until `ready`.
+  std::mutex stateMutex;
+  std::condition_variable readyCv;
+  bool ready = false;
+  std::exception_ptr error;
+};
+
+class ProgramCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;        ///< key present (ready or compiling)
+    std::uint64_t misses = 0;      ///< key absent → a compile was started
+    std::uint64_t evictions = 0;   ///< entries unlinked by LRU pressure
+    std::uint64_t compiles = 0;    ///< successful compiles
+    double compileUsTotal = 0;     ///< wall-clock spent compiling
+    std::size_t size = 0;          ///< entries currently cached
+    double hitRate() const {
+      const std::uint64_t n = hits + misses;
+      return n == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(n);
+    }
+  };
+
+  struct Lookup {
+    std::shared_ptr<CachedProgram> program;  ///< ready: pipeline non-null
+    bool hit = false;                        ///< no compile was started by us
+    double waitUs = 0;  ///< time spent compiling or waiting on the compiler
+  };
+
+  using CompileFn = std::function<std::unique_ptr<runtime::Pipeline>()>;
+
+  explicit ProgramCache(std::size_t capacity);
+
+  /// Returns the ready program for `key`, invoking `compile` at most once
+  /// per cached key (single-flight). Rethrows the compiler's exception on
+  /// every waiter and forgets the entry so a later request can retry.
+  Lookup getOrCompile(const ProgramKey& key, const CompileFn& compile);
+
+  Stats stats() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    std::shared_ptr<CachedProgram> program;
+    std::list<ProgramKey>::iterator lruIt;
+  };
+
+  void evictExcess(const ProgramKey& justInserted);  // requires mutex_ held
+  void forget(const ProgramKey& key, const CachedProgram* program);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<ProgramKey> lru_;  ///< front = most recently used
+  std::unordered_map<ProgramKey, Slot, ProgramKeyHash> map_;
+  Stats stats_;
+};
+
+}  // namespace tssa::serve

@@ -1,0 +1,46 @@
+// Typed inference requests/responses and the engine-internal pending record
+// shared by the Engine and the MicroBatcher.
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "src/serve/metrics.h"
+#include "src/serve/program_cache.h"
+#include "src/workloads/workload.h"
+
+namespace tssa::serve {
+
+/// One inference request for a registered workload. `config` carries the
+/// shape parameters (batch, seqLen) and the seed the workload's constant
+/// weights were drawn with; `inputs` must match the workload's input
+/// signature at that config (use Engine::defaultInputs to get a valid
+/// example tuple).
+struct Request {
+  std::string workload;
+  workloads::WorkloadConfig config;
+  std::vector<runtime::RtValue> inputs;
+};
+
+struct Response {
+  std::vector<runtime::RtValue> outputs;
+  RequestTiming timing;
+  int batchedWith = 1;   ///< requests coalesced into the same execution
+  bool cacheHit = false; ///< program came from the cache (no compile)
+};
+
+/// A submitted request waiting for execution: request payload + the promise
+/// its response is delivered through + everything the batcher needs to
+/// group it (per-request program key, batch traits).
+struct PendingRequest {
+  Request request;
+  std::promise<Response> promise;
+  std::chrono::steady_clock::time_point enqueueTime;
+  ProgramKey key;                   ///< per-request (unbatched) program key
+  workloads::BatchTraits traits;
+  std::string sessionId;
+};
+
+}  // namespace tssa::serve

@@ -77,6 +77,7 @@ Workload buildAttention(const WorkloadConfig& config) {
   w.inputs.emplace_back(rng.normal({b, t, kDim}, 0.0, 0.5));
   w.inputs.emplace_back(rng.normal({b, t, kDim}, 0.0, 0.5));
   w.inputs.emplace_back(rng.normal({b, t, kDim}, 0.0, 0.5));
+  w.batchTraits = workloadBatchTraits(w.name);
   w.graph = std::move(graph);
   return w;
 }

@@ -130,6 +130,8 @@ Workload buildFcos(const WorkloadConfig& config) {
     w.inputs.emplace_back(rng.uniform({b, hw, 4}, 0.1, 4.0));
   }
   w.inputs.emplace_back(Scalar(true));
+  // `normalize` is a shared flag: coalesced requests must agree on it.
+  w.batchTraits = workloadBatchTraits(w.name);
   w.graph = std::move(graph);
   return w;
 }

@@ -78,6 +78,7 @@ Workload buildLstm(const WorkloadConfig& config) {
   w.inputs.emplace_back(rng.normal({b, t, 4 * kHidden}, 0.0, 0.5));
   w.inputs.emplace_back(rng.normal({b, kHidden}, 0.0, 0.5));
   w.inputs.emplace_back(rng.normal({b, kHidden}, 0.0, 0.5));
+  w.batchTraits = workloadBatchTraits(w.name);
   w.graph = std::move(graph);
   return w;
 }

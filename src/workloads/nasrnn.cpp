@@ -69,6 +69,7 @@ Workload buildNasRnn(const WorkloadConfig& config) {
   w.description = "NASRNN cell loop: 8 gate slices, deep elementwise tree";
   w.inputs.emplace_back(rng.normal({b, t, 8 * kHidden}, 0.0, 0.5));
   w.inputs.emplace_back(rng.normal({b, kHidden}, 0.0, 0.5));
+  w.batchTraits = workloadBatchTraits(w.name);
   w.graph = std::move(graph);
   return w;
 }

@@ -1,8 +1,56 @@
 #include "src/workloads/workload.h"
 
+#include <map>
+#include <sstream>
+
 #include "src/support/error.h"
 
 namespace tssa::workloads {
+
+std::string inputSignature(std::span<const runtime::RtValue> inputs) {
+  std::ostringstream os;
+  auto shapeOf = [&os](const Tensor& t) {
+    os << dtypeName(t.dtype()) << "[";
+    for (std::int64_t d = 0; d < t.dim(); ++d)
+      os << (d ? "," : "") << t.size(d);
+    os << "]";
+  };
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (i) os << ";";
+    const runtime::RtValue& v = inputs[i];
+    if (v.isTensor()) {
+      shapeOf(v.tensor());
+    } else if (v.isList()) {
+      os << "list(";
+      for (std::size_t j = 0; j < v.list().size(); ++j) {
+        if (j) os << ",";
+        shapeOf(v.list()[j]);
+      }
+      os << ")";
+    } else {
+      os << dtypeName(v.scalar().dtype());
+    }
+  }
+  return os.str();
+}
+
+const BatchTraits& workloadBatchTraits(const std::string& name) {
+  // All workloads batch along dim 0 of every tensor input/output; -1 marks
+  // shared scalar inputs (coalesced requests must agree on their values).
+  static const std::map<std::string, BatchTraits> table = {
+      {"yolov3", {{0, 0, 0}, {0, 0}}},
+      {"ssd", {{0, 0}, {0, 0, 0}}},
+      {"yolact", {{0, 0, -1}, {0}}},
+      {"fcos", {{0, 0, 0, 0, 0, 0, 0, 0, 0, -1}, {0, 0, 0}}},
+      {"nasrnn", {{0, 0}, {0, 0}}},
+      {"lstm", {{0, 0, 0}, {0, 0, 0}}},
+      {"seq2seq", {{0, 0}, {0, 0}}},
+      {"attention", {{0, 0, 0}, {0}}},
+  };
+  auto it = table.find(name);
+  if (it == table.end()) TSSA_THROW("unknown workload '" << name << "'");
+  return it->second;
+}
 
 const std::vector<std::string>& workloadNames() {
   static const std::vector<std::string> names = {

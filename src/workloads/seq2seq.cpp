@@ -70,6 +70,7 @@ Workload buildSeq2Seq(const WorkloadConfig& config) {
   w.description = "seq2seq decoder: dynamic-length context slice + writes";
   w.inputs.emplace_back(rng.normal({b, t, kHidden}, 0.0, 0.5));
   w.inputs.emplace_back(rng.normal({b, kHidden}, 0.0, 0.5));
+  w.batchTraits = workloadBatchTraits(w.name);
   w.graph = std::move(graph);
   return w;
 }

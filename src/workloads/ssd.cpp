@@ -82,6 +82,7 @@ Workload buildSsd(const WorkloadConfig& config) {
   w.description = "SSD prior-box decoding with slice mutations";
   w.inputs.emplace_back(rng.normal({b, kPriors, 4}, 0.0, 0.5));
   w.inputs.emplace_back(rng.normal({b, kPriors, kClasses}, 0.0, 1.0));
+  w.batchTraits = workloadBatchTraits(w.name);
   w.graph = std::move(graph);
   return w;
 }

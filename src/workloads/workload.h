@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,15 +28,51 @@ struct WorkloadConfig {
   std::uint64_t seed = 42;
 };
 
+/// How a workload's runtime interface maps onto its batch dimension. Every
+/// builder fills this in; the serving engine (src/serve) uses it to coalesce
+/// same-shape requests into one execution and to split the results back up.
+struct BatchTraits {
+  /// Per graph input: the dimension along which independent requests
+  /// concatenate, or -1 for shared (non-batched) inputs — scalars such as
+  /// yolact's `num_dets` or fcos's `normalize` flag, which must be equal
+  /// across coalesced requests.
+  std::vector<int> inputDims;
+  /// Per graph output: the dimension along which per-request results are
+  /// laid out, or -1 when an output cannot be attributed to requests.
+  std::vector<int> outputDims;
+
+  /// A workload can be micro-batched when every output can be de-interleaved
+  /// and at least one input actually carries the batch.
+  bool batchable() const {
+    if (inputDims.empty() || outputDims.empty()) return false;
+    bool anyBatchedInput = false;
+    for (int d : inputDims) anyBatchedInput |= d >= 0;
+    for (int d : outputDims)
+      if (d < 0) return false;
+    return anyBatchedInput;
+  }
+};
+
 struct Workload {
   std::string name;
   std::string description;
   std::unique_ptr<ir::Graph> graph;
   std::vector<runtime::RtValue> inputs;
+  BatchTraits batchTraits;
 };
+
+/// Compact dtype+shape signature of a runtime input tuple, e.g.
+/// "f32[1,64,128];f32[1,32];i64" — the shape-specialization guard of the
+/// serving engine's program cache (à la TorchDynamo shape guards).
+std::string inputSignature(std::span<const runtime::RtValue> inputs);
 
 /// Workload names in the order the paper's figures list them.
 const std::vector<std::string>& workloadNames();
+
+/// Batch traits of a workload, available without building its graph (the
+/// serving engine consults this on every submit). Builders fill
+/// `Workload::batchTraits` from the same table. Throws on unknown names.
+const BatchTraits& workloadBatchTraits(const std::string& name);
 
 /// Builds a workload by name; throws on unknown names.
 Workload buildWorkload(const std::string& name, const WorkloadConfig& config);

@@ -105,6 +105,8 @@ Workload buildYolact(const WorkloadConfig& config) {
   }
   w.inputs.emplace_back(std::move(boxesT));
   w.inputs.emplace_back(Scalar(kDets));
+  // num_dets is a shared scalar: coalesced requests must agree on it.
+  w.batchTraits = workloadBatchTraits(w.name);
   w.graph = std::move(graph);
   return w;
 }

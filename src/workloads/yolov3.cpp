@@ -113,6 +113,7 @@ Workload buildYolov3(const WorkloadConfig& config) {
     inputs.emplace_back(rng.normal({b, kAnchors, h, h, kBox}, 0.0, 0.8));
   }
   w.inputs = std::move(inputs);
+  w.batchTraits = workloadBatchTraits(w.name);
   w.graph = std::move(graph);
   return w;
 }

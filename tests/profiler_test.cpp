@@ -1,0 +1,132 @@
+// Profiler accumulation semantics: Pipeline::run resets the profiler before
+// executing, Pipeline::runAccumulate does not. N accumulated runs must report
+// exactly N× the launch counts (and histogram) of a single run — at one
+// worker thread and at hardware concurrency, since the executor's profiling
+// is deterministic at any thread count (DESIGN.md §6).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+#include <string>
+
+#include "src/runtime/pipeline.h"
+#include "src/runtime/thread_pool.h"
+#include "src/workloads/workload.h"
+
+namespace tssa {
+namespace {
+
+using runtime::Pipeline;
+using runtime::PipelineKind;
+using runtime::PipelineOptions;
+using runtime::Profiler;
+using runtime::RtValue;
+using workloads::buildWorkload;
+using workloads::Workload;
+using workloads::WorkloadConfig;
+
+WorkloadConfig smallConfig() {
+  WorkloadConfig c;
+  c.batch = 2;
+  c.seqLen = 6;
+  return c;
+}
+
+class ProfilerAccumulateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProfilerAccumulateTest, RunAccumulateSumsExactlyNRuns) {
+  const int threads = GetParam();
+  constexpr int kRuns = 3;
+  Workload w = buildWorkload("lstm", smallConfig());
+
+  PipelineOptions options;
+  options.threads = threads;
+  Pipeline pipeline(PipelineKind::TensorSsa, *w.graph, options);
+
+  // Baseline: one run (which resets the profiler first).
+  pipeline.run(w.inputs);
+  const Profiler& prof = pipeline.profiler();
+  const std::int64_t launches1 = prof.kernelLaunches();
+  const std::int64_t bytes1 = prof.bytesMoved();
+  const std::int64_t flops1 = prof.flops();
+  const double simUs1 = prof.simTimeUs();
+  const std::map<std::string, std::int64_t> hist1 = prof.kernelHistogram();
+  ASSERT_GT(launches1, 0);
+  ASSERT_FALSE(hist1.empty());
+
+  // N accumulated runs: run() resets, then kRuns-1 × runAccumulate on top.
+  pipeline.run(w.inputs);
+  for (int i = 1; i < kRuns; ++i) pipeline.runAccumulate(w.inputs);
+
+  EXPECT_EQ(prof.kernelLaunches(), kRuns * launches1);
+  EXPECT_EQ(prof.bytesMoved(), kRuns * bytes1);
+  EXPECT_EQ(prof.flops(), kRuns * flops1);
+  // Simulated time is a sum of doubles; identical per-run terms, so the
+  // total is N× the single run up to floating-point accumulation error.
+  EXPECT_NEAR(prof.simTimeUs(), kRuns * simUs1, 1e-6 * kRuns * simUs1);
+
+  const std::map<std::string, std::int64_t>& histN = prof.kernelHistogram();
+  ASSERT_EQ(histN.size(), hist1.size());
+  for (const auto& [name, count] : hist1) {
+    auto it = histN.find(name);
+    ASSERT_NE(it, histN.end()) << name;
+    EXPECT_EQ(it->second, kRuns * count) << name;
+  }
+}
+
+TEST_P(ProfilerAccumulateTest, RunResetsAccumulatedState) {
+  const int threads = GetParam();
+  Workload w = buildWorkload("attention", smallConfig());
+
+  PipelineOptions options;
+  options.threads = threads;
+  Pipeline pipeline(PipelineKind::TensorSsa, *w.graph, options);
+
+  pipeline.run(w.inputs);
+  const std::int64_t launches1 = pipeline.profiler().kernelLaunches();
+  const double simUs1 = pipeline.profiler().simTimeUs();
+
+  // Pile up accumulated state, then verify a fresh run() discards it.
+  pipeline.runAccumulate(w.inputs);
+  pipeline.runAccumulate(w.inputs);
+  ASSERT_GT(pipeline.profiler().kernelLaunches(), launches1);
+
+  pipeline.run(w.inputs);
+  EXPECT_EQ(pipeline.profiler().kernelLaunches(), launches1);
+  EXPECT_DOUBLE_EQ(pipeline.profiler().simTimeUs(), simUs1);
+}
+
+TEST(ProfilerResetTest, ResetClearsEveryCounter) {
+  Profiler prof(runtime::DeviceSpec::dataCenter(), runtime::HostSpec{});
+  prof.kernel("add", /*bytes=*/1024, /*flops=*/256, /*hostUs=*/1.5);
+  prof.opDispatch();
+  ASSERT_EQ(prof.kernelLaunches(), 1);
+  ASSERT_GT(prof.simTimeUs(), 0.0);
+
+  prof.reset();
+  EXPECT_EQ(prof.kernelLaunches(), 0);
+  EXPECT_EQ(prof.bytesMoved(), 0);
+  EXPECT_EQ(prof.flops(), 0);
+  EXPECT_DOUBLE_EQ(prof.gpuTimeUs(), 0.0);
+  EXPECT_DOUBLE_EQ(prof.hostTimeUs(), 0.0);
+  EXPECT_DOUBLE_EQ(prof.simTimeUs(), 0.0);
+  EXPECT_TRUE(prof.kernelHistogram().empty());
+}
+
+std::vector<int> threadCounts() {
+  // On a single-core host 1 and hardwareThreads() coincide; gtest rejects
+  // duplicate parameterized test names, so dedupe.
+  std::vector<int> counts = {1};
+  if (runtime::ThreadPool::hardwareThreads() > 1)
+    counts.push_back(runtime::ThreadPool::hardwareThreads());
+  return counts;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Threads, ProfilerAccumulateTest, ::testing::ValuesIn(threadCounts()),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return "threads" + std::to_string(info.param);
+    });
+
+}  // namespace
+}  // namespace tssa
