@@ -40,7 +40,7 @@ void ThreadPool::submit(std::function<void()> task, int minWorkers) {
   ensureWorkers(std::max(minWorkers, 1));
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.emplace_back(std::move(task));
+    taskQueue_.emplace_back(std::move(task));
   }
   wake_.notify_one();
 }
@@ -50,10 +50,20 @@ void ThreadPool::workerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      wake_.wait(lock, [this] {
+        return stopping_ || !chunkQueue_.empty() || !taskQueue_.empty();
+      });
+      // Chunk tasks first: they gate a parallelFor barrier someone is
+      // spinning on, while submitted tasks are whole batches.
+      if (!chunkQueue_.empty()) {
+        task = std::move(chunkQueue_.front());
+        chunkQueue_.pop_front();
+      } else if (!taskQueue_.empty()) {
+        task = std::move(taskQueue_.front());
+        taskQueue_.pop_front();
+      } else {
+        return;  // stopping
+      }
     }
     task();
   }
@@ -99,7 +109,7 @@ void ThreadPool::parallelFor(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (int c = 1; c < chunks; ++c) {
-      queue_.emplace_back([runChunk, barrier, c] {
+      chunkQueue_.emplace_back([runChunk, barrier, c] {
         runChunk(c);
         {
           std::lock_guard<std::mutex> dlock(barrier->mutex);
@@ -114,9 +124,13 @@ void ThreadPool::parallelFor(
   runChunk(0);  // the caller takes the first (cache-warm) chunk
 
   // Helping barrier: while chunks of this region are pending, the caller
-  // executes queued tasks (possibly belonging to other regions) instead of
-  // blocking. This makes nested parallelFor calls deadlock-free even when
-  // every worker thread is itself parked on an inner barrier.
+  // executes queued chunk tasks (possibly belonging to other regions)
+  // instead of blocking. This makes nested parallelFor calls deadlock-free
+  // even when every worker thread is itself parked on an inner barrier.
+  // Only chunk tasks are stolen: submit()ed tasks may block on locks the
+  // caller's thread already holds (e.g. the serving engine's per-program
+  // exec mutex) and running one here could self-deadlock or form a lock
+  // cycle between two helping callers.
   for (;;) {
     {
       std::lock_guard<std::mutex> block(barrier->mutex);
@@ -125,9 +139,9 @@ void ThreadPool::parallelFor(
     std::function<void()> task;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (!queue_.empty()) {
-        task = std::move(queue_.front());
-        queue_.pop_front();
+      if (!chunkQueue_.empty()) {
+        task = std::move(chunkQueue_.front());
+        chunkQueue_.pop_front();
       }
     }
     if (task) {

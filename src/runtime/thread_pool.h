@@ -6,8 +6,9 @@
 // *static chunking*: `parallelFor(n, w, fn)` splits [0, n) into at most `w`
 // contiguous chunks, runs chunk 0 on the calling thread (which keeps the hot
 // cache where the operands were produced), and returns only after every
-// chunk finished — while waiting, the caller *helps* execute queued tasks,
-// which makes nested parallelFor calls deadlock-free.
+// chunk finished — while waiting, the caller *helps* execute queued chunk
+// tasks (never blocking submit()ed tasks), which makes nested parallelFor
+// calls deadlock-free.
 // Exceptions thrown inside chunks are collected and the
 // lowest-chunk-index one is rethrown on the caller after the barrier, so a
 // failing parallel region behaves like its serial equivalent.
@@ -60,6 +61,13 @@ class ThreadPool {
   /// Used by the serving engine to execute micro-batches on the same pool
   /// that runs their ParallelMap / fused-kernel chunks (the helping barrier
   /// in parallelFor keeps that nesting deadlock-free).
+  ///
+  /// Submitted tasks may block (the engine's batch tasks take a per-program
+  /// exec mutex), so they are ONLY ever run by dedicated worker threads —
+  /// never by the helping barrier. A parallelFor caller that stole one could
+  /// otherwise block on a lock its own thread (or a peer helper) already
+  /// holds and deadlock; helpers steal chunk tasks exclusively, which never
+  /// block on caller-held locks.
   void submit(std::function<void()> task, int minWorkers = 1);
 
   /// Number of live worker threads (excluding callers). Grows on demand.
@@ -71,7 +79,10 @@ class ThreadPool {
 
   std::mutex mutex_;
   std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
+  /// parallelFor chunk tasks: non-blocking, stealable by helping barriers.
+  std::deque<std::function<void()>> chunkQueue_;
+  /// submit()ed tasks: may block on external locks, workers only.
+  std::deque<std::function<void()>> taskQueue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
 };

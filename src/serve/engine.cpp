@@ -221,10 +221,14 @@ void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
                                 execStart - batch[static_cast<std::size_t>(j)]
                                                 ->enqueueTime)
                                 .count();
-      resp.timing.compileUs = lookup.waitUs;
+      // Every request in the batch waited out the same compile (or none):
+      // compileUs is that shared wait, zero when the program was already
+      // ready. cacheHit means "paid no compile", so a single-flight waiter
+      // that blocked for the full compile reports a miss, not a hit.
+      resp.timing.compileUs = lookup.wasReady ? 0.0 : lookup.waitUs;
       resp.timing.execUs = execUs;
       resp.batchedWith = k;
-      resp.cacheHit = lookup.hit;
+      resp.cacheHit = lookup.wasReady;
       responses.push_back(std::move(resp));
     }
   } catch (...) {

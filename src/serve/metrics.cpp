@@ -1,18 +1,23 @@
 #include "src/serve/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace tssa::serve {
 
 namespace {
 
-/// Nearest-rank percentile over an unsorted sample copy.
+/// Nearest-rank percentile over an unsorted sample copy: the smallest
+/// sample x such that at least q·n samples are <= x, i.e. 1-based rank
+/// ceil(q·n). (A floor here would be off by one: p50 of 2 samples must be
+/// the lower one, and p99 of 100 samples the 99th, not the maximum.)
 double percentile(std::vector<double> xs, double q) {
   if (xs.empty()) return 0;
   std::sort(xs.begin(), xs.end());
   const auto n = static_cast<double>(xs.size());
-  auto rank = static_cast<std::size_t>(q * n);
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  rank = rank == 0 ? 0 : rank - 1;
   if (rank >= xs.size()) rank = xs.size() - 1;
   return xs[rank];
 }

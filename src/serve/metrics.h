@@ -15,7 +15,11 @@ namespace tssa::serve {
 /// Latency decomposition of one served request, all in microseconds.
 struct RequestTiming {
   double queueUs = 0;    ///< submit → the batch actually starts executing
-  double compileUs = 0;  ///< program-cache fill (or wait on a concurrent fill)
+  /// Time this request spent blocked on program compilation (its own batch's
+  /// compile or a concurrent single-flight one); 0 on a cache hit. Shared by
+  /// every request of a coalesced batch — the engine-wide compile wall-clock
+  /// is MetricsSnapshot::compileUsTotal, which counts each compile once.
+  double compileUs = 0;
   double execUs = 0;     ///< batched run + response de-interleave
   double totalUs() const { return queueUs + compileUs + execUs; }
 };

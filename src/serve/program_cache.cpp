@@ -85,16 +85,18 @@ ProgramCache::Lookup ProgramCache::getOrCompile(const ProgramKey& key,
       ++stats_.compiles;
       stats_.compileUsTotal += us;
     }
-    return {std::move(program), false, us};
+    return {std::move(program), false, false, us};
   }
 
   // Someone else is (or was) compiling: wait for the rendezvous.
+  bool wasReady = false;
   {
     std::unique_lock<std::mutex> lock(program->stateMutex);
+    wasReady = program->ready;
     program->readyCv.wait(lock, [&] { return program->ready; });
     if (program->error != nullptr) std::rethrow_exception(program->error);
   }
-  return {std::move(program), true, elapsedUs()};
+  return {std::move(program), true, wasReady, elapsedUs()};
 }
 
 void ProgramCache::evictExcess(const ProgramKey& justInserted) {
@@ -104,6 +106,15 @@ void ProgramCache::evictExcess(const ProgramKey& justInserted) {
     --it;
     if (*it == justInserted) continue;
     auto mapIt = map_.find(*it);
+    {
+      // Never evict an entry whose compile is still in flight: a re-request
+      // of the key would miss and start a duplicate compile of the same
+      // program, breaking single-flight. The map may exceed capacity until
+      // those compiles finish; a later insert evicts them. (Lock order is
+      // always mutex_ → stateMutex, never the reverse.)
+      std::lock_guard<std::mutex> slock(mapIt->second.program->stateMutex);
+      if (!mapIt->second.program->ready) continue;
+    }
     mapIt->second.program.reset();  // in-flight users keep their shared_ptr
     map_.erase(mapIt);
     it = lru_.erase(it);

@@ -75,7 +75,11 @@ class ProgramCache {
 
   struct Lookup {
     std::shared_ptr<CachedProgram> program;  ///< ready: pipeline non-null
-    bool hit = false;                        ///< no compile was started by us
+    bool hit = false;      ///< key was present (no compile started by us)
+    /// True only when the compile had already finished at lookup time: the
+    /// request paid no compilation latency. A single-flight waiter that
+    /// blocked on a concurrent compile has hit=true but wasReady=false.
+    bool wasReady = false;
     double waitUs = 0;  ///< time spent compiling or waiting on the compiler
   };
 

@@ -28,7 +28,10 @@ struct Response {
   std::vector<runtime::RtValue> outputs;
   RequestTiming timing;
   int batchedWith = 1;   ///< requests coalesced into the same execution
-  bool cacheHit = false; ///< program came from the cache (no compile)
+  /// Program was compiled and ready when this request's batch looked it up
+  /// (timing.compileUs == 0). False both when this batch compiled it and
+  /// when it blocked on a concurrent single-flight compile.
+  bool cacheHit = false;
 };
 
 /// A submitted request waiting for execution: request payload + the promise

@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 #include "src/runtime/pipeline.h"
 #include "src/runtime/thread_pool.h"
@@ -114,6 +117,68 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
         }
       });
   EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPoolTest, HelpingBarrierNeverStealsSubmittedTasks) {
+  // Regression: submit()ed tasks may block on locks the parallelFor caller
+  // holds (the serving engine's per-program exec mutex). If the helping
+  // barrier stole this task, the caller would run it on its own thread and
+  // self-deadlock on the non-recursive mutex it already holds.
+  std::mutex m;
+  std::atomic<bool> taskRan{false};
+  std::atomic<bool> taskDone{false};  // set after m is released
+  std::unique_lock<std::mutex> held(m);
+  ThreadPool::shared().submit([&] {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      taskRan = true;
+    }
+    taskDone = true;
+  });
+  std::atomic<std::int64_t> sum{0};
+  ThreadPool::shared().parallelFor(
+      256, 8, [&](std::int64_t begin, std::int64_t end, int /*chunk*/) {
+        for (std::int64_t i = begin; i < end; ++i) sum += i;
+      });
+  EXPECT_EQ(sum.load(), 256 * 255 / 2);
+  EXPECT_FALSE(taskRan.load());  // parked on a worker, never stolen
+  held.unlock();
+  // Wait on taskDone, not taskRan: it is ordered after the worker's unlock,
+  // so destroying m below cannot race with that unlock.
+  while (!taskDone.load()) std::this_thread::yield();
+  EXPECT_TRUE(taskRan.load());
+}
+
+TEST(ThreadPoolTest, LockHoldingTasksWithNestedParallelForDoNotDeadlock) {
+  // The serving-engine shape: pool tasks serialize on a shared mutex and
+  // call parallelFor while holding it (threaded interpreter). The helping
+  // barrier must not pop a sibling task that needs the same mutex — doing
+  // so self-deadlocks (same thread) or forms a lock cycle (two helpers).
+  std::mutex programMutex;
+  std::atomic<int> done{0};
+  constexpr int kBatches = 8;
+  for (int b = 0; b < kBatches; ++b) {
+    ThreadPool::shared().submit(
+        [&] {
+          {
+            std::lock_guard<std::mutex> lock(programMutex);
+            std::atomic<std::int64_t> local{0};
+            ThreadPool::shared().parallelFor(
+                64, 4, [&](std::int64_t begin, std::int64_t end, int /*c*/) {
+                  for (std::int64_t i = begin; i < end; ++i) local += i;
+                });
+            EXPECT_EQ(local.load(), 64 * 63 / 2);
+          }
+          ++done;  // after unlock: done==kBatches ⇒ safe to destroy the mutex
+        },
+        /*minWorkers=*/4);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (done.load() < kBatches &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  EXPECT_EQ(done.load(), kBatches);
 }
 
 // ---- Bitwise determinism across thread counts -----------------------------

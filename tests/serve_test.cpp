@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <thread>
 #include <vector>
@@ -137,6 +138,130 @@ TEST(ServeCacheTest, SingleFlightCompilesOncePerKeyUnderConcurrency) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(compiles.load(), 1);
   EXPECT_EQ(hits.load(), 7);
+}
+
+TEST(ServeCacheTest, EvictionSkipsInFlightCompiles) {
+  // Capacity pressure while a compile is in flight must not evict the
+  // compiling entry: a re-request of that key would miss and start a
+  // duplicate compile of the identical program, breaking single-flight.
+  ProgramCache cache(/*capacity=*/1);
+  workloads::Workload w = workloads::buildWorkload("lstm", smallConfig());
+  auto makePipeline = [&] {
+    return std::make_unique<runtime::Pipeline>(PipelineKind::TensorSsa,
+                                               *w.graph);
+  };
+  ProgramKey a;
+  a.workload = "lstm";
+  a.signature = "a";
+  ProgramKey b;
+  b.workload = "lstm";
+  b.signature = "b";
+
+  std::promise<void> compileStarted;
+  std::promise<void> release;
+  std::future<void> releaseFuture = release.get_future();
+  std::atomic<int> compilesOfA{0};
+  std::thread slow([&] {
+    cache.getOrCompile(a, [&] {
+      ++compilesOfA;
+      compileStarted.set_value();
+      releaseFuture.wait();
+      return makePipeline();
+    });
+  });
+  compileStarted.get_future().wait();
+
+  // Inserting b exceeds capacity while a is still compiling; the walk must
+  // skip a (not ready) and leave the cache temporarily over capacity.
+  cache.getOrCompile(b, makePipeline);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  release.set_value();
+  slow.join();
+
+  ProgramCache::Lookup again = cache.getOrCompile(a, [&] {
+    ++compilesOfA;
+    return makePipeline();
+  });
+  EXPECT_TRUE(again.hit);
+  EXPECT_TRUE(again.wasReady);
+  EXPECT_EQ(compilesOfA.load(), 1);  // a was never evicted mid-compile
+}
+
+TEST(ServeCacheTest, SingleFlightWaiterIsNotAReadyHit) {
+  // A lookup that blocks on a concurrent compile paid the compile latency:
+  // it reports hit (key present) but not wasReady (the engine surfaces
+  // wasReady as Response::cacheHit).
+  ProgramCache cache(4);
+  workloads::Workload w = workloads::buildWorkload("lstm", smallConfig());
+  auto makePipeline = [&] {
+    return std::make_unique<runtime::Pipeline>(PipelineKind::TensorSsa,
+                                               *w.graph);
+  };
+  ProgramKey key;
+  key.workload = "lstm";
+  key.signature = "sig";
+
+  std::promise<void> compileStarted;
+  std::promise<void> release;
+  std::future<void> releaseFuture = release.get_future();
+  std::thread compiler([&] {
+    cache.getOrCompile(key, [&] {
+      compileStarted.set_value();
+      releaseFuture.wait();
+      return makePipeline();
+    });
+  });
+  compileStarted.get_future().wait();
+
+  std::atomic<bool> entered{false};
+  ProgramCache::Lookup waited;
+  std::thread waiter([&] {
+    entered = true;
+    waited = cache.getOrCompile(key, [&] {
+      ADD_FAILURE() << "single-flight violated: waiter compiled";
+      return makePipeline();
+    });
+  });
+  // The waiter cannot return before `release`; give it a moment to reach
+  // the rendezvous so it observes ready == false.
+  while (!entered.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  release.set_value();
+  compiler.join();
+  waiter.join();
+
+  EXPECT_TRUE(waited.hit);
+  EXPECT_FALSE(waited.wasReady);  // blocked for the compile → not a hit
+  ProgramCache::Lookup warm = cache.getOrCompile(key, makePipeline);
+  EXPECT_TRUE(warm.wasReady);
+}
+
+// ---- metrics math ----------------------------------------------------------
+
+TEST(ServeMetricsTest, NearestRankPercentilesAreExact) {
+  serve::MetricsCollector collector;
+  for (int i = 1; i <= 100; ++i) {
+    serve::RequestTiming t;
+    t.queueUs = i;
+    collector.recordRequest(t);
+  }
+  serve::MetricsSnapshot snap;
+  collector.fill(snap);
+  EXPECT_EQ(snap.total.p50Us, 50.0);
+  EXPECT_EQ(snap.total.p95Us, 95.0);
+  EXPECT_EQ(snap.total.p99Us, 99.0);  // the 99th sample, not the maximum
+  EXPECT_EQ(snap.total.maxUs, 100.0);
+
+  serve::MetricsCollector two;
+  for (double us : {100.0, 200.0}) {
+    serve::RequestTiming t;
+    t.queueUs = us;
+    two.recordRequest(t);
+  }
+  serve::MetricsSnapshot pair;
+  two.fill(pair);
+  EXPECT_EQ(pair.total.p50Us, 100.0);  // p50 of [a, b] is a, not b
+  EXPECT_EQ(pair.total.p99Us, 200.0);
 }
 
 // ---- (b) micro-batched == individual, bitwise -----------------------------
@@ -273,6 +398,8 @@ TEST(ServeConcurrencyTest, EightConcurrentSessionsComeBackClean) {
         try {
           Response resp = session.infer(std::move(r));
           if (resp.outputs.empty()) ++failures;
+          // Invariant: a reported hit never carries compile latency.
+          if (resp.cacheHit && resp.timing.compileUs != 0.0) ++failures;
         } catch (...) {
           ++failures;
         }
@@ -293,6 +420,29 @@ TEST(ServeConcurrencyTest, EightConcurrentSessionsComeBackClean) {
   // whatever batched row-counts materialized — but every program compiled
   // at most once (cache_hit path from then on).
   EXPECT_EQ(snap.cacheCompiles, snap.cacheMisses);
+}
+
+TEST(ServeConcurrencyTest, ThreadedInterpreterBatchesDoNotDeadlock) {
+  // pipeline.threads != 1 makes each batch task call parallelFor while
+  // holding its program's execMutex. The pool's helping barrier must never
+  // steal a sibling batch task there: same program → self-deadlock on the
+  // non-recursive mutex; two programs → a lock cycle between two helpers.
+  EngineOptions o;
+  o.maxBatch = 2;
+  o.maxWaitUs = 100;
+  o.pipeline.threads = 4;
+  Engine engine(o);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 12; ++i) {
+    Request r;
+    r.workload = (i % 2) != 0 ? "lstm" : "attention";
+    r.config = smallConfig(1, 6);
+    r.inputs = randomInputs(r.workload, r.config,
+                            static_cast<std::uint64_t>(40 + i));
+    futures.push_back(engine.submit(std::move(r)));
+  }
+  for (auto& f : futures) EXPECT_FALSE(f.get().outputs.empty());
+  EXPECT_EQ(engine.metrics().errors, 0u);
 }
 
 // ---- engine error handling -------------------------------------------------
@@ -331,6 +481,7 @@ TEST(ServeEngineTest, ResponsesCarryLatencyDecomposition) {
 
   Response warm = engine.submit(r).get();
   EXPECT_TRUE(warm.cacheHit);
+  EXPECT_EQ(warm.timing.compileUs, 0.0);  // hits pay no compile latency
 }
 
 TEST(ServeEngineTest, BatchTraitsRegistryMatchesBuiltWorkloads) {
