@@ -1,0 +1,112 @@
+// Memory-planner benchmark: steady-state allocation behaviour of the
+// liveness-driven arena (DESIGN.md §8).
+//
+// For each workload compiled through the TensorSsa pipeline this prints the
+// cold-run allocation counters (run 1: the pool is empty, everything is a
+// fresh heap allocation) against the steady-state counters (run 4: the pool
+// holds the previous runs' buffers), plus the resulting reduction factor in
+// heap allocations per run. The acceptance bar for the planner is a >= 10x
+// steady-state reduction on at least one fused workload.
+//
+// The google-benchmark timers then measure real wall clock of repeated runs
+// with the planner on vs. off, on the fused workloads where the allocation
+// churn is concentrated.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/runtime/pipeline.h"
+#include "src/workloads/workload.h"
+
+namespace {
+
+using namespace tssa;
+
+runtime::PipelineOptions optionsWithPlan(bool plan) {
+  runtime::PipelineOptions o;
+  o.memoryPlan = plan;
+  return o;
+}
+
+const std::vector<std::string>& benchWorkloads() {
+  static const std::vector<std::string> names = {
+      "attention", "lstm", "nasrnn", "seq2seq",
+      "fcos",      "ssd",  "yolact", "yolov3"};
+  return names;
+}
+
+void printAllocationTable() {
+  std::printf(
+      "steady-state allocation counters, TensorSsa pipeline "
+      "(batch=2, seqLen=16)\n");
+  std::printf("%-10s %12s %12s %12s %12s %10s\n", "workload", "cold_fresh",
+              "warm_fresh", "warm_reused", "warm_recycled", "reduction");
+  for (const std::string& name : benchWorkloads()) {
+    workloads::Workload w =
+        workloads::buildWorkload(name, {.batch = 2, .seqLen = 16});
+    runtime::Pipeline pipeline(runtime::PipelineKind::TensorSsa, *w.graph,
+                               optionsWithPlan(true));
+    pipeline.run(w.inputs);
+    const auto cold = pipeline.profiler().memoryCounters();
+    pipeline.run(w.inputs);
+    pipeline.run(w.inputs);
+    pipeline.run(w.inputs);
+    const auto warm = pipeline.profiler().memoryCounters();
+    const double reduction =
+        warm.freshAllocs > 0
+            ? static_cast<double>(cold.freshAllocs) /
+                  static_cast<double>(warm.freshAllocs)
+            : static_cast<double>(cold.freshAllocs);
+    std::printf("%-10s %12lld %12lld %12lld %12lld %9.1fx\n", name.c_str(),
+                static_cast<long long>(cold.freshAllocs),
+                static_cast<long long>(warm.freshAllocs),
+                static_cast<long long>(warm.reusedAllocs),
+                static_cast<long long>(warm.recycled), reduction);
+  }
+  std::printf("\n");
+}
+
+void BM_WorkloadRun(benchmark::State& state, const std::string& name,
+                    bool plan) {
+  workloads::Workload w =
+      workloads::buildWorkload(name, {.batch = 2, .seqLen = 16});
+  runtime::Pipeline pipeline(runtime::PipelineKind::TensorSsa, *w.graph,
+                             optionsWithPlan(plan));
+  pipeline.run(w.inputs);  // warm up: compile kernels, fill the pool
+  for (auto _ : state) {
+    auto outputs = pipeline.run(w.inputs);
+    benchmark::DoNotOptimize(outputs);
+  }
+  const auto counters = pipeline.profiler().memoryCounters();
+  state.counters["fresh"] = static_cast<double>(counters.freshAllocs);
+  state.counters["reused"] = static_cast<double>(counters.reusedAllocs);
+}
+
+void registerBenchmarks() {
+  for (const std::string& name : {std::string("attention"),
+                                  std::string("lstm"),
+                                  std::string("nasrnn")}) {
+    benchmark::RegisterBenchmark(("BM_" + name + "/plan:on").c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_WorkloadRun(s, name, true);
+                                 });
+    benchmark::RegisterBenchmark(("BM_" + name + "/plan:off").c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_WorkloadRun(s, name, false);
+                                 });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printAllocationTable();
+  registerBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -58,6 +58,51 @@ void BM_ViewSelectCopy(benchmark::State& state) {
 }
 BENCHMARK(BM_ViewSelectCopy);
 
+// Transposed (non-contiguous) operands exercise the typed strided loop of
+// binaryOp/where/copy_ — before that fallback existed every element went
+// through the double-boxing scalarAt/setScalarAt path. Compare against
+// BM_TensorAdd at the same element count for the contiguous fast path.
+void BM_TensorAddTransposed(benchmark::State& state) {
+  Rng rng(6);
+  const std::int64_t n = state.range(0);
+  Tensor a = rng.uniform({n, n}).transpose(0, 1);
+  Tensor b = rng.uniform({n, n});
+  for (auto _ : state) {
+    Tensor c = ops::add(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TensorAddTransposed)->Arg(32)->Arg(256);
+
+void BM_WhereTransposed(benchmark::State& state) {
+  Rng rng(7);
+  const std::int64_t n = state.range(0);
+  Tensor cond =
+      ops::gt(rng.uniform({n, n}), Tensor::full({}, Scalar(0.5)));
+  Tensor a = rng.uniform({n, n}).transpose(0, 1);
+  Tensor b = rng.uniform({n, n});
+  for (auto _ : state) {
+    Tensor c = ops::where(cond, a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_WhereTransposed)->Arg(256);
+
+void BM_CopyTransposed(benchmark::State& state) {
+  Rng rng(8);
+  const std::int64_t n = state.range(0);
+  Tensor dst = Tensor::zeros({n, n});
+  Tensor src = rng.uniform({n, n}).transpose(0, 1);
+  for (auto _ : state) {
+    dst.copy_(src);
+    benchmark::DoNotOptimize(dst);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_CopyTransposed)->Arg(256);
+
 void BM_StridedSliceFill(benchmark::State& state) {
   Tensor a = Tensor::zeros({1 << 16});
   for (auto _ : state) {

@@ -1,0 +1,133 @@
+#include "src/analysis/liveness.h"
+
+#include "src/support/error.h"
+
+namespace tssa::analysis {
+namespace {
+
+using ir::Block;
+using ir::Node;
+using ir::Use;
+using ir::Value;
+
+/// Walks `user` up the region nesting until reaching the node that lives
+/// directly in `scope` (possibly `user` itself). Returns nullptr when `user`
+/// is not nested under `scope` — with SSA dominance that cannot happen for a
+/// use of a value defined in `scope`, but the walk is kept defensive: an
+/// unattributable use simply means "never release", which is always safe.
+const Node* ancestorIn(const Node* user, const Block* scope) {
+  const Node* n = user;
+  while (n != nullptr) {
+    const Block* b = n->owningBlock();
+    if (b == scope) return n;
+    n = b == nullptr ? nullptr : b->owningNode();
+  }
+  return nullptr;
+}
+
+class Planner {
+ public:
+  MemoryPlan take() && { return std::move(plan_); }
+
+  void planBlock(const Block& block) {
+    // Lexical position of every node in this block (the Return sentinel is
+    // not part of the iteration and is handled separately as "escape").
+    std::unordered_map<const Node*, std::size_t> order;
+    std::vector<const Node*> nodes;
+    for (const Node* node : block) {
+      order.emplace(node, nodes.size());
+      nodes.push_back(node);
+    }
+
+    // Death point of one value defined in this block (param or node output):
+    // the block-level node containing its last use, or nullptr when the
+    // value escapes through the block's Return sentinel (or has no use at
+    // all as a param).
+    auto deathOf = [&](const Value* v, const Node* def) -> const Node* {
+      const Node* last = def;  // unused node outputs die where they are born
+      std::size_t lastPos = def != nullptr ? order.at(def) : 0;
+      for (const Use& use : v->uses()) {
+        if (use.user == block.returnNode()) return nullptr;  // escapes
+        const Node* at = ancestorIn(use.user, &block);
+        if (at == nullptr || at == block.returnNode()) return nullptr;
+        const std::size_t pos = order.at(at);
+        if (last == nullptr || pos >= lastPos) {
+          last = at;
+          lastPos = pos;
+        }
+      }
+      return last;
+    };
+
+    auto consider = [&](const Value* v, const Node* def) {
+      ++plan_.totalValues;
+      if (const Node* death = deathOf(v, def)) {
+        plan_.deathsAfter[death].push_back(v);
+        ++plan_.plannedDeaths;
+      }
+    };
+
+    for (const Value* param : block.params()) consider(param, nullptr);
+    for (const Node* node : nodes)
+      for (const Value* out : node->outputs()) consider(out, node);
+
+    // Linear-scan slot assignment over the block in program order, recursing
+    // into nested regions so their values interleave with ours on the shared
+    // free list (a nested region's scratch can reuse a slot our dead value
+    // just released, and vice versa once the region's own values are done).
+    std::vector<const Value*> blockOwned;
+    for (const Value* param : block.params()) {
+      plan_.slots.emplace(param, acquireSlot());
+      blockOwned.push_back(param);
+    }
+    for (const Node* node : nodes) {
+      for (const Block* nested : node->blocks()) planBlock(*nested);
+      for (const Value* out : node->outputs()) {
+        plan_.slots.emplace(out, acquireSlot());
+        blockOwned.push_back(out);
+      }
+      if (const auto* deaths = plan_.deathsFor(node))
+        for (const Value* v : *deaths) releaseSlot(plan_.slots.at(v));
+    }
+    // The block's frame is gone once it returns: slots of values that never
+    // died inside it (escapers, unused params) become free for whatever runs
+    // after the owning node.
+    for (const Value* v : blockOwned) {
+      const int slot = plan_.slots.at(v);
+      if (!released_[static_cast<std::size_t>(slot)]) releaseSlot(slot);
+    }
+  }
+
+ private:
+  int acquireSlot() {
+    if (!freeSlots_.empty()) {
+      const int s = freeSlots_.back();
+      freeSlots_.pop_back();
+      released_[static_cast<std::size_t>(s)] = false;
+      return s;
+    }
+    const int s = plan_.slotCount++;
+    released_.push_back(false);
+    return s;
+  }
+
+  void releaseSlot(int slot) {
+    if (released_[static_cast<std::size_t>(slot)]) return;
+    released_[static_cast<std::size_t>(slot)] = true;
+    freeSlots_.push_back(slot);
+  }
+
+  MemoryPlan plan_;
+  std::vector<int> freeSlots_;
+  std::vector<bool> released_;
+};
+
+}  // namespace
+
+MemoryPlan planMemory(const ir::Graph& graph) {
+  Planner planner;
+  planner.planBlock(*graph.topBlock());
+  return std::move(planner).take();
+}
+
+}  // namespace tssa::analysis

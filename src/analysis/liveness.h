@@ -1,0 +1,59 @@
+// Liveness-driven memory planning over the structured SSA graph.
+//
+// Because functionalization leaves every value in SSA form, "last use" is
+// well-defined per block: a value defined in block B dies right after the
+// B-level node that (transitively) contains its lexically last user. Uses
+// inside nested regions (`prim::If` branches, `prim::Loop` bodies,
+// FusionGroup / ParallelMap bodies) are attributed to the containing node at
+// B's level, so carried values stay live across every iteration of a loop
+// that reads them and die only once the loop completes. A value consumed by
+// its own block's Return sentinel escapes the block and never dies inside
+// it — this is the static half of the escape rule (the Arena's refcount
+// check is the dynamic half, see src/tensor/arena.h and DESIGN.md §8).
+//
+// The plan has two products: per-node death lists the interpreter uses to
+// release bindings (and recycle their buffers) as soon as they can no longer
+// be read, and a linear-scan slot assignment that documents the static reuse
+// structure (how many distinct buffers a planned program actually needs).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace tssa::analysis {
+
+/// The static buffer plan for one compiled graph. Keys are Node*/Value*
+/// identities of that exact graph instance.
+struct MemoryPlan {
+  /// Values whose last use (in their defining block) is this node: their
+  /// bindings can be dropped right after the node executes. Inside a loop
+  /// body the release re-runs every iteration; the value is re-bound when
+  /// its defining node executes again.
+  std::unordered_map<const ir::Node*, std::vector<const ir::Value*>>
+      deathsAfter;
+
+  /// Liveness-driven slot assignment: values that are never live at the same
+  /// time share a slot. The runtime realizes slot sharing dynamically via
+  /// the Arena's size-class pool; these numbers document the static
+  /// structure and feed the planner's tests.
+  std::unordered_map<const ir::Value*, int> slots;
+  int slotCount = 0;            ///< distinct slots after reuse
+  std::size_t totalValues = 0;  ///< values the analysis considered
+  std::size_t plannedDeaths = 0;  ///< values that die somewhere
+
+  const std::vector<const ir::Value*>* deathsFor(const ir::Node* node) const {
+    auto it = deathsAfter.find(node);
+    return it == deathsAfter.end() ? nullptr : &it->second;
+  }
+};
+
+/// Builds the memory plan for `graph`. Valid for any graph the interpreter
+/// can run (pre- or post-TensorSSA): the plan only encodes earliest release
+/// points, and the runtime still proves sole ownership via the storage
+/// refcount before recycling anything.
+MemoryPlan planMemory(const ir::Graph& graph);
+
+}  // namespace tssa::analysis

@@ -1,6 +1,7 @@
 #include "src/runtime/interpreter.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/ir/printer.h"
 #include "src/runtime/thread_pool.h"
@@ -92,8 +93,31 @@ std::vector<RtValue> Interpreter::run(const ir::Graph& graph,
   for (std::size_t i = 0; i < inputs.size(); ++i)
     env[graph.inputs()[i]] = inputs[i];
   ExecContext ctx;
+  // With a plan attached, publish the root arena for the whole run:
+  // Tensor::empty then draws intermediates from the pool. Graph inputs and
+  // outputs are held by the caller (refcount > 1), so they are never pooled
+  // and nothing a caller sees ever aliases arena memory.
+  std::optional<Arena::Scope> arenaScope;
+  Arena::Stats before;
+  if (plan_ != nullptr) {
+    if (arena_ == nullptr) arena_ = std::make_unique<Arena>();
+    ctx.arena = arena_.get();
+    before = arena_->stats();
+    arenaScope.emplace(arena_.get());
+  }
   runBlockBody(*graph.topBlock(), env, ctx);
-  return blockReturns(*graph.topBlock(), env);
+  std::vector<RtValue> outs = blockReturns(*graph.topBlock(), env);
+  // Sweep what is still bound (escaped-to-return values, stale branch
+  // bindings) into the pool so the next run of this program starts warm;
+  // `outs`, the caller's inputs, and constants keep their storage alive and
+  // are refused by the refcount guard.
+  recycleEnv(env, ctx);
+  if (plan_ != nullptr && profiler_ != nullptr) {
+    const Arena::Stats delta = arena_->stats() - before;
+    profiler_->memory(delta.freshAllocs, delta.reusedAllocs, delta.freshBytes,
+                      delta.reusedBytes, delta.recycled, delta.recycleMisses);
+  }
+  return outs;
 }
 
 void Interpreter::runBlockBody(const ir::Block& block, Env& env,
@@ -115,7 +139,43 @@ void Interpreter::runBlockBody(const ir::Block& block, Env& env,
     }
     if (it->second) profiler_->regionCall();
   }
-  for (const Node* node : block) execNode(*node, env, ctx);
+  for (const Node* node : block) {
+    execNode(*node, env, ctx);
+    if (plan_ != nullptr) releaseDead(*node, env, ctx);
+  }
+}
+
+void Interpreter::releaseDead(const Node& node, Env& env, ExecContext& ctx) {
+  (void)ctx;
+  const std::vector<const ir::Value*>* dead = plan_->deathsFor(&node);
+  if (dead == nullptr) return;
+  for (const ir::Value* v : *dead) {
+    auto it = env.find(v);
+    // Not bound: the value lives in a branch that was not taken, or the plan
+    // belongs to another graph. Either way there is nothing to drop.
+    if (it == env.end()) continue;
+    // Erasing the binding is the release: if it was the last owner, the
+    // Storage destructor donates the buffer to the scope-current arena.
+    env.erase(it);
+  }
+}
+
+void Interpreter::dropReturnBindings(const ir::Block& block, Env& env) {
+  for (const ir::Value* r : block.returns()) {
+    // Values from an outer scope stay bound — later nodes may read them.
+    if (r->definingBlock() != &block) continue;
+    auto it = env.find(r);
+    if (it != env.end()) env.erase(it);
+  }
+}
+
+void Interpreter::recycleEnv(Env& env, ExecContext& ctx) {
+  (void)ctx;
+  // Dropping the bindings donates every solely-owned buffer to the
+  // scope-current arena (via ~Storage); without an active scope this is a
+  // plain clear. Values still referenced from outside — the returned
+  // outputs, the caller's inputs, constants — survive untouched.
+  env.clear();
 }
 
 std::vector<RtValue> Interpreter::blockReturns(const ir::Block& block,
@@ -237,6 +297,7 @@ bool Interpreter::tryParallelMap(const Node& node, Env& env, ExecContext& ctx,
       static_cast<int>(std::min<std::int64_t>(threads_, trip));
   std::vector<std::vector<MergedKernel>> workerSlots(
       static_cast<std::size_t>(workers));
+  std::vector<Arena::Stats> workerArenaDeltas(static_cast<std::size_t>(workers));
 
   ThreadPool::shared().parallelFor(
       trip, workers, [&](std::int64_t begin, std::int64_t end, int chunk) {
@@ -248,6 +309,17 @@ bool Interpreter::tryParallelMap(const Node& node, Env& env, ExecContext& ctx,
         Env wenv = env;
         ExecContext wctx;
         wctx.onWorker = true;
+        // Planned runs give each worker its own thread-local arena (no
+        // contention); the Scope nests over whatever arena the calling
+        // thread had published, which matters when the helping barrier runs
+        // a chunk on the root thread.
+        std::optional<Arena::Scope> warenaScope;
+        Arena::Stats wbefore;
+        if (plan_ != nullptr) {
+          wctx.arena = &Arena::threadLocal();
+          wbefore = wctx.arena->stats();
+          warenaScope.emplace(wctx.arena);
+        }
         MergeScope merge(wctx);
         for (std::int64_t it = begin; it < end; ++it) {
           wctx.mergePos = 0;  // kernel j of every iteration shares launch j
@@ -256,15 +328,24 @@ bool Interpreter::tryParallelMap(const Node& node, Env& env, ExecContext& ctx,
             wenv[body.param(k + 1)] = carried[k];
           runBlockBody(body, wenv, wctx);
           std::vector<RtValue> rets = blockReturns(body, wenv);
+          if (wctx.arena != nullptr) dropReturnBindings(body, wenv);
           for (std::size_t k = 0; k < carried.size(); ++k) {
             if (dims[k] < 0) continue;
             // This iteration owns slice `it` exclusively — lock-free write.
             Tensor dst = outs[k].tensor().select(dims[k], it);
             dst.copy_(rets[k].tensor().select(dims[k], it));
           }
+          // `rets` dies here: the per-iteration results were copied into the
+          // shared output slots above, so their buffers flow back into this
+          // worker's pool for the next iteration (pass-through carried
+          // values stay shared with the caller and are not donated).
         }
+        recycleEnv(wenv, wctx);
         workerSlots[static_cast<std::size_t>(chunk)] =
             std::move(wctx.mergeSlots);
+        if (wctx.arena != nullptr)
+          workerArenaDeltas[static_cast<std::size_t>(chunk)] +=
+              wctx.arena->stats() - wbefore;
       });
 
   // Deterministic slot merge: chunk order, position-wise. Every iteration
@@ -282,6 +363,16 @@ bool Interpreter::tryParallelMap(const Node& node, Env& env, ExecContext& ctx,
     for (const MergedKernel& slot : slots) {
       profiler_->kernel("tssa::ParallelMap(" + slot.name + ")", slot.bytes,
                         slot.flops, profiler_->host().perOpUs);
+    }
+    if (plan_ != nullptr) {
+      // Worker-arena traffic, merged at the barrier (a single-threaded
+      // point). Unlike launch counts, the fresh/reuse split legitimately
+      // varies with the thread count — each worker warms its own pool.
+      Arena::Stats total;
+      for (const Arena::Stats& d : workerArenaDeltas) total += d;
+      profiler_->memory(total.freshAllocs, total.reusedAllocs,
+                        total.freshBytes, total.reusedBytes, total.recycled,
+                        total.recycleMisses);
     }
   }
   for (std::size_t k = 0; k < outs.size(); ++k)
@@ -364,6 +455,10 @@ void Interpreter::execNode(const Node& node, Env& env, ExecContext& ctx) {
       const ir::Block& block = *node.block(cond ? 0 : 1);
       runBlockBody(block, env, ctx);
       auto rets = blockReturns(block, env);
+      // Re-home the branch returns onto the If's outputs: keeping the
+      // branch-local binding too would pin the refcount when the output's
+      // planned death tries to recycle.
+      if (ctx.arena != nullptr) dropReturnBindings(block, env);
       for (std::size_t i = 0; i < rets.size(); ++i)
         bindOut(i, std::move(rets[i]));
       return;
@@ -378,10 +473,21 @@ void Interpreter::execNode(const Node& node, Env& env, ExecContext& ctx) {
         if (profiler_ != nullptr && ctx.mergeDepth == 0)
           profiler_->loopIteration();
         env[body.param(0)] = Scalar(it);
-        for (std::size_t i = 0; i < carried.size(); ++i)
-          env[body.param(i + 1)] = carried[i];
+        for (std::size_t i = 0; i < carried.size(); ++i) {
+          // The previous iteration's carried value dies at this rebind (its
+          // planned "death" is escape via the body Return, which the copy in
+          // `carried` satisfied). First iteration / shared buffers are safe:
+          // the initial values are still referenced from the outer env, so
+          // recycle refuses them.
+          // Move, don't copy: a copy left in `carried` would pin the
+          // refcount at 2 for the whole body, so the param's planned death
+          // could never free the buffer. The overwrite also drops any stale
+          // binding a param without a planned death still holds.
+          env[body.param(i + 1)] = std::move(carried[i]);
+        }
         runBlockBody(body, env, ctx);
         carried = blockReturns(body, env);
+        if (ctx.arena != nullptr) dropReturnBindings(body, env);
       }
       for (std::size_t i = 0; i < carried.size(); ++i)
         bindOut(i, std::move(carried[i]));
@@ -405,10 +511,14 @@ void Interpreter::execNode(const Node& node, Env& env, ExecContext& ctx) {
         for (std::int64_t it = 0; it < trip; ++it) {
           ctx.mergePos = 0;  // kernel j of every iteration shares launch j
           env[body.param(0)] = Scalar(it);
-          for (std::size_t i = 0; i < carried.size(); ++i)
-            env[body.param(i + 1)] = carried[i];
+          for (std::size_t i = 0; i < carried.size(); ++i) {
+            // Move for the same reason as the Loop path: the serial
+            // ParallelMap walk also chains versions iteration-to-iteration.
+            env[body.param(i + 1)] = std::move(carried[i]);
+          }
           runBlockBody(body, env, ctx);
           carried = blockReturns(body, env);
+          if (ctx.arena != nullptr) dropReturnBindings(body, env);
         }
         slots.swap(ctx.mergeSlots);
       }
@@ -459,6 +569,7 @@ void Interpreter::execNode(const Node& node, Env& env, ExecContext& ctx) {
         flops = ctx.suppressFlops;
         savedBytes = ctx.suppressSavedBytes;
         rets = blockReturns(body, env);
+        if (ctx.arena != nullptr) dropReturnBindings(body, env);
       }
       for (const RtValue& r : rets) {
         if (r.isTensor()) bytes += tensorBytes(r.tensor());

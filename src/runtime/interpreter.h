@@ -29,9 +29,11 @@
 #include <memory>
 #include <mutex>
 
+#include "src/analysis/liveness.h"
 #include "src/ir/ir.h"
 #include "src/runtime/profiler.h"
 #include "src/runtime/rt_value.h"
+#include "src/tensor/arena.h"
 #include "src/texpr/texpr.h"
 
 namespace tssa::runtime {
@@ -60,6 +62,19 @@ class Interpreter {
   std::vector<RtValue> run(const ir::Graph& graph,
                            std::span<const RtValue> inputs);
 
+  /// Attaches a liveness plan (see src/analysis/liveness.h). Planned runs
+  /// route intermediate allocations through arenas — one owned by the
+  /// interpreter for the root context, one thread-local per pool worker —
+  /// and recycle a value's storage at its death point when the refcount
+  /// proves sole ownership, so steady-state runs allocate almost nothing.
+  /// The plan must describe the same graph later passed to run() (a plan for
+  /// a different graph is a safe no-op: its death lists never match) and
+  /// must outlive the interpreter; nullptr disables planning. Planned runs
+  /// of one interpreter must not overlap in time (Pipeline::run holds this
+  /// by construction; the serve engine serializes runs per program).
+  void setMemoryPlan(const analysis::MemoryPlan* plan) { plan_ = plan; }
+  const analysis::MemoryPlan* memoryPlan() const { return plan_; }
+
  private:
   using Env = std::unordered_map<const ir::Value*, RtValue>;
 
@@ -86,11 +101,34 @@ class Interpreter {
     std::int64_t suppressFlops = 0;
     std::int64_t suppressSavedBytes = 0;
     bool onWorker = false;  ///< true on pool threads (no nested parallelism)
+    /// This context's buffer pool (null when planning is off). The root
+    /// context uses the interpreter-owned arena; each pool worker uses its
+    /// thread-local one, so parallel regions never contend on a free list.
+    Arena* arena = nullptr;
   };
 
   void runBlockBody(const ir::Block& block, Env& env, ExecContext& ctx);
   std::vector<RtValue> blockReturns(const ir::Block& block, const Env& env);
   void execNode(const ir::Node& node, Env& env, ExecContext& ctx);
+
+  /// Drops the bindings of every value whose last use was `node` and offers
+  /// their storage to the context's arena (the arena re-verifies sole
+  /// ownership before pooling anything).
+  void releaseDead(const ir::Node& node, Env& env, ExecContext& ctx);
+
+  /// Erases the env bindings of `block`-defined return values right after
+  /// blockReturns copied them out: the copy becomes the canonical owner, so
+  /// whoever drops it last (a loop rebind, a planned death of the consuming
+  /// node's output) can prove sole ownership and recycle the buffer. Without
+  /// this the stale binding pins the refcount above 1 until the block next
+  /// executes.
+  void dropReturnBindings(const ir::Block& block, Env& env);
+
+  /// Recycles every remaining binding of a finished environment into
+  /// ctx.arena. Inputs, outputs, and constants all survive: something
+  /// outside the env still holds their storage, so the Arena's refcount
+  /// guard refuses them.
+  void recycleEnv(Env& env, ExecContext& ctx);
 
   /// The threaded ParallelMap path; returns false when the node lacks the
   /// pass metadata or a runtime precondition fails (caller then runs the
@@ -122,6 +160,10 @@ class Interpreter {
   Profiler* profiler_;
   bool useTexpr_ = true;
   int threads_ = 1;
+  const analysis::MemoryPlan* plan_ = nullptr;
+  /// Root-context buffer pool, created lazily on the first planned run and
+  /// kept across runs so steady-state executions reuse prior buffers.
+  std::unique_ptr<Arena> arena_;
   /// Compiled kernels, cached per FusionGroup node across runs. Guarded by
   /// `kernelsMutex_`: ParallelMap workers may compile concurrently.
   std::unordered_map<const ir::Node*, std::unique_ptr<texpr::Kernel>>

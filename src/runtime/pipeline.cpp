@@ -115,6 +115,7 @@ std::size_t hashValue(const PipelineOptions& options) {
   mix(std::hash<double>{}(options.device.syncLatencyUs));
   mix(std::hash<int>{}(options.threads));
   mix(std::hash<bool>{}(options.useTexpr));
+  mix(std::hash<bool>{}(options.memoryPlan));
   return h;
 }
 
@@ -125,6 +126,14 @@ Pipeline::Pipeline(PipelineKind kind, const ir::Graph& source,
       profiler_(options.device, hostFor(kind)),
       interpreter_(&profiler_, options.useTexpr, options.threads) {
   compileFor(kind, *graph_);
+  // The plan is built once per compiled program; in the serving engine it
+  // travels with the cached Pipeline, so every request hitting the same
+  // shape signature reuses both the compilation AND the buffer plan.
+  if (options.memoryPlan) {
+    plan_ = std::make_unique<analysis::MemoryPlan>(
+        analysis::planMemory(*graph_));
+    interpreter_.setMemoryPlan(plan_.get());
+  }
 }
 
 std::vector<RtValue> Pipeline::run(std::span<const RtValue> inputs) {

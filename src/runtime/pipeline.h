@@ -42,6 +42,12 @@ struct PipelineOptions {
   DeviceSpec device = DeviceSpec::dataCenter();
   int threads = 1;
   bool useTexpr = true;
+  /// Liveness-driven memory planning (src/analysis/liveness.h): intermediates
+  /// are released at their last use and their buffers recycled through
+  /// per-context arenas. Outputs are bitwise identical with the planner on
+  /// or off — the differential suite cross-checks both modes — so this stays
+  /// on by default; the toggle exists for that cross-check and for debugging.
+  bool memoryPlan = true;
 
   friend bool operator==(const PipelineOptions&,
                          const PipelineOptions&) = default;
@@ -79,6 +85,9 @@ class Pipeline {
   std::unique_ptr<ir::Graph> graph_;
   Profiler profiler_;
   Interpreter interpreter_;
+  /// Liveness plan for the compiled graph (null when options.memoryPlan is
+  /// off). Owned here because its Node*/Value* keys reference `graph_`.
+  std::unique_ptr<analysis::MemoryPlan> plan_;
 };
 
 }  // namespace tssa::runtime

@@ -58,6 +58,24 @@ class Profiler {
   void branch() { hostOnly(host_.perIfUs); }
   void regionCall() { hostOnly(host_.perRegionCallUs); }
 
+  /// Arena allocation accounting from the memory planner (src/tensor/arena.h):
+  /// pool misses ("fresh", heap allocations) vs. pool hits ("reused").
+  /// Reported by the interpreter at single-threaded points. NOTE: unlike
+  /// launches/bytes/flops these counters are NOT invariant across thread
+  /// counts — every worker warms its own arena — so they are kept out of the
+  /// kernel histogram and the determinism contracts built on it.
+  void memory(std::int64_t freshAllocs, std::int64_t reusedAllocs,
+              std::int64_t freshBytes, std::int64_t reusedBytes,
+              std::int64_t recycled = 0, std::int64_t recycleMisses = 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    memFresh_ += freshAllocs;
+    memReused_ += reusedAllocs;
+    memFreshBytes_ += freshBytes;
+    memReusedBytes_ += reusedBytes;
+    memRecycled_ += recycled;
+    memRecycleMisses_ += recycleMisses;
+  }
+
   // ---- Results ------------------------------------------------------------
 
   std::int64_t kernelLaunches() const {
@@ -87,9 +105,27 @@ class Profiler {
     std::lock_guard<std::mutex> lock(mutex_);
     return simUs_;
   }
-  /// Snapshot-by-reference; only call once recording has quiesced.
-  const std::map<std::string, std::int64_t>& kernelHistogram() const {
+  /// Snapshot copy taken under the lock: safe to call while recording is
+  /// still in flight (a by-reference return here was a torn read waiting to
+  /// happen for any caller overlapping a parallel region).
+  std::map<std::string, std::int64_t> kernelHistogram() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return perKernel_;
+  }
+
+  /// Snapshot of the memory-planner counters.
+  struct MemoryCounters {
+    std::int64_t freshAllocs = 0;
+    std::int64_t reusedAllocs = 0;
+    std::int64_t freshBytes = 0;
+    std::int64_t reusedBytes = 0;
+    std::int64_t recycled = 0;       ///< buffers returned to the pool
+    std::int64_t recycleMisses = 0;  ///< recycle refused (shared / tiny)
+  };
+  MemoryCounters memoryCounters() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {memFresh_,        memReused_,    memFreshBytes_,
+            memReusedBytes_, memRecycled_,  memRecycleMisses_};
   }
 
   const DeviceSpec& device() const { return device_; }
@@ -101,6 +137,8 @@ class Profiler {
     bytes_ = 0;
     flops_ = 0;
     gpuUs_ = hostUs_ = simUs_ = 0;
+    memFresh_ = memReused_ = memFreshBytes_ = memReusedBytes_ = 0;
+    memRecycled_ = memRecycleMisses_ = 0;
     perKernel_.clear();
   }
 
@@ -114,6 +152,12 @@ class Profiler {
   double gpuUs_ = 0;
   double hostUs_ = 0;
   double simUs_ = 0;
+  std::int64_t memFresh_ = 0;
+  std::int64_t memReused_ = 0;
+  std::int64_t memFreshBytes_ = 0;
+  std::int64_t memReusedBytes_ = 0;
+  std::int64_t memRecycled_ = 0;
+  std::int64_t memRecycleMisses_ = 0;
   std::map<std::string, std::int64_t> perKernel_;
 };
 

@@ -47,6 +47,11 @@ class RtValue {
     TSSA_CHECK(l != nullptr, "runtime value is not a list");
     return *l;
   }
+  std::vector<Tensor>& list() {
+    auto* l = std::get_if<std::vector<Tensor>>(&value_);
+    TSSA_CHECK(l != nullptr, "runtime value is not a list");
+    return *l;
+  }
 
   std::int64_t toInt() const { return scalar().toInt(); }
   bool toBool() const { return scalar().toBool(); }

@@ -190,10 +190,16 @@ void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
     //    shapes / workloads) run concurrently on other pool workers.
     const auto runStart = Clock::now();
     std::vector<runtime::RtValue> outputs;
+    runtime::Profiler::MemoryCounters mem;
     {
       std::lock_guard<std::mutex> execLock(lookup.program->execMutex);
       outputs = lookup.program->pipeline->run(inputs);
+      // Read the per-run memory counters while still holding the exec lock:
+      // run() resets the profiler, so a concurrent batch on this program
+      // could clobber them the moment the lock drops.
+      mem = lookup.program->pipeline->profiler().memoryCounters();
     }
+    metrics_.recordMemory(mem.freshAllocs, mem.reusedAllocs);
 
     // 4. De-interleave: row block j of every output belongs to request j.
     const double execUs = usSince(runStart);

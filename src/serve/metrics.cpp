@@ -69,6 +69,14 @@ void MetricsCollector::recordSessionOpened() {
   ++sessions_;
 }
 
+void MetricsCollector::recordMemory(std::int64_t freshAllocs,
+                                    std::int64_t reusedAllocs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (freshAllocs > 0) arenaFresh_ += static_cast<std::uint64_t>(freshAllocs);
+  if (reusedAllocs > 0)
+    arenaReused_ += static_cast<std::uint64_t>(reusedAllocs);
+}
+
 void MetricsCollector::fill(MetricsSnapshot& out) const {
   std::lock_guard<std::mutex> lock(mutex_);
   out.requests = totalUs_.size();
@@ -82,6 +90,8 @@ void MetricsCollector::fill(MetricsSnapshot& out) const {
   out.queue = statsOf(queueUs_);
   out.exec = statsOf(execUs_);
   out.sessionsOpened = sessions_;
+  out.arenaFreshAllocs = arenaFresh_;
+  out.arenaReusedAllocs = arenaReused_;
   out.throughputRps = 0;
   if (haveSpan_ && totalUs_.size() > 1) {
     const double spanUs = std::chrono::duration<double, std::micro>(
@@ -94,19 +104,23 @@ void MetricsCollector::fill(MetricsSnapshot& out) const {
 }
 
 std::string MetricsSnapshot::toString() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "requests=%llu errors=%llu rps=%.1f p50=%.0fus p95=%.0fus p99=%.0fus "
       "batches=%llu mean_batch=%.2f cache_hit_rate=%.1f%% (hits=%llu "
-      "misses=%llu evictions=%llu) compile_total=%.0fus",
+      "misses=%llu evictions=%llu) compile_total=%.0fus "
+      "arena_reuse=%.1f%% (fresh=%llu reused=%llu)",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(errors), throughputRps, total.p50Us,
       total.p95Us, total.p99Us, static_cast<unsigned long long>(batches),
       meanBatchSize, cacheHitRate() * 100.0,
       static_cast<unsigned long long>(cacheHits),
       static_cast<unsigned long long>(cacheMisses),
-      static_cast<unsigned long long>(cacheEvictions), compileUsTotal);
+      static_cast<unsigned long long>(cacheEvictions), compileUsTotal,
+      arenaReuseRate() * 100.0,
+      static_cast<unsigned long long>(arenaFreshAllocs),
+      static_cast<unsigned long long>(arenaReusedAllocs));
   return buf;
 }
 

@@ -57,6 +57,20 @@ struct MetricsSnapshot {
 
   std::uint64_t sessionsOpened = 0;
 
+  // Memory-planner counters accumulated across executed batches (read from
+  // each program's Profiler after its run): arena allocations served fresh
+  // from the heap vs. recycled from the pool. A warm engine should show the
+  // reuse rate approaching 1 — cached programs keep their arenas across
+  // requests.
+  std::uint64_t arenaFreshAllocs = 0;
+  std::uint64_t arenaReusedAllocs = 0;
+  double arenaReuseRate() const {
+    const std::uint64_t n = arenaFreshAllocs + arenaReusedAllocs;
+    return n == 0 ? 0.0
+                  : static_cast<double>(arenaReusedAllocs) /
+                        static_cast<double>(n);
+  }
+
   /// One-line human-readable summary (used by bench/serve_throughput).
   std::string toString() const;
 };
@@ -71,6 +85,9 @@ class MetricsCollector {
   void recordBatch(int size);
   void recordError(int count);
   void recordSessionOpened();
+  /// Records one executed batch's arena traffic (fresh vs. reused
+  /// allocations, from the program profiler's memory counters).
+  void recordMemory(std::int64_t freshAllocs, std::int64_t reusedAllocs);
 
   /// Fills the latency / throughput / batching part of `out` (the engine
   /// adds cache stats on top).
@@ -85,6 +102,8 @@ class MetricsCollector {
   std::uint64_t batches_ = 0;
   std::uint64_t batchedRequests_ = 0;
   std::uint64_t sessions_ = 0;
+  std::uint64_t arenaFresh_ = 0;
+  std::uint64_t arenaReused_ = 0;
   bool haveSpan_ = false;
   std::chrono::steady_clock::time_point firstComplete_;
   std::chrono::steady_clock::time_point lastComplete_;

@@ -1,0 +1,111 @@
+#include "src/tensor/arena.h"
+
+#include <bit>
+#include <memory>
+#include <utility>
+
+namespace tssa {
+
+namespace {
+thread_local Arena* tlsCurrentArena = nullptr;
+}  // namespace
+
+// The automatic recycling route: the destructor only runs once no tensor,
+// view, list, output, or cached constant references this storage anymore, so
+// whatever buffer is left here is provably dead. Donating it to the
+// scope-current arena (the arena of the run that is executing on this
+// thread right now) captures every allocation the liveness plan cannot name:
+// op-internal temporaries, per-iteration kernel results, worker-local
+// scratch. Off-thread releases (a serving client dropping a response) see no
+// current arena and free normally.
+Storage::~Storage() {
+  if (data_.capacity() == 0) return;  // moved-out by Arena::recycle
+  if (Arena* arena = Arena::current()) arena->donate(std::move(data_));
+}
+
+int Arena::classFor(std::size_t bytes) {
+  if (bytes <= classBytes(0)) return 0;
+  // ceil(log2(bytes)) via bit_width of bytes-1, shifted to class indexing.
+  const int log2 = std::bit_width(bytes - 1);
+  const int c = log2 - kMinClassLog2;
+  return c < kNumClasses ? c : kNumClasses - 1;
+}
+
+StoragePtr Arena::allocate(std::int64_t numel, DType dtype) {
+  const auto bytes = static_cast<std::size_t>(numel) * dtypeSize(dtype);
+  if (bytes == 0) return std::make_shared<Storage>(numel, dtype);
+  const int c = classFor(bytes);
+  auto& bucket = pool_[static_cast<std::size_t>(c)];
+  // Oversized requests all land in the top bucket; its entries are only
+  // guaranteed to be >= classBytes(top), so check the actual capacity there.
+  if (!bucket.empty() &&
+      (c + 1 < kNumClasses || bucket.back().capacity() >= bytes)) {
+    std::vector<std::byte> buffer = std::move(bucket.back());
+    bucket.pop_back();
+    ++stats_.reusedAllocs;
+    stats_.reusedBytes += static_cast<std::int64_t>(bytes);
+    return std::make_shared<Storage>(numel, dtype, std::move(buffer));
+  }
+  ++stats_.freshAllocs;
+  stats_.freshBytes += static_cast<std::int64_t>(bytes);
+  return std::make_shared<Storage>(numel, dtype, classBytes(c));
+}
+
+void Arena::recycle(StoragePtr&& storage) {
+  if (storage == nullptr) return;
+  StoragePtr s = std::move(storage);
+  // use_count()==1 means this local handle is the only owner left: nobody
+  // else can concurrently create a reference (they would need to hold one),
+  // so taking the buffer is race-free. Any larger count means the value
+  // escaped — an output, view, list slot, or cached constant still uses it.
+  if (s.use_count() != 1) {
+    ++stats_.recycleMisses;
+    return;
+  }
+  // Empty the storage here; its destructor then has nothing left to donate.
+  donate(std::move(s->data_));
+}
+
+void Arena::donate(std::vector<std::byte>&& buffer) {
+  if (buffer.capacity() < classBytes(0)) {
+    ++stats_.recycleMisses;
+    return;
+  }
+  // Bucket by floor(log2(capacity)): every entry of bucket c can satisfy any
+  // request that classFor maps to c without reallocating.
+  const int log2 = std::bit_width(buffer.capacity()) - 1;
+  int c = log2 - kMinClassLog2;
+  if (c >= kNumClasses) c = kNumClasses - 1;
+  auto& bucket = pool_[static_cast<std::size_t>(c)];
+  if (bucket.size() >= kMaxPerClass) {
+    ++stats_.recycleMisses;
+    return;
+  }
+  bucket.push_back(std::move(buffer));
+  ++stats_.recycled;
+}
+
+std::size_t Arena::pooledBuffers() const {
+  std::size_t n = 0;
+  for (const auto& bucket : pool_) n += bucket.size();
+  return n;
+}
+
+void Arena::clear() {
+  for (auto& bucket : pool_) bucket.clear();
+}
+
+Arena* Arena::current() { return tlsCurrentArena; }
+
+Arena::Scope::Scope(Arena* arena) : prev_(tlsCurrentArena) {
+  tlsCurrentArena = arena;
+}
+
+Arena::Scope::~Scope() { tlsCurrentArena = prev_; }
+
+Arena& Arena::threadLocal() {
+  static thread_local Arena instance;
+  return instance;
+}
+
+}  // namespace tssa

@@ -1,0 +1,144 @@
+// Pool allocator backing Storage with recycled buffers (the runtime half of
+// liveness-driven memory planning, see src/analysis/liveness.h and DESIGN.md
+// §8).
+//
+// An Arena keeps dead buffers in power-of-two size-class buckets and hands
+// them back to `Tensor::empty` instead of the heap. Buffers enter the pool
+// through two routes:
+//
+//  1. Automatically: ~Storage() donates its byte buffer to the thread's
+//     scope-current arena. The destructor only runs at the *final* release,
+//     so this is safe by construction — an output, view, list slot, or
+//     cached constant that still references the storage keeps it alive, and
+//     escaping memory simply never reaches the pool. This route captures
+//     everything the liveness plan cannot see, most importantly the
+//     temporaries ops allocate internally (softmax's reduction buffers,
+//     matmul scratch, per-iteration kernel results).
+//
+//  2. Explicitly: `recycle()` offers a specific StoragePtr, accepted only
+//     when its refcount proves sole ownership. The interpreter's planned
+//     deaths work by dropping env bindings (route 1); recycle() exists for
+//     callers that hold the last handle themselves.
+//
+// Either way only raw byte buffers are pooled, never Storage objects — so
+// destroying an Arena cannot re-enter it, and identity of recycled storage
+// is never observable.
+//
+// Arenas are deliberately NOT thread-safe. Each execution context uses its
+// own instance (the interpreter owns one for the root thread; pool workers
+// use `Arena::threadLocal()`), so worker threads never contend on a shared
+// free list. The thread-current arena is published with `Arena::Scope`, a
+// stack-like save/restore guard — stack-like because the thread pool's
+// helping barrier can run a worker chunk on the thread that already has a
+// root scope installed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/dtype.h"
+#include "src/tensor/storage.h"
+
+namespace tssa {
+
+class Arena {
+ public:
+  /// Allocation accounting. `fresh` counts pool misses that went to the
+  /// heap, `reused` counts pool hits; `recycled`/`recycleMisses` count the
+  /// producer side (buffers accepted into vs. rejected from the pool —
+  /// rejected because still referenced elsewhere or the bucket was full).
+  struct Stats {
+    std::int64_t freshAllocs = 0;
+    std::int64_t reusedAllocs = 0;
+    std::int64_t freshBytes = 0;
+    std::int64_t reusedBytes = 0;
+    std::int64_t recycled = 0;
+    std::int64_t recycleMisses = 0;
+
+    Stats& operator+=(const Stats& o) {
+      freshAllocs += o.freshAllocs;
+      reusedAllocs += o.reusedAllocs;
+      freshBytes += o.freshBytes;
+      reusedBytes += o.reusedBytes;
+      recycled += o.recycled;
+      recycleMisses += o.recycleMisses;
+      return *this;
+    }
+    friend Stats operator-(Stats a, const Stats& b) {
+      a.freshAllocs -= b.freshAllocs;
+      a.reusedAllocs -= b.reusedAllocs;
+      a.freshBytes -= b.freshBytes;
+      a.reusedBytes -= b.reusedBytes;
+      a.recycled -= b.recycled;
+      a.recycleMisses -= b.recycleMisses;
+      return a;
+    }
+  };
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a storage for `numel` elements of `dtype`, recycled from the
+  /// pool when a buffer of the right size class is available, freshly
+  /// heap-allocated otherwise. Either way the contents are zeroed, exactly
+  /// like a fresh value-initialized Storage — planner on/off stays bitwise
+  /// identical even for code that (incorrectly) reads "uninitialized" memory.
+  StoragePtr allocate(std::int64_t numel, DType dtype);
+
+  /// Offers a dead value's storage to the pool. Accepted only when this
+  /// StoragePtr is the sole owner (`use_count() == 1`); a storage that
+  /// escaped — still held by an output, a view, or another binding — is left
+  /// alive untouched and simply not pooled.
+  void recycle(StoragePtr&& storage);
+
+  /// Accepts a raw byte buffer into the pool (the ~Storage donation route).
+  /// Refuses buffers below the smallest size class and full buckets; a
+  /// refused buffer is simply freed by the caller.
+  void donate(std::vector<std::byte>&& buffer);
+
+  const Stats& stats() const { return stats_; }
+  std::size_t pooledBuffers() const;
+  /// Drops every pooled buffer (stats are kept).
+  void clear();
+
+  // ---- Thread-current arena ------------------------------------------------
+
+  /// The arena consulted by Tensor::empty on this thread; nullptr when no
+  /// Scope is active (allocations then go straight to the heap).
+  static Arena* current();
+
+  /// RAII publication of `arena` as the thread-current arena; restores the
+  /// previous one on destruction (scopes nest).
+  class Scope {
+   public:
+    explicit Scope(Arena* arena);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Arena* prev_;
+  };
+
+  /// This thread's own arena instance (used by pool workers so parallel
+  /// regions never share a free list).
+  static Arena& threadLocal();
+
+ private:
+  static constexpr int kMinClassLog2 = 6;  // smallest class: 64 bytes
+  static constexpr int kNumClasses = 40;
+  static constexpr std::size_t kMaxPerClass = 64;  // per-bucket entry cap
+
+  static std::size_t classBytes(int c) {
+    return std::size_t{1} << (kMinClassLog2 + c);
+  }
+  /// Smallest class whose capacity covers `bytes` (ceil).
+  static int classFor(std::size_t bytes);
+
+  std::array<std::vector<std::vector<std::byte>>, kNumClasses> pool_;
+  Stats stats_;
+};
+
+}  // namespace tssa

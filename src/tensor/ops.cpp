@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/tensor/strided_loop.h"
+
 namespace tssa::ops {
 namespace {
 
@@ -24,37 +26,33 @@ Tensor binaryOp(const Tensor& a, const Tensor& b, DType outDType, Fn&& fn) {
       po[i] = static_cast<float>(fn(pa[i], pb[i]));
     return out;
   }
-  // General path: compute operand offsets with broadcast alignment.
-  for (IndexIterator it(outShape); it.valid(); it.next()) {
-    const std::int64_t offA =
-        a.storageOffset() + broadcastOffset(it.index(), a.sizes(), a.strides());
-    const std::int64_t offB =
-        b.storageOffset() + broadcastOffset(it.index(), b.sizes(), b.strides());
-    double va = 0, vb = 0;
-    switch (a.dtype()) {
-      case DType::Float32:
-        va = a.storage()->as<float>()[offA];
-        break;
-      case DType::Int64:
-        va = static_cast<double>(a.storage()->as<std::int64_t>()[offA]);
-        break;
-      case DType::Bool:
-        va = a.storage()->as<std::uint8_t>()[offA] ? 1.0 : 0.0;
-        break;
-    }
-    switch (b.dtype()) {
-      case DType::Float32:
-        vb = b.storage()->as<float>()[offB];
-        break;
-      case DType::Int64:
-        vb = static_cast<double>(b.storage()->as<std::int64_t>()[offB]);
-        break;
-      case DType::Bool:
-        vb = b.storage()->as<std::uint8_t>()[offB] ? 1.0 : 0.0;
-        break;
-    }
-    out.setScalarAt(it.index(), fn(va, vb));
+  // General path: dtypes dispatched once per call, operand offsets walked
+  // incrementally with broadcast-aligned strides (transposed and broadcast
+  // layouts included). `out` is fresh and contiguous, so its element offset
+  // is simply the loop counter.
+  const std::int64_t n = out.numel();
+  if (n == 0) return out;
+  const Strides sa = detail::alignedStrides(outShape, a.sizes(), a.strides());
+  const Strides sb = detail::alignedStrides(outShape, b.sizes(), b.strides());
+  detail::StridedLoop<2> loop(outShape, {&sa, &sb},
+                              {a.storageOffset(), b.storageOffset()});
+  if (a.dtype() == DType::Float32 && b.dtype() == DType::Float32 &&
+      outDType == DType::Float32) {
+    const float* pa = a.storage()->as<float>();
+    const float* pb = b.storage()->as<float>();
+    float* po = out.data<float>();
+    for (std::int64_t i = 0; i < n; ++i, loop.advance())
+      po[i] = static_cast<float>(fn(pa[loop.offset(0)], pb[loop.offset(1)]));
+    return out;
   }
+  const detail::LoadFn la = detail::loadFnFor(a.dtype());
+  const detail::LoadFn lb = detail::loadFnFor(b.dtype());
+  const detail::StoreFn store = detail::storeFnFor(outDType);
+  const Storage& stA = *a.storage();
+  const Storage& stB = *b.storage();
+  Storage& stOut = *out.storage();
+  for (std::int64_t i = 0; i < n; ++i, loop.advance())
+    store(stOut, i, fn(la(stA, loop.offset(0)), lb(stB, loop.offset(1))));
   return out;
 }
 
@@ -84,8 +82,15 @@ Tensor unaryOp(const Tensor& a, DType outDType, Fn&& fn) {
     return out;
   }
   const std::int64_t n = out.numel();
-  for (std::int64_t i = 0; i < n; ++i)
-    out.setScalarAtLinear(i, fn(a.scalarAtLinear(i)));
+  if (n == 0) return out;
+  const Strides sa = detail::alignedStrides(a.sizes(), a.sizes(), a.strides());
+  detail::StridedLoop<1> loop(a.sizes(), {&sa}, {a.storageOffset()});
+  const detail::LoadFn load = detail::loadFnFor(a.dtype());
+  const detail::StoreFn store = detail::storeFnFor(outDType);
+  const Storage& stA = *a.storage();
+  Storage& stOut = *out.storage();
+  for (std::int64_t i = 0; i < n; ++i, loop.advance())
+    store(stOut, i, fn(load(stA, loop.offset(0))));
   return out;
 }
 
@@ -93,24 +98,58 @@ Tensor scalarTensor(Scalar s, DType like) {
   return Tensor::scalar(s, isFloatingPoint(like) ? DType::Float32 : s.dtype());
 }
 
-/// Shared driver for dim reductions: reduces `dim` of `a` with `fn` starting
-/// from `init`; post-processes each accumulated value with `finish`.
-template <typename Fn, typename Finish>
-Tensor reduceDim(const Tensor& a, std::int64_t dim, bool keepDim, DType outDType,
-                 double init, Fn&& fn, Finish&& finish) {
-  const std::int64_t d = normalizeDim(dim, a.dim());
-  Shape outShape = a.sizes();
-  outShape[static_cast<std::size_t>(d)] = 1;
-  Tensor out = Tensor::full(outShape, Scalar(init), outDType);
-  for (IndexIterator it(a.sizes()); it.valid(); it.next()) {
-    Shape outIndex(it.index().begin(), it.index().end());
-    outIndex[static_cast<std::size_t>(d)] = 0;
-    const double cur = out.scalarAt(outIndex);
-    out.setScalarAt(outIndex, fn(cur, a.scalarAt(it.index()), it.index()));
+/// Casts a reduction accumulator through the output dtype after every step.
+/// This matches the historical behaviour of accumulating directly in the
+/// output buffer (Float32 sums round per step, Int64 truncates per step), so
+/// the rewrite below stays bitwise identical for finite inputs — but the
+/// cast is only ever applied to values that are representable: max/min seed
+/// from the first element instead of casting ±inf into Int64/Bool, which is
+/// undefined behaviour.
+double roundToDType(DType dtype, double v) {
+  switch (dtype) {
+    case DType::Float32:
+      return static_cast<double>(static_cast<float>(v));
+    case DType::Int64:
+      return static_cast<double>(static_cast<std::int64_t>(v));
+    case DType::Bool:
+      return v != 0.0 ? 1.0 : 0.0;
   }
-  const std::int64_t n = out.numel();
-  for (std::int64_t i = 0; i < n; ++i)
-    out.setScalarAtLinear(i, finish(out.scalarAtLinear(i)));
+  TSSA_THROW("unknown dtype");
+}
+
+/// Shared driver for dim reductions: reduces `dim` of `a` with `fn`. The
+/// accumulator starts at `init`, or — when `seedFromFirst` is set — at the
+/// first element along the reduced dim (for reductions like max/min that
+/// have no dtype-safe identity). Each accumulated value is post-processed
+/// with `finish`.
+template <typename Fn, typename Finish>
+Tensor reduceDim(const Tensor& a, std::int64_t dim, bool keepDim,
+                 DType outDType, bool seedFromFirst, double init, Fn&& fn,
+                 Finish&& finish) {
+  const std::int64_t d = normalizeDim(dim, a.dim());
+  const auto du = static_cast<std::size_t>(d);
+  const std::int64_t extent = a.size(d);
+  TSSA_CHECK(!seedFromFirst || extent > 0,
+             "reduction over an empty dimension has no identity");
+  Shape outShape = a.sizes();
+  outShape[du] = 1;
+  Tensor out = Tensor::empty(outShape, outDType);
+  Shape idx;
+  for (IndexIterator it(outShape); it.valid(); it.next()) {
+    idx.assign(it.index().begin(), it.index().end());
+    double acc = init;
+    std::int64_t j = 0;
+    if (seedFromFirst) {
+      idx[du] = 0;
+      acc = roundToDType(outDType, a.scalarAt(idx));
+      j = 1;
+    }
+    for (; j < extent; ++j) {
+      idx[du] = j;
+      acc = roundToDType(outDType, fn(acc, a.scalarAt(idx)));
+    }
+    out.setScalarAt(it.index(), finish(acc));
+  }
   if (!keepDim) {
     return out.squeeze(d);
   }
@@ -232,29 +271,36 @@ Tensor where(const Tensor& cond, const Tensor& a, const Tensor& b) {
   Shape shape = broadcastShapes(cond.sizes(), a.sizes());
   shape = broadcastShapes(shape, b.sizes());
   Tensor out = Tensor::empty(shape, promoteTypes(a.dtype(), b.dtype()));
-  for (IndexIterator it(shape); it.valid(); it.next()) {
-    const std::int64_t offC =
-        cond.storageOffset() +
-        broadcastOffset(it.index(), cond.sizes(), cond.strides());
-    const bool c = cond.storage()->as<std::uint8_t>()[offC] != 0;
-    const Tensor& src = c ? a : b;
-    const std::int64_t off =
-        src.storageOffset() +
-        broadcastOffset(it.index(), src.sizes(), src.strides());
-    double v = 0;
-    switch (src.dtype()) {
-      case DType::Float32:
-        v = src.storage()->as<float>()[off];
-        break;
-      case DType::Int64:
-        v = static_cast<double>(src.storage()->as<std::int64_t>()[off]);
-        break;
-      case DType::Bool:
-        v = src.storage()->as<std::uint8_t>()[off] ? 1.0 : 0.0;
-        break;
-    }
-    out.setScalarAt(it.index(), v);
+  // One strided walk over (cond, a, b); dtypes dispatched once per call.
+  const std::int64_t n = out.numel();
+  if (n == 0) return out;
+  const Strides sc =
+      detail::alignedStrides(shape, cond.sizes(), cond.strides());
+  const Strides sa = detail::alignedStrides(shape, a.sizes(), a.strides());
+  const Strides sb = detail::alignedStrides(shape, b.sizes(), b.strides());
+  detail::StridedLoop<3> loop(
+      shape, {&sc, &sa, &sb},
+      {cond.storageOffset(), a.storageOffset(), b.storageOffset()});
+  const std::uint8_t* pc = cond.storage()->as<std::uint8_t>();
+  if (a.dtype() == DType::Float32 && b.dtype() == DType::Float32) {
+    const float* pa = a.storage()->as<float>();
+    const float* pb = b.storage()->as<float>();
+    float* po = out.data<float>();
+    for (std::int64_t i = 0; i < n; ++i, loop.advance())
+      po[i] = pc[loop.offset(0)] != 0 ? pa[loop.offset(1)]
+                                      : pb[loop.offset(2)];
+    return out;
   }
+  const detail::LoadFn la = detail::loadFnFor(a.dtype());
+  const detail::LoadFn lb = detail::loadFnFor(b.dtype());
+  const detail::StoreFn store = detail::storeFnFor(out.dtype());
+  const Storage& stA = *a.storage();
+  const Storage& stB = *b.storage();
+  Storage& stOut = *out.storage();
+  for (std::int64_t i = 0; i < n; ++i, loop.advance())
+    store(stOut, i,
+          pc[loop.offset(0)] != 0 ? la(stA, loop.offset(1))
+                                  : lb(stB, loop.offset(2)));
   return out;
 }
 
@@ -278,10 +324,8 @@ Tensor sum(const Tensor& a) {
 Tensor sum(const Tensor& a, std::int64_t dim, bool keepDim) {
   const DType dt = a.dtype() == DType::Bool ? DType::Int64 : a.dtype();
   return reduceDim(
-      a, dim, keepDim, dt, 0.0,
-      [](double acc, double v, std::span<const std::int64_t>) {
-        return acc + v;
-      },
+      a, dim, keepDim, dt, /*seedFromFirst=*/false, 0.0,
+      [](double acc, double v) { return acc + v; },
       [](double v) { return v; });
 }
 
@@ -289,48 +333,59 @@ Tensor mean(const Tensor& a, std::int64_t dim, bool keepDim) {
   const std::int64_t d = normalizeDim(dim, a.dim());
   const double count = static_cast<double>(a.size(d));
   return reduceDim(
-      a, dim, keepDim, DType::Float32, 0.0,
-      [](double acc, double v, std::span<const std::int64_t>) {
-        return acc + v;
-      },
+      a, dim, keepDim, DType::Float32, /*seedFromFirst=*/false, 0.0,
+      [](double acc, double v) { return acc + v; },
       [=](double v) { return v / count; });
 }
 
+// max/min seed the accumulator from the first element along the reduced dim
+// rather than a ±inf sentinel: casting ±inf into an Int64/Bool output is
+// undefined behaviour, and an all--inf Float32 row must reduce to -inf, not
+// to the sentinel. NaN propagates like PyTorch: any NaN in the row wins.
+
 Tensor maxReduce(const Tensor& a, std::int64_t dim, bool keepDim) {
   return reduceDim(
-      a, dim, keepDim, a.dtype(), -std::numeric_limits<double>::infinity(),
-      [](double acc, double v, std::span<const std::int64_t>) {
-        return std::max(acc, v);
+      a, dim, keepDim, a.dtype(), /*seedFromFirst=*/true, 0.0,
+      [](double acc, double v) {
+        return (std::isnan(v) || v > acc) ? v : acc;
       },
       [](double v) { return v; });
 }
 
 Tensor minReduce(const Tensor& a, std::int64_t dim, bool keepDim) {
   return reduceDim(
-      a, dim, keepDim, a.dtype(), std::numeric_limits<double>::infinity(),
-      [](double acc, double v, std::span<const std::int64_t>) {
-        return std::min(acc, v);
+      a, dim, keepDim, a.dtype(), /*seedFromFirst=*/true, 0.0,
+      [](double acc, double v) {
+        return (std::isnan(v) || v < acc) ? v : acc;
       },
       [](double v) { return v; });
 }
 
 Tensor argmax(const Tensor& a, std::int64_t dim, bool keepDim) {
   const std::int64_t d = normalizeDim(dim, a.dim());
+  const auto du = static_cast<std::size_t>(d);
+  const std::int64_t extent = a.size(d);
+  TSSA_CHECK(extent > 0, "argmax over an empty dimension");
   Shape outShape = a.sizes();
-  outShape[static_cast<std::size_t>(d)] = 1;
-  Tensor best = Tensor::full(outShape,
-                             Scalar(-std::numeric_limits<double>::infinity()),
-                             DType::Float32);
-  Tensor out = Tensor::zeros(outShape, DType::Int64);
-  for (IndexIterator it(a.sizes()); it.valid(); it.next()) {
-    Shape outIndex(it.index().begin(), it.index().end());
-    const std::int64_t pos = outIndex[static_cast<std::size_t>(d)];
-    outIndex[static_cast<std::size_t>(d)] = 0;
-    const double v = a.scalarAt(it.index());
-    if (v > best.scalarAt(outIndex)) {
-      best.setScalarAt(outIndex, v);
-      out.setScalarAt(outIndex, static_cast<double>(pos));
+  outShape[du] = 1;
+  Tensor out = Tensor::empty(outShape, DType::Int64);
+  Shape idx;
+  for (IndexIterator it(outShape); it.valid(); it.next()) {
+    idx.assign(it.index().begin(), it.index().end());
+    idx[du] = 0;
+    double best = a.scalarAt(idx);
+    std::int64_t bestIndex = 0;
+    for (std::int64_t j = 1; j < extent; ++j) {
+      idx[du] = j;
+      const double v = a.scalarAt(idx);
+      // PyTorch semantics: NaN compares greater than everything, the first
+      // NaN wins; among ordinary values ties keep the earlier index.
+      if ((std::isnan(v) && !std::isnan(best)) || v > best) {
+        best = v;
+        bestIndex = j;
+      }
     }
+    out.setScalarAt(it.index(), static_cast<double>(bestIndex));
   }
   return keepDim ? out : out.squeeze(d);
 }

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "src/tensor/arena.h"
+#include "src/tensor/strided_loop.h"
+
 namespace tssa {
 namespace {
 
@@ -28,7 +31,12 @@ decltype(auto) dispatchDType(DType dtype, Fn&& fn) {
 Tensor Tensor::empty(Shape sizes, DType dtype) {
   const std::int64_t n = numelOf(sizes);
   TSSA_CHECK(n >= 0, "negative element count");
-  auto storage = std::make_shared<Storage>(n, dtype);
+  // Inside a planned program run, intermediates come from the execution
+  // context's arena (zeroed either way, so planner on/off is bitwise
+  // identical); outside any Arena::Scope this is a plain heap allocation.
+  Arena* arena = Arena::current();
+  StoragePtr storage = arena != nullptr ? arena->allocate(n, dtype)
+                                        : std::make_shared<Storage>(n, dtype);
   Strides strides = contiguousStrides(sizes);
   return Tensor(std::move(storage), 0, std::move(sizes), std::move(strides),
                 dtype);
@@ -362,6 +370,7 @@ void Tensor::copy_(const Tensor& src) {
              "copy_ source shape " << bracketed(src.sizes_)
                                    << " not broadcastable to "
                                    << bracketed(sizes_));
+  if (numel() == 0) return;  // extent-0: raw() may be null, memmove(null) is UB
   // Fast path: same dtype, both contiguous, same shape, no overlap concern
   // (bitwise copy is fine even for self-copy).
   if (src.dtype_ == dtype_ && isContiguous() && src.isContiguous() &&
@@ -386,16 +395,27 @@ void Tensor::copy_(const Tensor& src) {
       snapshot.setScalarAtLinear(i, src.scalarAtLinear(i));
     source = snapshot;
   }
-  for (IndexIterator it(sizes_); it.valid(); it.next()) {
-    const std::int64_t srcOff =
-        source.offset_ +
-        broadcastOffset(it.index(), source.sizes_, source.strides_);
-    const double v = dispatchDType(source.dtype_, [&](auto tag) {
-      using T = decltype(tag);
-      return static_cast<double>(source.storage_->as<T>()[srcOff]);
-    });
-    setScalarAt(it.index(), v);
+  // Strided walk: dtype pair dispatched once, destination and (broadcast-
+  // aligned) source offsets updated incrementally per element.
+  const std::int64_t n = numel();
+  if (n == 0) return;
+  const Strides srcStrides =
+      detail::alignedStrides(sizes_, source.sizes_, source.strides_);
+  detail::StridedLoop<2> loop(sizes_, {&strides_, &srcStrides},
+                              {offset_, source.offset_});
+  if (dtype_ == DType::Float32 && source.dtype_ == DType::Float32) {
+    const float* ps = source.storage_->as<float>();
+    float* pd = storage_->as<float>();
+    for (std::int64_t i = 0; i < n; ++i, loop.advance())
+      pd[loop.offset(0)] = ps[loop.offset(1)];
+    return;
   }
+  const detail::LoadFn load = detail::loadFnFor(source.dtype_);
+  const detail::StoreFn store = detail::storeFnFor(dtype_);
+  const Storage& ss = *source.storage_;
+  Storage& ds = *storage_;
+  for (std::int64_t i = 0; i < n; ++i, loop.advance())
+    store(ds, loop.offset(0), load(ss, loop.offset(1)));
 }
 
 void Tensor::fill_(Scalar value) {

@@ -2,12 +2,18 @@
 // as mutation targets, and deeper control-flow nesting.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
+#include <limits>
+#include <vector>
+
 #include "src/core/lower_inplace.h"
 #include "src/core/tensor_ssa.h"
 #include "src/ir/builder.h"
 #include "src/ir/printer.h"
 #include "src/ir/verifier.h"
 #include "src/runtime/pipeline.h"
+#include "src/tensor/ops.h"
 #include "src/tensor/random.h"
 
 namespace tssa {
@@ -212,6 +218,177 @@ TEST(EdgeCaseTest, PipelineRepeatedRunsAreStable) {
   auto second = p.run(in);
   EXPECT_TRUE(allClose(first[0].tensor(), second[0].tensor(), 0.0));
   EXPECT_GT(p.profiler().kernelLaunches(), 0);
+}
+
+// Integer dim-reductions must stay exact and defined. The historical bug:
+// max/min seeded their accumulator with ±inf and cast it into the integer
+// output — UB for Int64, and an all-negative row came out as the sentinel.
+TEST(EdgeCaseTest, Int64DimReductionsStayExact) {
+  std::vector<std::int64_t> data{-9, -2, -5,  //
+                                 7,  -8, 3};
+  Tensor a = Tensor::fromData(data, {2, 3});
+  ASSERT_EQ(a.dtype(), DType::Int64);
+
+  Tensor mx = ops::maxReduce(a, 1);
+  EXPECT_EQ(mx.dtype(), DType::Int64);
+  EXPECT_EQ(mx.scalarAtLinear(0), -2.0);  // all-negative row: no ±inf seed
+  EXPECT_EQ(mx.scalarAtLinear(1), 7.0);
+
+  Tensor mn = ops::minReduce(a, 1);
+  EXPECT_EQ(mn.dtype(), DType::Int64);
+  EXPECT_EQ(mn.scalarAtLinear(0), -9.0);
+  EXPECT_EQ(mn.scalarAtLinear(1), -8.0);
+
+  Tensor s = ops::sum(a, 1);
+  EXPECT_EQ(s.dtype(), DType::Int64);
+  EXPECT_EQ(s.scalarAtLinear(0), -16.0);
+  EXPECT_EQ(s.scalarAtLinear(1), 2.0);
+
+  Tensor am = ops::argmax(a, 1);
+  EXPECT_EQ(am.dtype(), DType::Int64);
+  EXPECT_EQ(am.scalarAtLinear(0), 1.0);
+  EXPECT_EQ(am.scalarAtLinear(1), 0.0);
+}
+
+// Bool reductions: max along a dim is `any`, min is `all`, and the full-sum
+// promotes to Int64 (a count), matching PyTorch.
+TEST(EdgeCaseTest, BoolDimReductions) {
+  std::array<bool, 6> data{false, true, false,  //
+                           false, false, false};
+  Tensor a = Tensor::fromData(std::span<const bool>(data), {2, 3});
+  ASSERT_EQ(a.dtype(), DType::Bool);
+
+  Tensor any = ops::maxReduce(a, 1);
+  EXPECT_EQ(any.dtype(), DType::Bool);
+  EXPECT_EQ(any.scalarAtLinear(0), 1.0);
+  EXPECT_EQ(any.scalarAtLinear(1), 0.0);
+
+  Tensor all = ops::minReduce(a, 1);
+  EXPECT_EQ(all.dtype(), DType::Bool);
+  EXPECT_EQ(all.scalarAtLinear(0), 0.0);
+  EXPECT_EQ(all.scalarAtLinear(1), 0.0);
+
+  Tensor count = ops::sum(a, 1);
+  EXPECT_EQ(count.dtype(), DType::Int64);
+  EXPECT_EQ(count.scalarAtLinear(0), 1.0);
+  EXPECT_EQ(count.scalarAtLinear(1), 0.0);
+}
+
+// NaN propagates through reductions like PyTorch: any NaN in the row wins
+// max/min, the first NaN wins argmax, and softmax poisons the whole row. An
+// all--inf row must reduce to -inf (not to a seed sentinel) and softmax to
+// NaN (exp(-inf - -inf)).
+TEST(EdgeCaseTest, NaNAndInfPropagateThroughReductions) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a = Tensor::fromData({1.0f, nan, 5.0f,  //
+                               -inf, -inf, -inf,  //
+                               2.0f, 9.0f, nan},
+                              {3, 3});
+
+  Tensor mx = ops::maxReduce(a, 1);
+  EXPECT_TRUE(std::isnan(mx.scalarAtLinear(0)));
+  EXPECT_EQ(mx.scalarAtLinear(1), -static_cast<double>(inf));
+  EXPECT_TRUE(std::isnan(mx.scalarAtLinear(2)));
+
+  Tensor mn = ops::minReduce(a, 1);
+  EXPECT_TRUE(std::isnan(mn.scalarAtLinear(0)));
+
+  Tensor am = ops::argmax(a, 1);
+  EXPECT_EQ(am.scalarAtLinear(0), 1.0);  // first NaN beats everything
+  EXPECT_EQ(am.scalarAtLinear(1), 0.0);  // ties keep the earliest index
+  EXPECT_EQ(am.scalarAtLinear(2), 2.0);
+
+  Tensor sm = ops::softmax(a, 1);
+  for (std::int64_t j = 0; j < 3; ++j) {
+    EXPECT_TRUE(std::isnan(sm.scalarAt(Shape{0, j})));
+    EXPECT_TRUE(std::isnan(sm.scalarAt(Shape{1, j})));
+    EXPECT_TRUE(std::isnan(sm.scalarAt(Shape{2, j})));
+  }
+}
+
+// Overlapping copy_ within one buffer: the runtime snapshots the source (or
+// memmoves on the contiguous fast path), so a shifted self-copy behaves as
+// if the source were read in full before any write. Functionalization must
+// reproduce that — its Assign is a pure function of the old version, i.e.
+// snapshot semantics by construction.
+TEST(EdgeCaseTest, OverlappingCopyActsOnSourceSnapshot) {
+  // Shift left: a[0:4] = a[1:5].
+  {
+    Graph g;
+    Value* a0 = g.addInput(Type::tensor(), "a");
+    IRBuilder b(g);
+    Value* a = b.clone(a0);
+    Value* dst = b.slice(a, 0, b.constInt(0), b.constInt(4));
+    Value* src = b.slice(a, 0, b.constInt(1), b.constInt(5));
+    b.copy_(dst, src);
+    g.addOutput(a);
+    expectConversionEquivalent(
+        g, {RtValue(Tensor::fromData({1, 2, 3, 4, 5}, {5}))});
+  }
+  // Shift right: a[1:5] = a[0:4] — the direction where a naive forward
+  // element loop would read already-overwritten slots.
+  {
+    Graph g;
+    Value* a0 = g.addInput(Type::tensor(), "a");
+    IRBuilder b(g);
+    Value* a = b.clone(a0);
+    Value* dst = b.slice(a, 0, b.constInt(1), b.constInt(5));
+    Value* src = b.slice(a, 0, b.constInt(0), b.constInt(4));
+    b.copy_(dst, src);
+    g.addOutput(a);
+    ir::verify(g);
+    Interpreter interp;
+    std::vector<RtValue> in{RtValue(Tensor::fromData({1, 2, 3, 4, 5}, {5}))};
+    auto out = interp.run(g, in);
+    const Tensor& r = out[0].tensor();
+    const double expected[] = {1, 1, 2, 3, 4};  // not {1,1,1,1,1}
+    for (std::int64_t i = 0; i < 5; ++i)
+      EXPECT_EQ(r.scalarAtLinear(i), expected[i]) << "index " << i;
+    core::lowerInplaceOps(g);
+    core::convertToTensorSSA(g);
+    ir::verify(g);
+    std::vector<RtValue> in2{RtValue(Tensor::fromData({1, 2, 3, 4, 5}, {5}))};
+    auto out2 = interp.run(g, in2);
+    EXPECT_TRUE(allClose(out[0].tensor(), out2[0].tensor(), 0.0));
+  }
+}
+
+// Rank-0 and extent-0 tensors through a planner-enabled pipeline: the arena
+// bypasses zero-byte allocations, and repeated runs (which recycle buffers)
+// must stay bitwise identical to the first and to a planner-off pipeline.
+TEST(EdgeCaseTest, RankZeroAndExtentZeroThroughPlannedPipeline) {
+  Graph g;
+  Value* s0 = g.addInput(Type::tensor(), "s");   // rank-0
+  Value* e0 = g.addInput(Type::tensor(), "e");   // extent-0: [0, 3]
+  IRBuilder b(g);
+  Value* s = b.clone(s0);
+  b.add_(s, b.constTensor(Tensor::ones({})));
+  Value* e = b.clone(e0);
+  b.relu_(e);
+  g.addOutput(b.mul(s, s));
+  g.addOutput(e);
+  ir::verify(g);
+
+  std::vector<RtValue> in{RtValue(Tensor::full({}, Scalar(2.0))),
+                          RtValue(Tensor::zeros({0, 3}))};
+  runtime::PipelineOptions planned;
+  runtime::PipelineOptions unplanned;
+  unplanned.memoryPlan = false;
+  runtime::Pipeline on(runtime::PipelineKind::TensorSsa, g, planned);
+  runtime::Pipeline off(runtime::PipelineKind::TensorSsa, g, unplanned);
+  auto reference = off.run(in);
+  for (int run = 0; run < 3; ++run) {
+    auto got = on.run(in);
+    ASSERT_EQ(got.size(), reference.size());
+    EXPECT_EQ(got[0].tensor().dim(), 0);
+    EXPECT_EQ(got[0].tensor().scalarAt(Shape{}), 9.0);
+    EXPECT_EQ(got[1].tensor().sizes(), (Shape{0, 3}));
+    EXPECT_EQ(got[1].tensor().numel(), 0);
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_TRUE(allClose(got[i].tensor(), reference[i].tensor(), 0.0))
+          << "run " << run << " output " << i;
+  }
 }
 
 }  // namespace
