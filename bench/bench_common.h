@@ -29,10 +29,19 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/obs/json.h"
+#include "src/obs/trace.h"
 #include "src/runtime/pipeline.h"
 #include "src/workloads/workload.h"
+
+/// Injected by bench/CMakeLists.txt from `git rev-parse`; every bench JSON
+/// record carries it so a CI artifact can be traced back to its commit.
+#ifndef TSSA_GIT_SHA
+#define TSSA_GIT_SHA "unknown"
+#endif
 
 namespace tssa::bench {
 
@@ -128,10 +137,16 @@ inline bool outputsBitwiseEqual(const std::vector<runtime::RtValue>& a,
 ///   --reps=N           repetitions per wall-clock / google-benchmark timing
 ///   --pipeline=NAME    only run pipelines whose name contains NAME
 ///                      (case-insensitive; e.g. "tensorssa", "eager", "ts")
+///   --json=PATH        write a machine-readable tssa-bench-v1 result file
+///                      (consumed by scripts/check_bench.py in CI)
+///   --trace=PATH       enable obs::Tracer and write a Chrome trace_event
+///                      JSON of the whole run (open in Perfetto)
 struct BenchFlags {
   int threads = 4;
   int reps = 3;
   std::string pipelineFilter;  ///< empty = all pipelines
+  std::string jsonPath;        ///< empty = no JSON result file
+  std::string tracePath;       ///< empty = tracing stays disabled
 
   /// True when `kind` passes the --pipeline filter.
   bool enabled(runtime::PipelineKind kind) const {
@@ -160,7 +175,9 @@ struct BenchFlags {
       const std::string arg = argv[i];
       if (!consume(arg, "--threads=", flags.threads) &&
           !consume(arg, "--reps=", flags.reps) &&
-          !consumeStr(arg, "--pipeline=", flags.pipelineFilter)) {
+          !consumeStr(arg, "--pipeline=", flags.pipelineFilter) &&
+          !consumeStr(arg, "--json=", flags.jsonPath) &&
+          !consumeStr(arg, "--trace=", flags.tracePath)) {
         argv[kept++] = argv[i];
       }
     }
@@ -188,6 +205,130 @@ struct BenchFlags {
     out = arg.substr(prefix.size());
     return true;
   }
+};
+
+/// One measurement in the tssa-bench-v1 schema. Fields < 0 mean "not
+/// measured by this bench" and are omitted from the JSON. `timeGated`
+/// marks ns_per_iter as stable enough for the CI regression gate (wall-clock
+/// best-of-N over the real executor); ungated times are recorded for trend
+/// inspection only. Kernel-launch counts are deterministic and always gated
+/// exactly when present.
+struct BenchRecord {
+  std::string name;      ///< unique within the binary, e.g. "wallclock/lstm/serial"
+  std::string workload;
+  std::string pipeline;
+  double nsPerIter = -1;
+  double simUs = -1;
+  std::int64_t kernelLaunches = -1;
+  double arenaReuseRate = -1;
+  bool timeGated = false;
+  std::vector<std::pair<std::string, double>> extra;  ///< bench-specific scalars
+};
+
+/// Best-of-3 time of a fixed arithmetic loop, in nanoseconds. Written into
+/// every result file so scripts/check_bench.py can compare wall-clock times
+/// across machines: a CI runner half as fast as the baseline machine shows
+/// ~2x calib_ns, and gated times are normalized by the ratio.
+inline double calibrateNs() {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    double acc = 1.0;
+    for (int i = 0; i < 2000000; ++i) acc = acc * 1.0000000001 + 1e-12;
+    const auto t1 = std::chrono::steady_clock::now();
+    // Fold the result into the timing decision so the loop cannot be
+    // dead-code-eliminated.
+    double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+    if (acc < 0) ns += 1;
+    best = std::min(best, ns);
+  }
+  return best;
+}
+
+/// Collects BenchRecords and, at finish(), writes the --json result file
+/// and/or the --trace Chrome trace. Constructing the report enables the
+/// tracer when --trace was given, so it must be created before the measured
+/// work runs. With neither flag set, everything here is a no-op.
+class BenchReport {
+ public:
+  BenchReport(std::string binary, const BenchFlags& flags)
+      : binary_(std::move(binary)), flags_(flags) {
+    if (!flags_.tracePath.empty()) {
+      obs::Tracer::instance().enable();
+      obs::Tracer::instance().clear();
+    }
+  }
+
+  void add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  /// Writes the artifacts. Call once, at the end of main.
+  void finish() const {
+    if (!flags_.tracePath.empty()) {
+      obs::Tracer& tracer = obs::Tracer::instance();
+      tracer.writeChromeTrace(flags_.tracePath);
+      std::fprintf(stderr, "wrote %zu trace spans to %s\n",
+                   tracer.spanCount(), flags_.tracePath.c_str());
+    }
+    if (flags_.jsonPath.empty()) return;
+    std::FILE* f = std::fopen(flags_.jsonPath.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   flags_.jsonPath.c_str());
+      return;
+    }
+    std::fputs(toJson().c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu bench records to %s\n", records_.size(),
+                 flags_.jsonPath.c_str());
+  }
+
+  std::string toJson() const {
+    std::string out;
+    out += "{\n  \"schema\": \"tssa-bench-v1\",\n";
+    out += "  \"binary\": " + obs::jsonQuote(binary_) + ",\n";
+    out += "  \"git_sha\": " + obs::jsonQuote(TSSA_GIT_SHA) + ",\n";
+    out += "  \"threads\": " +
+           obs::jsonNumber(static_cast<std::int64_t>(flags_.threads)) + ",\n";
+    out += "  \"reps\": " +
+           obs::jsonNumber(static_cast<std::int64_t>(flags_.reps)) + ",\n";
+    out += "  \"calib_ns\": " + obs::jsonNumber(calibrateNs()) + ",\n";
+    out += "  \"results\": [";
+    bool firstRecord = true;
+    for (const BenchRecord& r : records_) {
+      out += firstRecord ? "\n" : ",\n";
+      firstRecord = false;
+      out += "    {\"name\": " + obs::jsonQuote(r.name);
+      out += ", \"workload\": " + obs::jsonQuote(r.workload);
+      out += ", \"pipeline\": " + obs::jsonQuote(r.pipeline);
+      out += std::string(", \"time_gated\": ") +
+             (r.timeGated ? "true" : "false");
+      if (r.nsPerIter >= 0)
+        out += ", \"ns_per_iter\": " + obs::jsonNumber(r.nsPerIter);
+      if (r.simUs >= 0) out += ", \"sim_us\": " + obs::jsonNumber(r.simUs);
+      if (r.kernelLaunches >= 0)
+        out += ", \"kernel_launches\": " + obs::jsonNumber(r.kernelLaunches);
+      if (r.arenaReuseRate >= 0)
+        out += ", \"arena_reuse_rate\": " + obs::jsonNumber(r.arenaReuseRate);
+      if (!r.extra.empty()) {
+        out += ", \"extra\": {";
+        bool firstExtra = true;
+        for (const auto& [key, value] : r.extra) {
+          if (!firstExtra) out += ", ";
+          firstExtra = false;
+          out += obs::jsonQuote(key) + ": " + obs::jsonNumber(value);
+        }
+        out += "}";
+      }
+      out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
+ private:
+  std::string binary_;
+  BenchFlags flags_;
+  std::vector<BenchRecord> records_;
 };
 
 inline double geomean(const std::vector<double>& xs) {

@@ -18,7 +18,8 @@ using bench::runSim;
 using runtime::DeviceSpec;
 using runtime::PipelineKind;
 
-void printFigure5(const DeviceSpec& device, const bench::BenchFlags& flags) {
+void printFigure5(const DeviceSpec& device, const bench::BenchFlags& flags,
+                  bench::BenchReport& report) {
   // Columns honor --pipeline; the simulation always runs every pipeline so
   // the eager anchor and best-baseline summary stay well-defined.
   const std::vector<PipelineKind> shown = flags.kinds();
@@ -39,15 +40,26 @@ void printFigure5(const DeviceSpec& device, const bench::BenchFlags& flags) {
   for (const std::string& name : workloads::workloadNames()) {
     workloads::Workload w = workloads::buildWorkload(name, config);
     std::map<PipelineKind, double> e2e;
+    std::map<PipelineKind, std::int64_t> launches;
     double eagerImp = 0;
     for (PipelineKind kind : runtime::allPipelines()) {
       bench::SimResult r = runSim(w, kind, device);
       if (kind == PipelineKind::Eager) eagerImp = r.imperativeUs;
-      e2e[kind] = 0;  // fill after eagerImp known (eager measured first)
       e2e[kind] = r.imperativeUs;
+      launches[kind] = r.launches;
     }
     for (auto& [kind, us] : e2e)
       us = endToEndUs(name, eagerImp, config.batch, us);
+    for (PipelineKind kind : runtime::allPipelines()) {
+      bench::BenchRecord rec;
+      rec.name = "e2e/" + device.name + "/" + name + "/" +
+                 std::string(pipelineName(kind));
+      rec.workload = name;
+      rec.pipeline = std::string(pipelineName(kind));
+      rec.simUs = e2e[kind];
+      rec.kernelLaunches = launches[kind];
+      report.add(std::move(rec));
+    }
 
     std::printf("%-10s", name.c_str());
     double bestBaseline = 1e300;
@@ -86,7 +98,8 @@ std::size_t countParallelMaps(const ir::Graph& g) {
 /// Outputs and kernel-launch counts are asserted identical — threading is
 /// unobservable except in time. Speedup > 1 requires actual CPU cores;
 /// on a single-core host the two columns should be ~equal.
-void printWallClock(const bench::BenchFlags& flags) {
+void printWallClock(const bench::BenchFlags& flags,
+                    bench::BenchReport& report) {
   std::printf("\n=== Threaded executor: wall-clock, TensorSSA pipeline "
               "(threads=1 vs threads=%d, %d hardware threads, best of %d) "
               "===\n",
@@ -124,6 +137,31 @@ void printWallClock(const bench::BenchFlags& flags) {
                 countParallelMaps(serial.compiled()), serialUs, threadedUs,
                 serialUs / threadedUs, outputsEq ? "equal" : "DIFFER",
                 launchesEq ? "equal" : "DIFFER");
+
+    // The CI-gated records: real wall-clock of the actual executor, plus
+    // deterministic launch counts and the arena-planner reuse rate. Launch
+    // counts come from the single verification run above (wallClockUs reps
+    // accumulate into the same profiler, but the count per run is constant,
+    // so normalize by runs).
+    const std::int64_t runsSerial = 1 + flags.reps;  // verify + reps
+    const auto mem = serial.profiler().memoryCounters();
+    const std::int64_t allocs = mem.freshAllocs + mem.reusedAllocs;
+    for (int threaded01 = 0; threaded01 < 2; ++threaded01) {
+      runtime::Pipeline& p = threaded01 ? threaded : serial;
+      bench::BenchRecord rec;
+      rec.name = "wallclock/" + name + (threaded01 ? "/threaded" : "/serial");
+      rec.workload = name;
+      rec.pipeline = "TensorSSA";
+      rec.nsPerIter = (threaded01 ? threadedUs : serialUs) * 1000.0;
+      rec.kernelLaunches = p.profiler().kernelLaunches() / runsSerial;
+      rec.timeGated = true;
+      if (!threaded01 && allocs > 0)
+        rec.arenaReuseRate =
+            static_cast<double>(mem.reusedAllocs) / static_cast<double>(allocs);
+      rec.extra.emplace_back("outputs_equal", outputsEq ? 1 : 0);
+      rec.extra.emplace_back("launches_equal", launchesEq ? 1 : 0);
+      report.add(std::move(rec));
+    }
   }
 }
 
@@ -148,9 +186,10 @@ void BM_PipelineRun(benchmark::State& state, std::string workload,
 
 int main(int argc, char** argv) {
   const tssa::bench::BenchFlags flags = tssa::bench::BenchFlags::parse(argc, argv);
-  printFigure5(DeviceSpec::consumer(), flags);
-  printFigure5(DeviceSpec::dataCenter(), flags);
-  printWallClock(flags);
+  tssa::bench::BenchReport report("fig5_overall", flags);
+  printFigure5(DeviceSpec::consumer(), flags, report);
+  printFigure5(DeviceSpec::dataCenter(), flags, report);
+  printWallClock(flags, report);
 
   for (const std::string& name : tssa::workloads::workloadNames()) {
     for (PipelineKind kind :
@@ -165,5 +204,6 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  report.finish();
   return 0;
 }

@@ -16,7 +16,8 @@ using bench::runSim;
 using runtime::DeviceSpec;
 using runtime::PipelineKind;
 
-void printFigure6(const bench::BenchFlags& flags) {
+void printFigure6(const bench::BenchFlags& flags,
+                  bench::BenchReport& report) {
   const std::vector<PipelineKind> shown = flags.kinds();
   std::printf("\n=== Figure 6: kernel launch counts (imperative region) ===\n");
   std::printf("%-10s", "workload");
@@ -38,6 +39,13 @@ void printFigure6(const bench::BenchFlags& flags) {
       bench::SimResult r = runSim(w, kind, device);
       std::printf(" %15lld", static_cast<long long>(r.launches));
       counts.push_back(r.launches);
+      bench::BenchRecord rec;
+      rec.name = "launches/" + name + "/" + std::string(pipelineName(kind));
+      rec.workload = name;
+      rec.pipeline = std::string(pipelineName(kind));
+      rec.simUs = r.imperativeUs;
+      rec.kernelLaunches = r.launches;
+      report.add(std::move(rec));
     }
     std::printf("\n");
   }
@@ -64,7 +72,8 @@ void BM_CountLaunches(benchmark::State& state, std::string workload) {
 
 int main(int argc, char** argv) {
   const tssa::bench::BenchFlags flags = tssa::bench::BenchFlags::parse(argc, argv);
-  printFigure6(flags);
+  tssa::bench::BenchReport report("fig6_kernel_launches", flags);
+  printFigure6(flags, report);
   for (const std::string& name : tssa::workloads::workloadNames()) {
     benchmark::RegisterBenchmark(
         ("launches/" + name).c_str(),
@@ -74,5 +83,6 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  report.finish();
   return 0;
 }

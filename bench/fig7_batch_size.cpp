@@ -20,7 +20,7 @@ const std::vector<std::int64_t> kBatches = {1, 2, 4, 8, 16};
 const std::vector<std::string> kWorkloads = {"yolov3", "ssd",     "yolact",
                                              "fcos",   "seq2seq", "attention"};
 
-void printFigure7() {
+void printFigure7(bench::BenchReport& report) {
   std::printf("\n=== Figure 7: TensorSSA speedup over eager vs batch size "
               "(end-to-end, data-center) ===\n");
   std::printf("%-10s", "workload");
@@ -47,6 +47,15 @@ void printFigure7() {
           endToEndUs(name, eagerBatch1, batch, tssa.imperativeUs);
       speedups.push_back(speedup);
       std::printf("  %-11.2fx", speedup);
+      bench::BenchRecord rec;
+      rec.name = "batch/" + name + "/b" + std::to_string(batch);
+      rec.workload = name;
+      rec.pipeline = "TensorSSA";
+      rec.simUs = tssa.imperativeUs;
+      rec.kernelLaunches = tssa.launches;
+      rec.extra.emplace_back("speedup_vs_eager", speedup);
+      rec.extra.emplace_back("eager_sim_us", eager.imperativeUs);
+      report.add(std::move(rec));
     }
     std::printf("  %s\n", speedups.back() > speedups.front() ? "UP" : "DOWN");
   }
@@ -71,7 +80,8 @@ void BM_TensorSsaBatch(benchmark::State& state, std::string workload) {
 
 int main(int argc, char** argv) {
   const tssa::bench::BenchFlags flags = tssa::bench::BenchFlags::parse(argc, argv);
-  printFigure7();
+  tssa::bench::BenchReport report("fig7_batch_size", flags);
+  printFigure7(report);
   for (const std::string& name : kWorkloads) {
     benchmark::RegisterBenchmark(
         ("batch_scaling/" + name).c_str(),
@@ -83,5 +93,6 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  report.finish();
   return 0;
 }

@@ -19,7 +19,8 @@ const std::vector<std::int64_t> kSeqLens = {16, 32, 64, 128, 256};
 const std::vector<std::string> kWorkloads = {"nasrnn", "lstm", "seq2seq",
                                              "attention"};
 
-void printFigure8(const bench::BenchFlags& flags) {
+void printFigure8(const bench::BenchFlags& flags,
+                  bench::BenchReport& report) {
   std::printf("\n=== Figure 8: latency (ms, end-to-end) vs sequence length "
               "(data-center) ===\n");
   const DeviceSpec device = DeviceSpec::dataCenter();
@@ -45,6 +46,15 @@ void printFigure8(const bench::BenchFlags& flags) {
           eagerAnchor = r.imperativeUs;
         rows[kind].push_back(
             endToEndUs(name, eagerAnchor, 1, r.imperativeUs) / 1000.0);
+        if (kind == PipelineKind::TensorSsa) {
+          bench::BenchRecord rec;
+          rec.name = "seq/" + name + "/s" + std::to_string(seq);
+          rec.workload = name;
+          rec.pipeline = "TensorSSA";
+          rec.simUs = r.imperativeUs;
+          rec.kernelLaunches = r.launches;
+          report.add(std::move(rec));
+        }
       }
     }
     bool tssaLowestEverywhere = true;
@@ -88,7 +98,8 @@ void BM_SeqLen(benchmark::State& state, std::string workload,
 
 int main(int argc, char** argv) {
   const tssa::bench::BenchFlags flags = tssa::bench::BenchFlags::parse(argc, argv);
-  printFigure8(flags);
+  tssa::bench::BenchReport report("fig8_seq_length", flags);
+  printFigure8(flags, report);
   for (const std::string& name : kWorkloads) {
     benchmark::RegisterBenchmark(
         ("seq_scaling/" + name + "/TensorSSA").c_str(),
@@ -102,5 +113,6 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  report.finish();
   return 0;
 }

@@ -82,7 +82,8 @@ MetricsSnapshot runSweep(const SweepPoint& point, int perClient,
   return snap;
 }
 
-void printSweep(const bench::BenchFlags& flags, runtime::PipelineKind kind) {
+void printSweep(const bench::BenchFlags& flags, runtime::PipelineKind kind,
+                bench::BenchReport& report) {
   const int perClient = flags.reps * 8;
   std::printf("\n=== Serving throughput: %s pipeline, %d requests/client, "
               "4-workload mix ===\n",
@@ -92,12 +93,21 @@ void printSweep(const bench::BenchFlags& flags, runtime::PipelineKind kind) {
               "hit-rate", "batch-sz", "compiles");
   bench::printRule(8 + 10 * 9 + 1);
 
-  const std::vector<SweepPoint> points = {
+  std::vector<SweepPoint> points = {
       {1, 0, 1},                    // no batching: per-request baseline
       {2, 200, 4},                  // light concurrency, short window
       {flags.threads, 200, 4},      // full client load, short window
       {flags.threads, 2000, 8},     // full load, long window: batch growth
   };
+  // --threads=2 collapses the second and third point into one; drop the
+  // duplicate (it would also collide in the --json record keys).
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](const SweepPoint& a, const SweepPoint& b) {
+                             return a.clients == b.clients &&
+                                    a.maxWaitUs == b.maxWaitUs &&
+                                    a.maxBatch == b.maxBatch;
+                           }),
+               points.end());
   for (const SweepPoint& p : points) {
     const MetricsSnapshot m = runSweep(p, perClient, kind);
     std::printf(
@@ -106,6 +116,27 @@ void printSweep(const bench::BenchFlags& flags, runtime::PipelineKind kind) {
         m.throughputRps, m.total.p50Us, m.total.p95Us, m.total.p99Us,
         100.0 * m.cacheHitRate(), m.meanBatchSize,
         static_cast<unsigned long long>(m.cacheCompiles));
+
+    // Serving latencies are scheduling-noisy (closed-loop clients, batching
+    // windows), so the record is NOT time-gated — CI keeps the numbers for
+    // trend inspection but only hard-fails on deterministic counters.
+    bench::BenchRecord rec;
+    rec.name = "serve/" + std::string(runtime::pipelineName(kind)) + "/c" +
+               std::to_string(p.clients) + "_w" + std::to_string(p.maxWaitUs) +
+               "_b" + std::to_string(p.maxBatch);
+    rec.workload = "mix4";
+    rec.pipeline = std::string(runtime::pipelineName(kind));
+    rec.arenaReuseRate = m.arenaReuseRate();
+    rec.extra.emplace_back("rps", m.throughputRps);
+    rec.extra.emplace_back("p50_us", m.total.p50Us);
+    rec.extra.emplace_back("p95_us", m.total.p95Us);
+    rec.extra.emplace_back("p99_us", m.total.p99Us);
+    rec.extra.emplace_back("hit_rate", m.cacheHitRate());
+    rec.extra.emplace_back("mean_batch", m.meanBatchSize);
+    rec.extra.emplace_back("requests", static_cast<double>(m.requests));
+    rec.extra.emplace_back("errors", static_cast<double>(m.errors));
+    rec.extra.emplace_back("compiles", static_cast<double>(m.cacheCompiles));
+    report.add(std::move(rec));
   }
   std::printf("(hit-rate counts batched executions; every shape compiles "
               "once, then all later requests hit)\n");
@@ -115,10 +146,12 @@ void printSweep(const bench::BenchFlags& flags, runtime::PipelineKind kind) {
 
 int main(int argc, char** argv) {
   tssa::bench::BenchFlags flags = tssa::bench::BenchFlags::parse(argc, argv);
+  tssa::bench::BenchReport report("serve_throughput", flags);
   for (runtime::PipelineKind kind :
        {runtime::PipelineKind::Eager, runtime::PipelineKind::TensorSsa}) {
     if (!flags.enabled(kind)) continue;
-    printSweep(flags, kind);
+    printSweep(flags, kind, report);
   }
+  report.finish();
   return 0;
 }

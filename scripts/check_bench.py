@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over tssa-bench-v1 result files.
+
+Compares one or more --json result files (written by the bench binaries via
+bench/bench_common.h BenchReport) against the committed baseline
+bench/baseline.json and exits non-zero on a regression:
+
+  * kernel_launches: deterministic, gated EXACTLY. Any increase over the
+    baseline fails; any decrease passes but is reported so the baseline can
+    be refreshed to lock in the improvement.
+  * ns_per_iter: only gated for records with "time_gated": true (wall-clock
+    best-of-N over the real executor). Times are normalized by the run's
+    calib_ns (a fixed arithmetic loop timed on the same machine), so a slower
+    CI runner does not fail the gate; the normalized ratio must stay within
+    --threshold (default 1.25 = +25%).
+
+Everything else in the records (sim_us, latency percentiles, reuse rates) is
+informational: printed on drift, never fatal.
+
+Usage:
+  check_bench.py --baseline bench/baseline.json out/fig5.json out/fig6.json
+  check_bench.py --baseline bench/baseline.json --update out/*.json   # re-baseline
+
+Re-baselining (--update) rewrites the baseline from the given result files;
+commit the result. Do this when a change legitimately alters launch counts
+or speeds things up (see README "CI bench gate").
+"""
+
+import argparse
+import json
+import sys
+
+BASELINE_SCHEMA = "tssa-bench-baseline-v1"
+RESULT_SCHEMA = "tssa-bench-v1"
+
+
+def load_results(paths):
+    """Returns {key: (record, calib_ns)} for every record in every file."""
+    entries = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        if doc.get("schema") != RESULT_SCHEMA:
+            sys.exit(f"{path}: expected schema {RESULT_SCHEMA!r}, "
+                     f"got {doc.get('schema')!r}")
+        calib = float(doc["calib_ns"])
+        if calib <= 0:
+            sys.exit(f"{path}: non-positive calib_ns")
+        for record in doc["results"]:
+            key = f"{doc['binary']}/{record['name']}"
+            if key in entries:
+                sys.exit(f"{path}: duplicate record key {key!r}")
+            entries[key] = (record, calib)
+    return entries
+
+
+def write_baseline(entries, path):
+    doc = {"schema": BASELINE_SCHEMA, "entries": {}}
+    for key in sorted(entries):
+        record, calib = entries[key]
+        entry = dict(record)
+        entry["calib_ns"] = calib
+        doc["entries"][key] = entry
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote baseline with {len(entries)} entries to {path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", nargs="+", help="tssa-bench-v1 JSON files")
+    parser.add_argument("--baseline", required=True,
+                        help="bench/baseline.json")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="max allowed normalized ns_per_iter ratio "
+                             "(default 1.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the result files "
+                             "instead of checking")
+    args = parser.parse_args()
+
+    current = load_results(args.results)
+    if args.update:
+        write_baseline(current, args.baseline)
+        return
+
+    with open(args.baseline) as f:
+        baseline_doc = json.load(f)
+    if baseline_doc.get("schema") != BASELINE_SCHEMA:
+        sys.exit(f"{args.baseline}: expected schema {BASELINE_SCHEMA!r}, "
+                 f"got {baseline_doc.get('schema')!r}")
+    baseline = baseline_doc["entries"]
+
+    failures = []
+    notes = []
+    checked_launches = checked_times = 0
+
+    for key, (record, calib) in sorted(current.items()):
+        base = baseline.get(key)
+        if base is None:
+            notes.append(f"NEW       {key} (not in baseline; run --update "
+                         "to start tracking it)")
+            continue
+
+        cur_launches = record.get("kernel_launches")
+        base_launches = base.get("kernel_launches")
+        if cur_launches is not None and base_launches is not None:
+            checked_launches += 1
+            if cur_launches > base_launches:
+                failures.append(
+                    f"LAUNCHES  {key}: {base_launches} -> {cur_launches} "
+                    f"(+{cur_launches - base_launches}); kernel-launch counts "
+                    "are deterministic, any increase is a regression")
+            elif cur_launches < base_launches:
+                notes.append(
+                    f"IMPROVED  {key}: launches {base_launches} -> "
+                    f"{cur_launches}; consider re-baselining to lock it in")
+
+        cur_ns = record.get("ns_per_iter")
+        base_ns = base.get("ns_per_iter")
+        if (record.get("time_gated") and base.get("time_gated")
+                and cur_ns is not None and base_ns is not None):
+            checked_times += 1
+            base_calib = float(base["calib_ns"])
+            ratio = (cur_ns / calib) / (base_ns / base_calib)
+            if ratio > args.threshold:
+                failures.append(
+                    f"TIME      {key}: normalized {ratio:.2f}x over baseline "
+                    f"(raw {base_ns:.0f} -> {cur_ns:.0f} ns/iter, machine "
+                    f"factor {calib / base_calib:.2f})")
+            elif ratio < 1.0 / args.threshold:
+                notes.append(f"IMPROVED  {key}: normalized {ratio:.2f}x")
+
+    missing = sorted(set(baseline) - set(current))
+    for key in missing:
+        notes.append(f"MISSING   {key} (in baseline but not in these "
+                     "results; fine for partial runs)")
+
+    for note in notes:
+        print(note)
+    print(f"checked {checked_launches} launch counts and {checked_times} "
+          f"gated times against {len(baseline)} baseline entries")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("\nIf this change is intentional, re-baseline:\n"
+              "  python3 scripts/check_bench.py --baseline "
+              "bench/baseline.json --update <result files>",
+              file=sys.stderr)
+        sys.exit(1)
+    print("bench gate: OK")
+
+
+if __name__ == "__main__":
+    main()

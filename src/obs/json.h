@@ -1,0 +1,52 @@
+// Minimal JSON writing utilities shared by the observability exporters
+// (Chrome trace_event files, MetricsRegistry snapshots) and the bench
+// result records. Writing only — the repo has no JSON consumer in C++
+// (tests carry their own micro-parser; scripts/check_bench.py uses Python).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace tssa::obs {
+
+/// Escapes `s` per RFC 8259 and returns it wrapped in double quotes.
+inline std::string jsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// A double rendered as a JSON number (JSON has no NaN/Inf — emit null).
+inline std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+inline std::string jsonNumber(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace tssa::obs

@@ -1,0 +1,127 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/obs/json.h"
+
+namespace tssa::obs {
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint32_t Tracer::currentThreadId() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id = next.fetch_add(1) + 1;  // 0 reserved
+  return id;
+}
+
+Tracer::Shard& Tracer::shardForThisThread() {
+  return shards_[currentThreadId() % kShards];
+}
+
+void Tracer::record(TraceEvent event) {
+  Shard& shard = shardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.events.push_back(std::move(event));
+}
+
+void Tracer::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.events.clear();
+  }
+}
+
+std::size_t Tracer::spanCount() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.events.size();
+  }
+  return n;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> all;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    all.insert(all.end(), shard.events.begin(), shard.events.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.startNs != b.startNs) return a.startNs < b.startNs;
+              return a.durNs > b.durNs;  // parent before child at equal start
+            });
+  return all;
+}
+
+std::string Tracer::chromeTraceJson() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + jsonQuote(e.name);
+    out += ",\"cat\":" + jsonQuote(e.cat);
+    out += ",\"ph\":\"X\",\"pid\":1";
+    out += ",\"tid\":" + std::to_string(e.tid);
+    // Chrome trace timestamps are microseconds; keep sub-us precision as a
+    // fraction (viewers accept fractional ts/dur).
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(e.startNs) / 1e3,
+                  static_cast<double>(e.durNs) / 1e3);
+    out += buf;
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      bool firstArg = true;
+      for (const auto& [k, v] : e.args) {
+        if (!firstArg) out += ",";
+        firstArg = false;
+        out += jsonQuote(k) + ":" + v;
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::writeChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chromeTraceJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void TraceSpan::arg(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  event_.args.emplace_back(std::string(key), jsonQuote(value));
+}
+
+void TraceSpan::arg(std::string_view key, std::int64_t value) {
+  if (!active_) return;
+  event_.args.emplace_back(std::string(key), jsonNumber(value));
+}
+
+void TraceSpan::arg(std::string_view key, double value) {
+  if (!active_) return;
+  event_.args.emplace_back(std::string(key), jsonNumber(value));
+}
+
+void TraceSpan::finish() {
+  if (!active_) return;
+  active_ = false;
+  Tracer& t = Tracer::instance();
+  event_.durNs = t.nowNs() - event_.startNs;
+  t.record(std::move(event_));
+}
+
+}  // namespace tssa::obs

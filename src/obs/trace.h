@@ -1,0 +1,140 @@
+// Structured tracing: nested spans over the whole stack, exported as Chrome
+// trace_event JSON (open in Perfetto / chrome://tracing).
+//
+// Design constraints (DESIGN.md §9):
+//   * Near-zero cost when disabled: a span site costs one relaxed atomic
+//     load and a branch. No allocation, no clock read, no lock.
+//   * Lock-sharded when enabled: each span is appended to one of kShards
+//     buffers chosen by thread id, so ThreadPool workers recording
+//     concurrently contend only when they hash to the same shard.
+//   * Spans are recorded at destruction as Chrome "X" (complete) events:
+//     timestamp + duration per thread. RAII guarantees a child span closes
+//     before its parent, which is exactly the nesting contract the trace
+//     viewers expect for same-tid complete events.
+//
+// The Tracer is process-global (Tracer::instance()): the interesting traces
+// cross subsystems — a serve request's spans come from the engine, the
+// batcher's timer thread, pipeline passes, and pool workers — and stitching
+// per-component tracers back together would need exactly the global clock
+// and thread-id space the singleton already provides.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tssa::obs {
+
+/// One recorded span (or instant event when durNs == 0 and the phase says
+/// so). Args are pre-rendered JSON values: TraceSpan::arg overloads render
+/// strings/integers/doubles so export is a plain concatenation.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  std::uint64_t startNs = 0;  ///< relative to the tracer epoch
+  std::uint64_t durNs = 0;
+  std::uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Enabling does not clear previously recorded spans (call clear() for a
+  /// fresh trace); disabling stops recording instantly but keeps the buffer
+  /// for export.
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void clear();
+  std::size_t spanCount() const;
+
+  /// Appends a finished event to the calling thread's shard.
+  void record(TraceEvent event);
+
+  /// Nanoseconds since the tracer epoch (process start, steady clock).
+  std::uint64_t nowNs() const { return sinceEpochNs(Clock::now()); }
+  std::uint64_t sinceEpochNs(std::chrono::steady_clock::time_point t) const {
+    if (t < epoch_) return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_)
+            .count());
+  }
+
+  /// Small dense id for the calling thread (stable for its lifetime); used
+  /// as the Chrome trace `tid`.
+  static std::uint32_t currentThreadId();
+
+  /// All recorded events, merged across shards and sorted by (tid, start).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}).
+  std::string chromeTraceJson() const;
+
+  /// Writes chromeTraceJson() to `path`; returns false on I/O failure.
+  bool writeChromeTrace(const std::string& path) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+
+  Tracer() : epoch_(Clock::now()) {}
+  Shard& shardForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  Clock::time_point epoch_;
+  Shard shards_[kShards];
+};
+
+/// RAII span. Construction samples the clock only when tracing is enabled;
+/// destruction records the completed event. Intended use:
+///
+///   obs::TraceSpan span("pipeline", "fusion");
+///   span.arg("nodes_before", before);
+///   ... work ...
+///
+/// Copying is disabled; a span belongs to one scope on one thread.
+class TraceSpan {
+ public:
+  TraceSpan(std::string_view cat, std::string_view name) {
+    Tracer& t = Tracer::instance();
+    if (!t.enabled()) return;
+    active_ = true;
+    event_.cat = cat;
+    event_.name = name;
+    event_.startNs = t.nowNs();
+    event_.tid = Tracer::currentThreadId();
+  }
+  ~TraceSpan() { finish(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// True when this span is actually recording — use to skip computing
+  /// expensive args (graph statistics) on the disabled path.
+  bool active() const { return active_; }
+
+  void arg(std::string_view key, std::string_view value);
+  void arg(std::string_view key, std::int64_t value);
+  void arg(std::string_view key, int value) {
+    arg(key, static_cast<std::int64_t>(value));
+  }
+  void arg(std::string_view key, double value);
+
+  /// Records the span now (idempotent; the destructor becomes a no-op).
+  void finish();
+
+ private:
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+}  // namespace tssa::obs

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "src/ir/printer.h"
+#include "src/obs/trace.h"
 #include "src/runtime/thread_pool.h"
 #include "src/tensor/ops.h"
 
@@ -89,6 +90,8 @@ std::vector<RtValue> Interpreter::run(const ir::Graph& graph,
   TSSA_CHECK(inputs.size() == graph.inputs().size(),
              "expected " << graph.inputs().size() << " inputs, got "
                          << inputs.size());
+  obs::TraceSpan runSpan("exec", "Interpreter.run");
+  runSpan.arg("threads", threads_);
   Env env;
   for (std::size_t i = 0; i < inputs.size(); ++i)
     env[graph.inputs()[i]] = inputs[i];
@@ -301,6 +304,13 @@ bool Interpreter::tryParallelMap(const Node& node, Env& env, ExecContext& ctx,
 
   ThreadPool::shared().parallelFor(
       trip, workers, [&](std::int64_t begin, std::int64_t end, int chunk) {
+        // Worker-side span: one per chunk, on the executing thread's
+        // timeline — this is what makes thread utilization visible in the
+        // trace (idle workers show as gaps between chunk spans).
+        obs::TraceSpan chunkSpan("exec", "ParallelMap.chunk");
+        chunkSpan.arg("chunk", chunk);
+        chunkSpan.arg("begin", begin);
+        chunkSpan.arg("end", end);
         // Private environment: binding values is cheap (tensors are views).
         // Iterations of this chunk run serially against it, exactly like the
         // serial executor, but read the ParallelMap's *input* versions of
@@ -504,7 +514,16 @@ void Interpreter::execNode(const Node& node, Env& env, ExecContext& ctx) {
       std::vector<RtValue> carried;
       for (std::size_t i = 1; i < node.numInputs(); ++i)
         carried.push_back(get(node.input(i), env));
-      if (tryParallelMap(node, env, ctx, trip, carried)) return;
+      obs::TraceSpan span("exec", "ParallelMap");
+      span.arg("trip", trip);
+      if (tryParallelMap(node, env, ctx, trip, carried)) {
+        span.arg("threaded", std::int64_t{1});
+        span.arg("workers",
+                 static_cast<std::int64_t>(
+                     std::min<std::int64_t>(threads_, trip)));
+        return;
+      }
+      span.arg("threaded", std::int64_t{0});
       std::vector<MergedKernel> slots;
       {
         MergeScope merge(ctx);
@@ -536,6 +555,7 @@ void Interpreter::execNode(const Node& node, Env& env, ExecContext& ctx) {
     case OpKind::FusionGroup: {
       // One kernel. External traffic only: inputs + outputs; intermediates
       // live in registers of the generated kernel.
+      obs::TraceSpan span("exec", "FusionGroup");
       const ir::Block& body = *node.block(0);
       std::int64_t bytes = 0;
       std::vector<RtValue> groupInputs;
@@ -575,6 +595,11 @@ void Interpreter::execNode(const Node& node, Env& env, ExecContext& ctx) {
         if (r.isTensor()) bytes += tensorBytes(r.tensor());
       }
       bytes = std::max<std::int64_t>(0, bytes - savedBytes);
+      if (span.active()) {
+        span.arg("backend", kernel != nullptr ? "texpr" : "interp");
+        span.arg("bytes", bytes);
+        span.arg("flops", flops);
+      }
       if (profiler_ != nullptr) chargeKernel(node, bytes, flops, ctx);
       for (std::size_t i = 0; i < rets.size(); ++i)
         bindOut(i, std::move(rets[i]));

@@ -10,6 +10,7 @@
 #include "src/core/tensor_ssa.h"
 #include "src/core/unroll.h"
 #include "src/ir/verifier.h"
+#include "src/obs/trace.h"
 
 namespace tssa::runtime {
 
@@ -56,50 +57,122 @@ HostSpec hostFor(PipelineKind kind) {
   return HostSpec::torchscriptVm();
 }
 
+/// Per-pass graph statistics carried as span args: the delta tells what the
+/// pass actually did (torch.fx's inspectability argument — a transformation
+/// pipeline is only debuggable when each stage's effect is observable).
+struct GraphCounts {
+  std::int64_t nodes = 0;
+  std::int64_t fusionGroups = 0;
+  std::int64_t parallelMaps = 0;
+};
+
+GraphCounts countGraph(const ir::Graph& g) {
+  GraphCounts c;
+  std::vector<const ir::Block*> stack{g.topBlock()};
+  while (!stack.empty()) {
+    const ir::Block* b = stack.back();
+    stack.pop_back();
+    for (const ir::Node* node : *b) {
+      ++c.nodes;
+      if (node->kind() == ir::OpKind::FusionGroup) ++c.fusionGroups;
+      if (node->kind() == ir::OpKind::ParallelMap) ++c.parallelMaps;
+      for (const ir::Block* inner : node->blocks()) stack.push_back(inner);
+    }
+  }
+  return c;
+}
+
+/// Runs one compilation pass under a "pipeline" span. Graph statistics are
+/// only computed when the tracer is live, so the disabled path pays exactly
+/// one atomic load per pass.
+template <typename Fn>
+void tracedPass(const char* name, ir::Graph& graph, Fn&& fn) {
+  obs::TraceSpan span("pipeline", name);
+  GraphCounts before;
+  if (span.active()) before = countGraph(graph);
+  fn();
+  if (span.active()) {
+    const GraphCounts after = countGraph(graph);
+    span.arg("nodes_before", before.nodes);
+    span.arg("nodes_after", after.nodes);
+    if (after.fusionGroups != before.fusionGroups)
+      span.arg("fusion_groups_formed",
+               after.fusionGroups - before.fusionGroups);
+    if (after.parallelMaps != before.parallelMaps)
+      span.arg("loops_parallelized",
+               after.parallelMaps - before.parallelMaps);
+  }
+}
+
 /// Applies the capability envelope of `kind` to `graph` (in place).
 void compileFor(PipelineKind kind, ir::Graph& graph) {
   using core::ConversionOptions;
   using core::FusionPolicy;
+  obs::TraceSpan compileSpan("pipeline", "compile");
+  compileSpan.arg("pipeline", pipelineName(kind));
   switch (kind) {
     case PipelineKind::Eager:
       // No compilation at all.
       return;
     case PipelineKind::TorchScriptNnc:
-      core::hoistConstants(graph);
-      core::fuseKernels(graph, FusionPolicy::nnc());
+      tracedPass("hoist-constants", graph,
+                 [&] { core::hoistConstants(graph); });
+      tracedPass("fusion", graph,
+                 [&] { core::fuseKernels(graph, FusionPolicy::nnc()); });
       break;
     case PipelineKind::TorchScriptNvfuser:
-      core::hoistConstants(graph);
-      core::fuseKernels(graph, FusionPolicy::nvfuser());
+      tracedPass("hoist-constants", graph,
+                 [&] { core::hoistConstants(graph); });
+      tracedPass("fusion", graph,
+                 [&] { core::fuseKernels(graph, FusionPolicy::nvfuser()); });
       break;
     case PipelineKind::DynamoInductor: {
-      core::lowerInplaceOps(graph);
+      tracedPass("lower-inplace", graph,
+                 [&] { core::lowerInplaceOps(graph); });
       // Dynamo traces Python control flow: constant-range loops unroll into
       // the captured region; anything data-dependent graph-breaks.
-      core::unrollLoops(graph);
-      core::foldScalarConstants(graph);
-      ConversionOptions options;
-      options.acrossControlFlow = false;  // graph breaks at control flow
-      core::convertToTensorSSA(graph, options);
-      core::readonlyViewsToAccess(graph, FusionPolicy::inductor());
-      core::hoistConstants(graph);
-      core::fuseKernels(graph, FusionPolicy::inductor());
-      core::markInplaceAssigns(graph);
+      tracedPass("unroll-loops", graph, [&] { core::unrollLoops(graph); });
+      tracedPass("fold-scalar-constants", graph,
+                 [&] { core::foldScalarConstants(graph); });
+      tracedPass("functionalize", graph, [&] {
+        ConversionOptions options;
+        options.acrossControlFlow = false;  // graph breaks at control flow
+        core::convertToTensorSSA(graph, options);
+      });
+      tracedPass("views-to-access", graph, [&] {
+        core::readonlyViewsToAccess(graph, FusionPolicy::inductor());
+      });
+      tracedPass("hoist-constants", graph,
+                 [&] { core::hoistConstants(graph); });
+      tracedPass("fusion", graph, [&] {
+        core::fuseKernels(graph, FusionPolicy::inductor());
+      });
+      tracedPass("mark-inplace", graph,
+                 [&] { core::markInplaceAssigns(graph); });
       break;
     }
     case PipelineKind::TensorSsa: {
-      core::lowerInplaceOps(graph);
-      core::convertToTensorSSA(graph);
-      core::readonlyViewsToAccess(graph, FusionPolicy::tensorssa());
-      core::parallelizeLoops(graph);
-      core::hoistConstants(graph);
-      core::fuseKernels(graph, FusionPolicy::tensorssa());
-      core::markInplaceAssigns(graph);
+      tracedPass("lower-inplace", graph,
+                 [&] { core::lowerInplaceOps(graph); });
+      tracedPass("functionalize", graph,
+                 [&] { core::convertToTensorSSA(graph); });
+      tracedPass("views-to-access", graph, [&] {
+        core::readonlyViewsToAccess(graph, FusionPolicy::tensorssa());
+      });
+      tracedPass("parallelize", graph,
+                 [&] { core::parallelizeLoops(graph); });
+      tracedPass("hoist-constants", graph,
+                 [&] { core::hoistConstants(graph); });
+      tracedPass("fusion", graph, [&] {
+        core::fuseKernels(graph, FusionPolicy::tensorssa());
+      });
+      tracedPass("mark-inplace", graph,
+                 [&] { core::markInplaceAssigns(graph); });
       break;
     }
   }
-  core::eliminateDeadCode(graph);
-  ir::verify(graph);
+  tracedPass("dce", graph, [&] { core::eliminateDeadCode(graph); });
+  tracedPass("verify", graph, [&] { ir::verify(graph); });
 }
 
 }  // namespace
@@ -130,9 +203,17 @@ Pipeline::Pipeline(PipelineKind kind, const ir::Graph& source,
   // travels with the cached Pipeline, so every request hitting the same
   // shape signature reuses both the compilation AND the buffer plan.
   if (options.memoryPlan) {
+    obs::TraceSpan span("pipeline", "memory-plan");
+    span.arg("pipeline", pipelineName(kind));
     plan_ = std::make_unique<analysis::MemoryPlan>(
         analysis::planMemory(*graph_));
     interpreter_.setMemoryPlan(plan_.get());
+    if (span.active()) {
+      span.arg("planned_deaths",
+               static_cast<std::int64_t>(plan_->plannedDeaths));
+      span.arg("slots", plan_->slotCount);
+      span.arg("values", static_cast<std::int64_t>(plan_->totalValues));
+    }
   }
 }
 

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <exception>
 
+#include "src/obs/trace.h"
+
 namespace tssa::runtime {
 
 ThreadPool& ThreadPool::shared() {
@@ -48,6 +50,7 @@ void ThreadPool::submit(std::function<void()> task, int minWorkers) {
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> task;
+    const char* taskKind = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] {
@@ -58,13 +61,19 @@ void ThreadPool::workerLoop() {
       if (!chunkQueue_.empty()) {
         task = std::move(chunkQueue_.front());
         chunkQueue_.pop_front();
+        taskKind = "worker.chunk";
       } else if (!taskQueue_.empty()) {
         task = std::move(taskQueue_.front());
         taskQueue_.pop_front();
+        taskKind = "worker.task";
       } else {
         return;  // stopping
       }
     }
+    // One span per executed task on the worker's own timeline: the gaps
+    // between spans ARE the idle time, which is what a utilization view of
+    // the trace needs.
+    obs::TraceSpan span("pool", taskKind);
     task();
   }
 }
@@ -145,6 +154,7 @@ void ThreadPool::parallelFor(
       }
     }
     if (task) {
+      obs::TraceSpan span("pool", "chunk.help");
       task();
       continue;
     }

@@ -3,9 +3,30 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/trace.h"
+
 namespace tssa::serve {
 
 using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// Seal + hand-off span: records why a batch left the batcher (full window,
+/// expired window, incompatible arrival, flush, or batching disabled) and
+/// how many requests it coalesced — the two numbers that explain every
+/// batching decision in a trace.
+void dispatchSealed(const MicroBatcher::DispatchFn& dispatch,
+                    std::vector<std::unique_ptr<PendingRequest>> batch,
+                    const char* reason) {
+  obs::TraceSpan span("serve", "batcher.seal");
+  span.arg("reason", reason);
+  span.arg("batch_size", static_cast<std::int64_t>(batch.size()));
+  if (span.active() && !batch.empty())
+    span.arg("workload", batch.front()->request.workload);
+  dispatch(std::move(batch));
+}
+
+}  // namespace
 
 MicroBatcher::MicroBatcher(Options options, DispatchFn dispatch)
     : options_(options), dispatch_(std::move(dispatch)) {
@@ -43,11 +64,12 @@ void MicroBatcher::enqueue(std::unique_ptr<PendingRequest> request) {
   if (batchingOff || !request->traits.batchable()) {
     std::vector<std::unique_ptr<PendingRequest>> solo;
     solo.push_back(std::move(request));
-    dispatch_(std::move(solo));
+    dispatchSealed(dispatch_, std::move(solo), "solo");
     return;
   }
 
   std::vector<std::unique_ptr<PendingRequest>> sealed;
+  const char* sealReason = "full";
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const std::string keyStr = request->key.toString();
@@ -55,6 +77,7 @@ void MicroBatcher::enqueue(std::unique_ptr<PendingRequest> request) {
     if (it != open_.end() &&
         !compatible(*it->second.requests.front(), *request)) {
       sealed = std::move(it->second.requests);  // incompatible: seal the old
+      sealReason = "incompatible";
       open_.erase(it);
       it = open_.end();
     }
@@ -74,7 +97,7 @@ void MicroBatcher::enqueue(std::unique_ptr<PendingRequest> request) {
     }
   }
   wake_.notify_all();  // deadlines changed
-  if (!sealed.empty()) dispatch_(std::move(sealed));
+  if (!sealed.empty()) dispatchSealed(dispatch_, std::move(sealed), sealReason);
 }
 
 void MicroBatcher::flush() {
@@ -84,7 +107,7 @@ void MicroBatcher::flush() {
     for (auto& [key, batch] : open_) batches.push_back(std::move(batch.requests));
     open_.clear();
   }
-  for (auto& b : batches) dispatch_(std::move(b));
+  for (auto& b : batches) dispatchSealed(dispatch_, std::move(b), "flush");
 }
 
 void MicroBatcher::timerLoop() {
@@ -115,7 +138,7 @@ void MicroBatcher::timerLoop() {
     }
     if (due.empty()) continue;
     lock.unlock();
-    for (auto& b : due) dispatch_(std::move(b));
+    for (auto& b : due) dispatchSealed(dispatch_, std::move(b), "window");
     lock.lock();
   }
 }

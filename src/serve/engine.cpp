@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "src/obs/json.h"
+#include "src/obs/trace.h"
 #include "src/runtime/thread_pool.h"
 #include "src/support/error.h"
 #include "src/tensor/ops.h"
@@ -83,6 +85,9 @@ std::vector<runtime::RtValue> Engine::defaultInputs(
 
 std::future<Response> Engine::submitInternal(const std::string& sessionId,
                                              Request request) {
+  obs::TraceSpan span("serve", "submit");
+  span.arg("workload", request.workload);
+  span.arg("session", sessionId);
   // Validation happens here, synchronously: a malformed request throws on
   // the submitting thread rather than poisoning a shared batch later.
   const workloads::BatchTraits& traits =
@@ -145,6 +150,29 @@ void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
   const PendingRequest& first = *batch.front();
   const workloads::BatchTraits& traits = first.traits;
 
+  obs::TraceSpan batchSpan("serve", "batch");
+  batchSpan.arg("workload", first.request.workload);
+  batchSpan.arg("batch_size", k);
+  // Queue spans, recorded retroactively: a request's wait is only known once
+  // its batch starts. One "X" event per request, anchored at its enqueue
+  // time on this (executing) thread's timeline, so queue → exec reads as a
+  // contiguous lifecycle in the trace.
+  if (obs::Tracer::instance().enabled()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    for (const auto& r : batch) {
+      obs::TraceEvent ev;
+      ev.name = "queue";
+      ev.cat = "serve";
+      ev.startNs = tracer.sinceEpochNs(r->enqueueTime);
+      ev.durNs = tracer.sinceEpochNs(execStart) - ev.startNs;
+      ev.tid = obs::Tracer::currentThreadId();
+      ev.args.emplace_back("session", obs::jsonQuote(r->sessionId));
+      ev.args.emplace_back("workload",
+                           obs::jsonQuote(r->request.workload));
+      tracer.record(std::move(ev));
+    }
+  }
+
   std::vector<Response> responses;
   std::exception_ptr failure;
   try {
@@ -180,6 +208,12 @@ void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
     key.options = options_.pipeline;
 
     ProgramCache::Lookup lookup = cache_.getOrCompile(key, [&] {
+      // This span contains the whole shape-specialized compilation — the
+      // nested "pipeline" pass spans (functionalize, fusion, parallelize,
+      // memory-plan) land inside it on the same thread.
+      obs::TraceSpan compileSpan("serve", "compile");
+      compileSpan.arg("workload", key.workload);
+      compileSpan.arg("signature", key.signature);
       workloads::Workload w =
           workloads::buildWorkload(key.workload, batchedConfig);
       return std::make_unique<runtime::Pipeline>(options_.kind, *w.graph,
@@ -192,6 +226,9 @@ void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
     std::vector<runtime::RtValue> outputs;
     runtime::Profiler::MemoryCounters mem;
     {
+      obs::TraceSpan execSpan("serve", "exec");
+      execSpan.arg("workload", key.workload);
+      execSpan.arg("batch_size", k);
       std::lock_guard<std::mutex> execLock(lookup.program->execMutex);
       outputs = lookup.program->pipeline->run(inputs);
       // Read the per-run memory counters while still holding the exec lock:
@@ -241,6 +278,12 @@ void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
     failure = std::current_exception();
   }
 
+  // Close the batch span before the promises are fulfilled: the moment a
+  // client's future resolves, main may tear everything down and export the
+  // trace, and a still-open RAII span would be missing from it. Delivery
+  // itself is microseconds and not worth a span.
+  batchSpan.finish();
+
   // Deliver outside the try: each promise is touched exactly once.
   metrics_.recordBatch(k);
   if (failure != nullptr) {
@@ -262,6 +305,11 @@ void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
     pendingRequests_ -= static_cast<std::uint64_t>(k);
     drainCv_.notify_all();
   }
+}
+
+void Engine::exportMetrics(obs::MetricsRegistry& registry) const {
+  exportSnapshot(metrics(), registry);
+  metrics_.exportTo(registry);
 }
 
 MetricsSnapshot Engine::metrics() const {

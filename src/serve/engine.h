@@ -94,6 +94,11 @@ class Engine {
   void drain();
 
   MetricsSnapshot metrics() const;
+  /// Unified export: the snapshot's counters/gauges plus the full latency
+  /// histograms (tssa_serve_request/queue/exec_latency_us) under the
+  /// canonical names shared with obs::exportProfiler. The registry can then
+  /// be serialized as JSON or Prometheus text (obs::MetricsRegistry).
+  void exportMetrics(obs::MetricsRegistry& registry) const;
   ProgramCache::Stats cacheStats() const { return cache_.stats(); }
   const EngineOptions& options() const { return options_; }
 

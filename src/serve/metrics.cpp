@@ -1,51 +1,30 @@
 #include "src/serve/metrics.h"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 
 namespace tssa::serve {
 
-namespace {
+// The percentile/aggregation code that used to live here moved to
+// src/obs/metrics.h (obs::Histogram, obs::percentileNearestRank): the
+// serving engine and the runtime profiler now share one implementation and
+// one set of canonical metric names instead of two divergent copies.
 
-/// Nearest-rank percentile over an unsorted sample copy: the smallest
-/// sample x such that at least q·n samples are <= x, i.e. 1-based rank
-/// ceil(q·n). (A floor here would be off by one: p50 of 2 samples must be
-/// the lower one, and p99 of 100 samples the 99th, not the maximum.)
-double percentile(std::vector<double> xs, double q) {
-  if (xs.empty()) return 0;
-  std::sort(xs.begin(), xs.end());
-  const auto n = static_cast<double>(xs.size());
-  auto rank = static_cast<std::size_t>(std::ceil(q * n));
-  rank = rank == 0 ? 0 : rank - 1;
-  if (rank >= xs.size()) rank = xs.size() - 1;
-  return xs[rank];
-}
-
-LatencyStats statsOf(const std::vector<double>& xs) {
+LatencyStats toLatencyStats(const obs::HistogramStats& stats) {
   LatencyStats s;
-  if (xs.empty()) return s;
-  s.p50Us = percentile(xs, 0.50);
-  s.p95Us = percentile(xs, 0.95);
-  s.p99Us = percentile(xs, 0.99);
-  double sum = 0, mx = 0;
-  for (double x : xs) {
-    sum += x;
-    mx = std::max(mx, x);
-  }
-  s.meanUs = sum / static_cast<double>(xs.size());
-  s.maxUs = mx;
+  s.p50Us = stats.p50;
+  s.p95Us = stats.p95;
+  s.p99Us = stats.p99;
+  s.meanUs = stats.mean;
+  s.maxUs = stats.max;
   return s;
 }
 
-}  // namespace
-
 void MetricsCollector::recordRequest(const RequestTiming& timing) {
   const auto now = std::chrono::steady_clock::now();
+  totalUs_.observe(timing.totalUs());
+  queueUs_.observe(timing.queueUs);
+  execUs_.observe(timing.execUs);
   std::lock_guard<std::mutex> lock(mutex_);
-  totalUs_.push_back(timing.totalUs());
-  queueUs_.push_back(timing.queueUs);
-  execUs_.push_back(timing.execUs);
   if (!haveSpan_) {
     firstComplete_ = now;
     haveSpan_ = true;
@@ -78,29 +57,73 @@ void MetricsCollector::recordMemory(std::int64_t freshAllocs,
 }
 
 void MetricsCollector::fill(MetricsSnapshot& out) const {
+  const obs::HistogramStats total = totalUs_.stats();
+  out.requests = total.count;
+  out.total = toLatencyStats(total);
+  out.queue = toLatencyStats(queueUs_.stats());
+  out.exec = toLatencyStats(execUs_.stats());
+
   std::lock_guard<std::mutex> lock(mutex_);
-  out.requests = totalUs_.size();
   out.errors = errors_;
   out.batches = batches_;
   out.meanBatchSize =
       batches_ == 0 ? 0.0
                     : static_cast<double>(batchedRequests_) /
                           static_cast<double>(batches_);
-  out.total = statsOf(totalUs_);
-  out.queue = statsOf(queueUs_);
-  out.exec = statsOf(execUs_);
   out.sessionsOpened = sessions_;
   out.arenaFreshAllocs = arenaFresh_;
   out.arenaReusedAllocs = arenaReused_;
   out.throughputRps = 0;
-  if (haveSpan_ && totalUs_.size() > 1) {
+  if (haveSpan_ && total.count > 1) {
     const double spanUs = std::chrono::duration<double, std::micro>(
                               lastComplete_ - firstComplete_)
                               .count();
     if (spanUs > 0)
-      out.throughputRps = static_cast<double>(totalUs_.size() - 1) /
-                          (spanUs * 1e-6);
+      out.throughputRps =
+          static_cast<double>(total.count - 1) / (spanUs * 1e-6);
   }
+}
+
+void MetricsCollector::exportTo(obs::MetricsRegistry& registry) const {
+  const std::vector<double> total = totalUs_.samples();
+  const std::vector<double> queue = queueUs_.samples();
+  const std::vector<double> exec = execUs_.samples();
+  registry.observeMany("tssa_serve_request_latency_us", total);
+  registry.observeMany("tssa_serve_queue_latency_us", queue);
+  registry.observeMany("tssa_serve_exec_latency_us", exec);
+}
+
+void exportSnapshot(const MetricsSnapshot& snapshot,
+                    obs::MetricsRegistry& registry) {
+  registry.counterSet("tssa_serve_requests_total",
+                      static_cast<std::int64_t>(snapshot.requests));
+  registry.counterSet("tssa_serve_errors_total",
+                      static_cast<std::int64_t>(snapshot.errors));
+  registry.counterSet("tssa_serve_batches_total",
+                      static_cast<std::int64_t>(snapshot.batches));
+  registry.counterSet("tssa_serve_sessions_total",
+                      static_cast<std::int64_t>(snapshot.sessionsOpened));
+  registry.counterSet("tssa_serve_cache_hits_total",
+                      static_cast<std::int64_t>(snapshot.cacheHits));
+  registry.counterSet("tssa_serve_cache_misses_total",
+                      static_cast<std::int64_t>(snapshot.cacheMisses));
+  registry.counterSet("tssa_serve_cache_evictions_total",
+                      static_cast<std::int64_t>(snapshot.cacheEvictions));
+  registry.counterSet("tssa_serve_cache_compiles_total",
+                      static_cast<std::int64_t>(snapshot.cacheCompiles));
+  registry.gaugeSet("tssa_serve_cache_size",
+                    static_cast<double>(snapshot.cacheSize));
+  registry.gaugeSet("tssa_serve_compile_us_total", snapshot.compileUsTotal);
+  registry.gaugeSet("tssa_serve_mean_batch_size", snapshot.meanBatchSize);
+  registry.gaugeSet("tssa_serve_throughput_rps", snapshot.throughputRps);
+  // Same canonical names the Profiler exporter uses: one logical metric,
+  // one name, whether it comes from a single pipeline or an engine-wide
+  // aggregate. (Don't export a Profiler and the Engine that aggregates it
+  // into the same registry — the values describe the same traffic.)
+  registry.counterSet("tssa_arena_allocs_total{kind=\"fresh\"}",
+                      static_cast<std::int64_t>(snapshot.arenaFreshAllocs));
+  registry.counterSet("tssa_arena_allocs_total{kind=\"reused\"}",
+                      static_cast<std::int64_t>(snapshot.arenaReusedAllocs));
 }
 
 std::string MetricsSnapshot::toString() const {

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace tssa::serve {
 
 /// Latency decomposition of one served request, all in microseconds.
@@ -31,6 +33,10 @@ struct LatencyStats {
   double meanUs = 0;
   double maxUs = 0;
 };
+
+/// Percentile semantics (nearest-rank) live in obs::Histogram; this just
+/// renames the fields into the serving vocabulary.
+LatencyStats toLatencyStats(const obs::HistogramStats& stats);
 
 /// Point-in-time view of everything the engine measures.
 struct MetricsSnapshot {
@@ -75,8 +81,17 @@ struct MetricsSnapshot {
   std::string toString() const;
 };
 
+/// Exports the snapshot's scalar counters/gauges into `registry` under the
+/// canonical `tssa_serve_*` / `tssa_arena_*` names (DESIGN.md §9). The
+/// latency histograms need the raw samples and are exported by
+/// MetricsCollector::exportTo / Engine::exportMetrics.
+void exportSnapshot(const MetricsSnapshot& snapshot,
+                    obs::MetricsRegistry& registry);
+
 /// Thread-safe recorder. All recording methods may be called from pool
-/// workers; snapshots may be taken concurrently.
+/// workers; snapshots may be taken concurrently. Latency aggregation
+/// (percentiles, mean, max) is delegated to obs::Histogram — this class
+/// only owns the serving-specific scalar counters.
 class MetricsCollector {
  public:
   /// Records one completed request and its batch context.
@@ -93,11 +108,15 @@ class MetricsCollector {
   /// adds cache stats on top).
   void fill(MetricsSnapshot& out) const;
 
+  /// Copies the latency samples into `registry` as
+  /// tssa_serve_{request,queue,exec}_latency_us histograms.
+  void exportTo(obs::MetricsRegistry& registry) const;
+
  private:
-  mutable std::mutex mutex_;
-  std::vector<double> totalUs_;
-  std::vector<double> queueUs_;
-  std::vector<double> execUs_;
+  obs::Histogram totalUs_;
+  obs::Histogram queueUs_;
+  obs::Histogram execUs_;
+  mutable std::mutex mutex_;  ///< guards the scalars + completion span below
   std::uint64_t errors_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batchedRequests_ = 0;
