@@ -14,8 +14,10 @@
 //   --threads   client threads at the largest sweep point (default 4)
 //   --reps      requests issued per client (default 3, scaled ×8 here since
 //               serving wants more samples than a wall-clock rep)
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -136,10 +138,113 @@ void printSweep(const bench::BenchFlags& flags, runtime::PipelineKind kind,
     rec.extra.emplace_back("requests", static_cast<double>(m.requests));
     rec.extra.emplace_back("errors", static_cast<double>(m.errors));
     rec.extra.emplace_back("compiles", static_cast<double>(m.cacheCompiles));
+    // Deterministically zero in this closed-loop sweep (no deadlines, no
+    // admission caps): scripts/check_bench.py fails the gate if a bench run
+    // starts silently shedding or degrading where the baseline had none.
+    rec.extra.emplace_back("rejected", static_cast<double>(m.rejectedTotal()));
+    rec.extra.emplace_back("fallback",
+                           static_cast<double>(m.fallbackRequests));
     report.add(std::move(rec));
   }
   std::printf("(hit-rate counts batched executions; every shape compiles "
               "once, then all later requests hit)\n");
+}
+
+/// Open-burst overload run: every client fires its whole burst of async
+/// submits before settling any of them, so admission sees far more
+/// outstanding work than maxQueueDepth allows. The engine sheds the excess
+/// at admission (RejectedError, reason queue_full) instead of queueing it,
+/// so the latency of *served* requests is bounded by the queue cap — it
+/// does not grow with the burst size (DESIGN.md §10).
+void printOverload(const bench::BenchFlags& flags, runtime::PipelineKind kind,
+                   bench::BenchReport& report) {
+  const int clients = std::max(2, flags.threads);
+  const int burst = flags.reps * 32;  // per client, far beyond the queue cap
+  const std::size_t queueDepth = 8;
+
+  EngineOptions options;
+  options.kind = kind;
+  options.maxBatch = 4;
+  options.maxWaitUs = 200;
+  options.cacheCapacity = 32;
+  options.maxQueueDepth = queueDepth;
+  Engine engine(options);
+
+  // Warm the solo program so the burst measures admission, not compilation.
+  {
+    Request warm;
+    warm.workload = "lstm";
+    warm.config.batch = 1;
+    warm.config.seqLen = 16;
+    engine.submit(std::move(warm)).get();
+  }
+
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Session session = engine.openSession("burst-" + std::to_string(c));
+      std::vector<std::future<Response>> futures;
+      futures.reserve(static_cast<std::size_t>(burst));
+      for (int i = 0; i < burst; ++i) {
+        Request r;
+        r.workload = "lstm";
+        r.config.batch = 1;
+        r.config.seqLen = 16;
+        futures.push_back(session.submit(std::move(r)));
+      }
+      for (auto& f : futures) {
+        try {
+          (void)f.get();
+          ++served;
+        } catch (const serve::RejectedError&) {
+          ++shed;
+        } catch (const std::exception&) {
+          ++failed;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  engine.drain();
+
+  const MetricsSnapshot m = engine.metrics();
+  const std::uint64_t offered =
+      static_cast<std::uint64_t>(clients) * static_cast<std::uint64_t>(burst);
+  std::printf("\n=== Overload (open burst): %s pipeline, %d clients x %d "
+              "requests, maxQueueDepth=%zu ===\n",
+              std::string(runtime::pipelineName(kind)).c_str(), clients,
+              burst, queueDepth);
+  std::printf("offered %llu: served %llu, shed %llu (%.0f%%), errors %llu; "
+              "served p50 %.0fus p99 %.0fus\n",
+              static_cast<unsigned long long>(offered),
+              static_cast<unsigned long long>(served.load()),
+              static_cast<unsigned long long>(shed.load()),
+              offered ? 100.0 * static_cast<double>(shed.load()) /
+                            static_cast<double>(offered)
+                      : 0.0,
+              static_cast<unsigned long long>(failed.load()), m.total.p50Us,
+              m.total.p99Us);
+  std::printf("(excess is refused at admission — served latency is bounded "
+              "by the queue cap, not the burst size)\n");
+
+  bench::BenchRecord rec;
+  rec.name = "serve/" + std::string(runtime::pipelineName(kind)) +
+             "/overload_q" + std::to_string(queueDepth);
+  rec.workload = "lstm";
+  rec.pipeline = std::string(runtime::pipelineName(kind));
+  rec.extra.emplace_back("offered", static_cast<double>(offered));
+  rec.extra.emplace_back("rps", m.throughputRps);
+  rec.extra.emplace_back("p50_us", m.total.p50Us);
+  rec.extra.emplace_back("p99_us", m.total.p99Us);
+  rec.extra.emplace_back("requests", static_cast<double>(m.requests));
+  rec.extra.emplace_back("rejected", static_cast<double>(m.rejectedTotal()));
+  rec.extra.emplace_back("fallback", static_cast<double>(m.fallbackRequests));
+  rec.extra.emplace_back("errors", static_cast<double>(failed.load()));
+  report.add(std::move(rec));
 }
 
 }  // namespace
@@ -151,6 +256,7 @@ int main(int argc, char** argv) {
        {runtime::PipelineKind::Eager, runtime::PipelineKind::TensorSsa}) {
     if (!flags.enabled(kind)) continue;
     printSweep(flags, kind, report);
+    printOverload(flags, kind, report);
   }
   report.finish();
   return 0;

@@ -13,6 +13,12 @@ bench/baseline.json and exits non-zero on a regression:
     calib_ns (a fixed arithmetic loop timed on the same machine), so a slower
     CI runner does not fail the gate; the normalized ratio must stay within
     --threshold (default 1.25 = +25%).
+  * extra.rejected / extra.fallback: serving records carry the engine's
+    load-shed and degraded-request counters. A record whose baseline shed
+    nothing must still shed nothing — throughput numbers from a run that
+    silently rejected or degraded part of its traffic are not comparable to
+    the baseline, so that is a hard failure, not a note. Records whose
+    baseline already sheds (the overload sweep) are exempt.
 
 Everything else in the records (sim_us, latency percentiles, reuse rates) is
 informational: printed on drift, never fatal.
@@ -94,7 +100,7 @@ def main():
 
     failures = []
     notes = []
-    checked_launches = checked_times = 0
+    checked_launches = checked_times = checked_shedding = 0
 
     for key, (record, calib) in sorted(current.items()):
         base = baseline.get(key)
@@ -132,6 +138,23 @@ def main():
             elif ratio < 1.0 / args.threshold:
                 notes.append(f"IMPROVED  {key}: normalized {ratio:.2f}x")
 
+        # A record whose baseline shed/degraded nothing must still shed
+        # nothing: its throughput and latency numbers only mean what the
+        # baseline's meant if every request was actually served the same way.
+        cur_extra = record.get("extra", {})
+        base_extra = base.get("extra", {})
+        for counter in ("rejected", "fallback"):
+            cur_n = cur_extra.get(counter)
+            base_n = base_extra.get(counter)
+            if cur_n is None or base_n is None:
+                continue
+            checked_shedding += 1
+            if base_n == 0 and cur_n > 0:
+                failures.append(
+                    f"{counter.upper():9s} {key}: baseline served every "
+                    f"request, this run {counter} {cur_n:.0f}; the numbers "
+                    "are not comparable (silent load shedding/degradation)")
+
     missing = sorted(set(baseline) - set(current))
     for key in missing:
         notes.append(f"MISSING   {key} (in baseline but not in these "
@@ -139,8 +162,9 @@ def main():
 
     for note in notes:
         print(note)
-    print(f"checked {checked_launches} launch counts and {checked_times} "
-          f"gated times against {len(baseline)} baseline entries")
+    print(f"checked {checked_launches} launch counts, {checked_times} gated "
+          f"times, and {checked_shedding} shed/fallback counters against "
+          f"{len(baseline)} baseline entries")
 
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)

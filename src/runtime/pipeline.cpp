@@ -226,4 +226,8 @@ std::vector<RtValue> Pipeline::runAccumulate(std::span<const RtValue> inputs) {
   return interpreter_.run(*graph_, inputs);
 }
 
+void Pipeline::setLaunchProbe(Profiler::LaunchProbe probe) {
+  profiler_.setLaunchProbe(std::move(probe));
+}
+
 }  // namespace tssa::runtime

@@ -80,6 +80,11 @@ class Pipeline {
   const Profiler& profiler() const { return profiler_; }
   const ir::Graph& compiled() const { return *graph_; }
 
+  /// Installs a hook invoked on every kernel launch this pipeline performs
+  /// (the serving engine's fault-injection seam — see Profiler::
+  /// setLaunchProbe for the contract). Pass nullptr to clear.
+  void setLaunchProbe(Profiler::LaunchProbe probe);
+
  private:
   PipelineKind kind_;
   std::unique_ptr<ir::Graph> graph_;

@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -33,6 +35,12 @@ class Profiler {
   /// A device kernel plus the host work that dispatched it.
   void kernel(std::string_view name, std::int64_t bytes, std::int64_t flops,
               double hostUs) {
+    // Launch probe (fault-injection seam, src/serve/fault_injector.h): every
+    // launch of this pipeline flows through here, so this is the one place a
+    // scripted kernel failure can fire. Invoked outside mutex_ — the probe
+    // takes its own lock and may throw; the throwing launch is not recorded
+    // (it never "happened").
+    if (auto probe = launchProbe(); probe) (*probe)();
     const double k = device_.kernelTimeUs(bytes, flops);
     std::lock_guard<std::mutex> lock(mutex_);
     ++launches_;
@@ -131,6 +139,19 @@ class Profiler {
   const DeviceSpec& device() const { return device_; }
   const HostSpec& host() const { return host_; }
 
+  /// Installs (or clears, with nullptr) a hook invoked at the top of every
+  /// kernel() call. The probe may throw — that models a kernel launch
+  /// failure and propagates out of the interpreter to the run() caller.
+  /// Unlike the counters it survives reset(): it is part of the pipeline's
+  /// wiring, not of a run's results.
+  using LaunchProbe = std::function<void()>;
+  void setLaunchProbe(LaunchProbe probe) {
+    auto shared = probe ? std::make_shared<const LaunchProbe>(std::move(probe))
+                        : std::shared_ptr<const LaunchProbe>();
+    std::lock_guard<std::mutex> lock(mutex_);
+    launchProbe_ = std::move(shared);
+  }
+
   void reset() {
     std::lock_guard<std::mutex> lock(mutex_);
     launches_ = 0;
@@ -143,8 +164,14 @@ class Profiler {
   }
 
  private:
+  std::shared_ptr<const LaunchProbe> launchProbe() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return launchProbe_;
+  }
+
   DeviceSpec device_;
   HostSpec host_;
+  std::shared_ptr<const LaunchProbe> launchProbe_;  ///< guarded by mutex_
   mutable std::mutex mutex_;
   std::int64_t launches_ = 0;
   std::int64_t bytes_ = 0;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/obs/trace.h"
+#include "src/serve/fault_injector.h"
 
 namespace tssa::serve {
 
@@ -12,18 +13,34 @@ using Clock = std::chrono::steady_clock;
 namespace {
 
 /// Seal + hand-off span: records why a batch left the batcher (full window,
-/// expired window, incompatible arrival, flush, or batching disabled) and
-/// how many requests it coalesced — the two numbers that explain every
-/// batching decision in a trace.
+/// expired window, deadline-tight member, incompatible arrival, flush, or
+/// batching disabled) and how many requests it coalesced — the two numbers
+/// that explain every batching decision in a trace.
 void dispatchSealed(const MicroBatcher::DispatchFn& dispatch,
-                    std::vector<std::unique_ptr<PendingRequest>> batch,
+                    FaultInjector* injector,
+                    std::vector<std::unique_ptr<PendingRequest>> requests,
                     const char* reason) {
+  SealedBatch batch;
+  batch.requests = std::move(requests);
+  batch.reason = reason;
+  if (injector != nullptr) batch.virtualDelayUs = injector->onBatchSeal();
   obs::TraceSpan span("serve", "batcher.seal");
   span.arg("reason", reason);
-  span.arg("batch_size", static_cast<std::int64_t>(batch.size()));
-  if (span.active() && !batch.empty())
-    span.arg("workload", batch.front()->request.workload);
+  span.arg("batch_size", static_cast<std::int64_t>(batch.requests.size()));
+  if (span.active() && !batch.requests.empty())
+    span.arg("workload", batch.requests.front()->request.workload);
   dispatch(std::move(batch));
+}
+
+/// The latest instant a batch containing `request` may seal: half the
+/// request's remaining budget is kept for execution. Requests with no
+/// deadline don't constrain the seal (time_point::max()).
+Clock::time_point sealBound(const PendingRequest& request,
+                            Clock::time_point now) {
+  if (request.deadline == Clock::time_point::max())
+    return Clock::time_point::max();
+  if (request.deadline <= now) return now;  // already due: seal immediately
+  return now + (request.deadline - now) / 2;
 }
 
 }  // namespace
@@ -64,7 +81,7 @@ void MicroBatcher::enqueue(std::unique_ptr<PendingRequest> request) {
   if (batchingOff || !request->traits.batchable()) {
     std::vector<std::unique_ptr<PendingRequest>> solo;
     solo.push_back(std::move(request));
-    dispatchSealed(dispatch_, std::move(solo), "solo");
+    dispatchSealed(dispatch_, options_.injector, std::move(solo), "solo");
     return;
   }
 
@@ -72,6 +89,8 @@ void MicroBatcher::enqueue(std::unique_ptr<PendingRequest> request) {
   const char* sealReason = "full";
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    const auto now = Clock::now();
+    const auto bound = sealBound(*request, now);
     const std::string keyStr = request->key.toString();
     auto it = open_.find(keyStr);
     if (it != open_.end() &&
@@ -83,31 +102,49 @@ void MicroBatcher::enqueue(std::unique_ptr<PendingRequest> request) {
     }
     if (it == open_.end()) {
       OpenBatch batch;
-      batch.deadline =
-          Clock::now() + std::chrono::microseconds(options_.maxWaitUs);
+      batch.sealAt = std::min(
+          now + std::chrono::microseconds(options_.maxWaitUs), bound);
       batch.requests.push_back(std::move(request));
+      const bool due = batch.sealAt <= now;
       open_.emplace(keyStr, std::move(batch));
+      if (due) it = open_.find(keyStr);
     } else {
+      // A deadline-carrying arrival pulls the whole batch's seal forward;
+      // the notify below makes the timer recompute its wait from the new
+      // earliest seal time (a tighter deadline shortens the wait).
+      it->second.sealAt = std::min(it->second.sealAt, bound);
       it->second.requests.push_back(std::move(request));
       if (static_cast<int>(it->second.requests.size()) >= options_.maxBatch) {
         // Full: seal right here, don't wait for the window.
         sealed = std::move(it->second.requests);
         open_.erase(it);
+        it = open_.end();
       }
     }
+    if (it != open_.end() && sealed.empty() && it->second.sealAt <= now) {
+      // The new member's deadline leaves no room to wait: seal immediately
+      // so execution gets whatever budget is left.
+      sealed = std::move(it->second.requests);
+      sealReason = "deadline";
+      open_.erase(it);
+    }
   }
-  wake_.notify_all();  // deadlines changed
-  if (!sealed.empty()) dispatchSealed(dispatch_, std::move(sealed), sealReason);
+  wake_.notify_all();  // seal times changed
+  if (!sealed.empty())
+    dispatchSealed(dispatch_, options_.injector, std::move(sealed),
+                   sealReason);
 }
 
 void MicroBatcher::flush() {
   std::vector<std::vector<std::unique_ptr<PendingRequest>>> batches;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& [key, batch] : open_) batches.push_back(std::move(batch.requests));
+    for (auto& [key, batch] : open_)
+      batches.push_back(std::move(batch.requests));
     open_.clear();
   }
-  for (auto& b : batches) dispatchSealed(dispatch_, std::move(b), "flush");
+  for (auto& b : batches)
+    dispatchSealed(dispatch_, options_.injector, std::move(b), "flush");
 }
 
 void MicroBatcher::timerLoop() {
@@ -118,9 +155,12 @@ void MicroBatcher::timerLoop() {
       wake_.wait(lock, [this] { return stopping_ || !open_.empty(); });
       continue;
     }
+    // Recomputed on every wake: an enqueue that tightened a batch's seal
+    // time notifies wake_, we fall out of wait_until, and the next
+    // iteration waits until the new (earlier) seal time.
     auto earliest = Clock::time_point::max();
     for (const auto& [key, batch] : open_)
-      earliest = std::min(earliest, batch.deadline);
+      earliest = std::min(earliest, batch.sealAt);
     // On shutdown every open batch is due immediately.
     if (!stopping_) {
       wake_.wait_until(lock, earliest);
@@ -129,7 +169,7 @@ void MicroBatcher::timerLoop() {
     const auto now = stopping_ ? Clock::time_point::max() : Clock::now();
     std::vector<std::vector<std::unique_ptr<PendingRequest>>> due;
     for (auto it = open_.begin(); it != open_.end();) {
-      if (it->second.deadline <= now) {
+      if (it->second.sealAt <= now) {
         due.push_back(std::move(it->second.requests));
         it = open_.erase(it);
       } else {
@@ -138,7 +178,8 @@ void MicroBatcher::timerLoop() {
     }
     if (due.empty()) continue;
     lock.unlock();
-    for (auto& b : due) dispatchSealed(dispatch_, std::move(b), "window");
+    for (auto& b : due)
+      dispatchSealed(dispatch_, options_.injector, std::move(b), "window");
     lock.lock();
   }
 }

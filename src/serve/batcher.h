@@ -4,9 +4,12 @@
 // coalesced into one batched execution along the workload's batch dimension.
 // A batch is sealed and dispatched as soon as it reaches `maxBatch` requests
 // or its window (`maxWaitUs`, counted from the first request that opened it)
-// expires — the classic throughput/latency trade of serving stacks. The
-// batcher only groups; executing a sealed batch is the dispatch callback's
-// job (the Engine submits it to the shared runtime ThreadPool).
+// expires — the classic throughput/latency trade of serving stacks. Requests
+// carrying deadlines tighten the seal: the batch seals no later than the
+// point where half the tightest member's remaining budget is spent, keeping
+// the other half for execution. The batcher only groups; executing a sealed
+// batch is the dispatch callback's job (the Engine submits it to the shared
+// runtime ThreadPool).
 #pragma once
 
 #include <condition_variable>
@@ -22,18 +25,32 @@
 
 namespace tssa::serve {
 
+class FaultInjector;
+
+/// A batch leaving the batcher: ≥ 1 request, all same program key and
+/// compatible shared inputs. `virtualDelayUs` is the fault-injected stall
+/// between seal and execution (0 normally); the engine's pre-execution
+/// deadline check treats seal time + this delay as "now".
+struct SealedBatch {
+  std::vector<std::unique_ptr<PendingRequest>> requests;
+  std::int64_t virtualDelayUs = 0;
+  const char* reason = "solo";  ///< why the batch sealed (for traces/tests)
+};
+
 class MicroBatcher {
  public:
   struct Options {
     int maxBatch = 8;            ///< seal when this many requests coalesced
     std::int64_t maxWaitUs = 200;  ///< seal when the window expires
+    /// Optional fault seam: every seal is reported to it and may pick up a
+    /// virtual delay (EngineOptions::faultInjector). Not owned.
+    FaultInjector* injector = nullptr;
   };
 
-  /// Called with every sealed batch (≥ 1 request, all same program key and
-  /// compatible shared inputs). May run on the submitting thread (batch full
-  /// or batching disabled) or on the batcher's timer thread (window expiry).
-  using DispatchFn =
-      std::function<void(std::vector<std::unique_ptr<PendingRequest>>)>;
+  /// Called with every sealed batch. May run on the submitting thread (batch
+  /// full, deadline-tight, or batching disabled) or on the batcher's timer
+  /// thread (window expiry).
+  using DispatchFn = std::function<void(SealedBatch)>;
 
   MicroBatcher(Options options, DispatchFn dispatch);
   /// Seals and dispatches everything still open, then joins the timer.
@@ -45,7 +62,9 @@ class MicroBatcher {
   /// Adds a request to the open batch for its key (sealing first when the
   /// request is incompatible with it), or dispatches immediately when
   /// batching is disabled (maxBatch <= 1 or maxWaitUs <= 0) or the workload
-  /// is not batchable.
+  /// is not batchable. A request with a deadline pulls the batch's seal time
+  /// forward to now + (deadline - now) / 2; the timer thread is woken so a
+  /// tighter seal time shortens its current wait.
   void enqueue(std::unique_ptr<PendingRequest> request);
 
   /// Seals and dispatches all open batches now (used by Engine::drain).
@@ -54,7 +73,7 @@ class MicroBatcher {
  private:
   struct OpenBatch {
     std::vector<std::unique_ptr<PendingRequest>> requests;
-    std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point sealAt;
   };
 
   /// Two requests may share a batch iff their shared (non-batched) inputs

@@ -21,6 +21,10 @@ double usSince(Clock::time_point t0) {
   return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
 }
 
+double usBetween(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
 /// The graph-structure guard of the cache key: config parameters that are
 /// baked into the built graph (output buffer shapes, loop trip counts,
 /// constant weights) beyond what the input shapes already pin down.
@@ -31,18 +35,33 @@ std::string configGuard(const workloads::WorkloadConfig& config) {
   return os.str();
 }
 
+std::string describeError(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
 }  // namespace
 
 Engine::Engine(EngineOptions options)
-    : options_(options), cache_(options.cacheCapacity) {
+    : options_(options),
+      cache_(options.cacheCapacity, options.compileFailureTtlUs),
+      anonymousInFlight_(std::make_shared<std::atomic<std::int64_t>>(0)) {
+  MicroBatcher::Options batcherOptions;
+  batcherOptions.maxBatch = options_.maxBatch;
+  batcherOptions.maxWaitUs = options_.maxWaitUs;
+  batcherOptions.injector = options_.faultInjector;
   batcher_ = std::make_unique<MicroBatcher>(
-      MicroBatcher::Options{options_.maxBatch, options_.maxWaitUs},
-      [this](std::vector<std::unique_ptr<PendingRequest>> batch) {
-        onBatchDispatched(std::move(batch));
-      });
+      batcherOptions,
+      [this](SealedBatch batch) { onBatchDispatched(std::move(batch)); });
 }
 
 Engine::~Engine() {
+  shuttingDown_.store(true, std::memory_order_relaxed);
   batcher_.reset();  // seal + dispatch everything still open, join the timer
   std::unique_lock<std::mutex> lock(drainMutex_);
   drainCv_.wait(lock, [this] { return pendingRequests_.load() == 0; });
@@ -56,12 +75,12 @@ Session Engine::openSession(std::string id) {
 }
 
 std::future<Response> Engine::submit(Request request) {
-  return submitInternal("anonymous", std::move(request));
+  return submitInternal("anonymous", anonymousInFlight_, std::move(request));
 }
 
 std::future<Response> Session::submit(Request request) {
   ++*submitted_;
-  return engine_->submitInternal(id_, std::move(request));
+  return engine_->submitInternal(id_, inFlight_, std::move(request));
 }
 
 Response Session::infer(Request request) {
@@ -84,6 +103,7 @@ std::vector<runtime::RtValue> Engine::defaultInputs(
 }
 
 std::future<Response> Engine::submitInternal(const std::string& sessionId,
+                                             InFlightCounter inFlight,
                                              Request request) {
   obs::TraceSpan span("serve", "submit");
   span.arg("workload", request.workload);
@@ -113,24 +133,65 @@ std::future<Response> Engine::submitInternal(const std::string& sessionId,
 
   auto pending = std::make_unique<PendingRequest>();
   pending->key = keyFor(request);
-  pending->request = std::move(request);
   pending->enqueueTime = Clock::now();
+  if (request.deadlineUs != 0)
+    pending->deadline =
+        pending->enqueueTime +
+        std::chrono::microseconds(std::max<std::int64_t>(request.deadlineUs,
+                                                         0));
+  pending->request = std::move(request);
   pending->traits = traits;
   pending->sessionId = sessionId;
+  pending->sessionInFlight = inFlight;
   std::future<Response> future = pending->promise.get_future();
 
-  ++pendingRequests_;
+  // Admission control: every refusal is a typed RejectedError on the future
+  // plus a reason-labelled counter — never a silently dropped promise.
+  // Nothing below has touched pendingRequests_ or the session counter yet,
+  // so a rejection here releases nothing.
+  auto rejectNow = [&](RejectReason reason, const std::string& detail) {
+    span.arg("rejected", rejectReasonName(reason));
+    metrics_.recordRejected(reason);
+    pending->promise.set_exception(
+        std::make_exception_ptr(RejectedError(reason, detail)));
+    return std::move(future);
+  };
+
+  if (shuttingDown_.load(std::memory_order_relaxed))
+    return rejectNow(RejectReason::ShuttingDown, "engine is shutting down");
+  if (pending->deadline <= pending->enqueueTime)
+    return rejectNow(RejectReason::Deadline,
+                     "deadline expired before admission");
+  if (options_.maxInFlightPerSession > 0 &&
+      inFlight->load() >=
+          static_cast<std::int64_t>(options_.maxInFlightPerSession))
+    return rejectNow(RejectReason::QueueFull,
+                     "session '" + sessionId + "' at its in-flight cap (" +
+                         std::to_string(options_.maxInFlightPerSession) + ")");
+
+  // Claim the engine-wide queue slot atomically: the increment itself is the
+  // reservation, so concurrent submits cannot overshoot maxQueueDepth.
+  const std::uint64_t depth = ++pendingRequests_;
+  if (options_.maxQueueDepth > 0 && depth > options_.maxQueueDepth) {
+    {
+      std::lock_guard<std::mutex> lock(drainMutex_);
+      --pendingRequests_;
+      drainCv_.notify_all();
+    }
+    return rejectNow(RejectReason::QueueFull,
+                     "engine queue full (maxQueueDepth=" +
+                         std::to_string(options_.maxQueueDepth) + ")");
+  }
+
+  ++*inFlight;
   batcher_->enqueue(std::move(pending));
   return future;
 }
 
-void Engine::onBatchDispatched(
-    std::vector<std::unique_ptr<PendingRequest>> batch) {
+void Engine::onBatchDispatched(SealedBatch batch) {
   // Hand the sealed batch to the shared pool. The wrapper owns the batch;
   // executeBatch itself never throws (errors go through the promises).
-  auto shared =
-      std::make_shared<std::vector<std::unique_ptr<PendingRequest>>>(
-          std::move(batch));
+  auto shared = std::make_shared<SealedBatch>(std::move(batch));
   const int workers = options_.executeConcurrency > 0
                           ? options_.executeConcurrency
                           : runtime::ThreadPool::hardwareThreads();
@@ -144,15 +205,63 @@ void Engine::drain() {
   drainCv_.wait(lock, [this] { return pendingRequests_.load() == 0; });
 }
 
-void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
+void Engine::shutdown() {
+  shuttingDown_.store(true, std::memory_order_relaxed);
+  drain();
+}
+
+// ---- Per-request terminal transitions --------------------------------------
+// Each fulfills the promise exactly once, then releases the request's
+// admission accounting (session in-flight, engine queue slot). The release
+// is the very last engine-state access on behalf of this request: once
+// pendingRequests_ hits zero the destructor may tear the engine down.
+
+void Engine::finishOne(PendingRequest& request) {
+  if (request.sessionInFlight) --*request.sessionInFlight;
+  // Notify under the mutex: the destructor destroys drainCv_ as soon as
+  // its wait observes pending == 0, so the notify must complete before
+  // the waiter can reacquire the lock and return.
+  std::lock_guard<std::mutex> lock(drainMutex_);
+  --pendingRequests_;
+  drainCv_.notify_all();
+}
+
+void Engine::deliver(std::unique_ptr<PendingRequest> request,
+                     Response response) {
+  metrics_.recordRequest(response.timing);
+  PendingRequest& r = *request;
+  r.promise.set_value(std::move(response));
+  finishOne(r);
+}
+
+void Engine::deliverError(std::unique_ptr<PendingRequest> request,
+                          std::exception_ptr error) {
+  metrics_.recordError(1);
+  PendingRequest& r = *request;
+  r.promise.set_exception(std::move(error));
+  finishOne(r);
+}
+
+void Engine::rejectRequest(std::unique_ptr<PendingRequest> request,
+                           RejectReason reason, const std::string& detail) {
+  metrics_.recordRejected(reason);
+  PendingRequest& r = *request;
+  r.promise.set_exception(
+      std::make_exception_ptr(RejectedError(reason, detail)));
+  finishOne(r);
+}
+
+// ---- Batch execution -------------------------------------------------------
+
+void Engine::executeBatch(SealedBatch sealed) {
+  std::vector<std::unique_ptr<PendingRequest>> batch =
+      std::move(sealed.requests);
   const auto execStart = Clock::now();
-  const int k = static_cast<int>(batch.size());
-  const PendingRequest& first = *batch.front();
-  const workloads::BatchTraits& traits = first.traits;
+  const PendingRequest& head = *batch.front();
 
   obs::TraceSpan batchSpan("serve", "batch");
-  batchSpan.arg("workload", first.request.workload);
-  batchSpan.arg("batch_size", k);
+  batchSpan.arg("workload", head.request.workload);
+  batchSpan.arg("batch_size", static_cast<std::int64_t>(batch.size()));
   // Queue spans, recorded retroactively: a request's wait is only known once
   // its batch starts. One "X" event per request, anchored at its enqueue
   // time on this (executing) thread's timeline, so queue → exec reads as a
@@ -173,6 +282,28 @@ void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
     }
   }
 
+  // Pre-execution deadline check. `sealed.virtualDelayUs` is the injected
+  // stall between seal and execution (0 in production): the check treats
+  // "now + stall" as the effective clock, which makes queue-side deadline
+  // expiry deterministic in tests without real sleeps.
+  const auto effectiveNow =
+      execStart + std::chrono::microseconds(sealed.virtualDelayUs);
+  std::vector<std::unique_ptr<PendingRequest>> live;
+  live.reserve(batch.size());
+  for (auto& r : batch) {
+    if (r->deadline <= effectiveNow)
+      rejectRequest(std::move(r), RejectReason::Deadline,
+                    "deadline expired before execution");
+    else
+      live.push_back(std::move(r));
+  }
+  if (live.empty()) return;
+
+  const int k = static_cast<int>(live.size());
+  const PendingRequest& first = *live.front();
+  const workloads::BatchTraits& traits = first.traits;
+  FaultInjector* const injector = options_.faultInjector;
+
   std::vector<Response> responses;
   std::exception_ptr failure;
   try {
@@ -189,8 +320,8 @@ void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
         continue;
       }
       std::vector<Tensor> parts;
-      parts.reserve(batch.size());
-      for (const auto& r : batch)
+      parts.reserve(live.size());
+      for (const auto& r : live)
         parts.push_back(r->request.inputs[i].tensor());
       inputs.emplace_back(ops::cat(parts, d));
     }
@@ -208,6 +339,7 @@ void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
     key.options = options_.pipeline;
 
     ProgramCache::Lookup lookup = cache_.getOrCompile(key, [&] {
+      if (injector != nullptr) injector->onCompile(key.toString());
       // This span contains the whole shape-specialized compilation — the
       // nested "pipeline" pass spans (functionalize, fusion, parallelize,
       // memory-plan) land inside it on the same thread.
@@ -216,25 +348,62 @@ void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
       compileSpan.arg("signature", key.signature);
       workloads::Workload w =
           workloads::buildWorkload(key.workload, batchedConfig);
-      return std::make_unique<runtime::Pipeline>(options_.kind, *w.graph,
-                                                 options_.pipeline);
+      auto pipeline = std::make_unique<runtime::Pipeline>(
+          options_.kind, *w.graph, options_.pipeline);
+      // Every launch of an engine-compiled program reports to the injector
+      // (the kernel-fault seam). The fallback pipeline never gets a probe.
+      if (injector != nullptr)
+        pipeline->setLaunchProbe([injector] { injector->onKernelLaunch(); });
+      return pipeline;
     });
+
+    if (lookup.error != nullptr) {
+      // Compile failed (now, or negatively cached from an earlier attempt):
+      // degrade each request individually — the batch as a unit is gone,
+      // but every member still gets an answer.
+      batchSpan.finish();
+      for (auto& r : live)
+        degradeOrReject(std::move(r), execStart, lookup.error);
+      return;
+    }
 
     // 3. Execute. One batch at a time per program; distinct programs (other
     //    shapes / workloads) run concurrently on other pool workers.
     const auto runStart = Clock::now();
     std::vector<runtime::RtValue> outputs;
     runtime::Profiler::MemoryCounters mem;
+    std::exception_ptr runError;
     {
       obs::TraceSpan execSpan("serve", "exec");
       execSpan.arg("workload", key.workload);
       execSpan.arg("batch_size", k);
       std::lock_guard<std::mutex> execLock(lookup.program->execMutex);
-      outputs = lookup.program->pipeline->run(inputs);
-      // Read the per-run memory counters while still holding the exec lock:
-      // run() resets the profiler, so a concurrent batch on this program
-      // could clobber them the moment the lock drops.
-      mem = lookup.program->pipeline->profiler().memoryCounters();
+      if (injector != nullptr) injector->beginRun();
+      try {
+        outputs = lookup.program->pipeline->run(inputs);
+        // Read the per-run memory counters while still holding the exec
+        // lock: run() resets the profiler, so a concurrent batch on this
+        // program could clobber them the moment the lock drops.
+        mem = lookup.program->pipeline->profiler().memoryCounters();
+      } catch (...) {
+        runError = std::current_exception();
+      }
+    }
+    metrics_.recordBatch(k);
+
+    if (runError != nullptr) {
+      if (k == 1) {
+        batchSpan.finish();
+        deliverError(std::move(live.front()), runError);
+        return;
+      }
+      // A kernel threw mid-batch. The failure belongs to one request, not
+      // to its co-batched peers: re-execute the batch de-coalesced, each
+      // request solo through its own program, so only the faulty one fails.
+      metrics_.recordDecoalesced();
+      batchSpan.finish();
+      for (auto& r : live) executeSolo(std::move(r), execStart);
+      return;
     }
     metrics_.recordMemory(mem.freshAllocs, mem.reusedAllocs);
 
@@ -247,7 +416,8 @@ void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
         mine = outputs;
       } else {
         for (std::size_t o = 0; o < outputs.size(); ++o) {
-          const int d = o < traits.outputDims.size() ? traits.outputDims[o] : -1;
+          const int d =
+              o < traits.outputDims.size() ? traits.outputDims[o] : -1;
           TSSA_CHECK(d >= 0 && outputs[o].isTensor(),
                      "workload '" << key.workload
                                   << "' output " << o
@@ -260,10 +430,8 @@ void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
       }
       Response resp;
       resp.outputs = std::move(mine);
-      resp.timing.queueUs = std::chrono::duration<double, std::micro>(
-                                execStart - batch[static_cast<std::size_t>(j)]
-                                                ->enqueueTime)
-                                .count();
+      resp.timing.queueUs = usBetween(
+          live[static_cast<std::size_t>(j)]->enqueueTime, execStart);
       // Every request in the batch waited out the same compile (or none):
       // compileUs is that shared wait, zero when the program was already
       // ready. cacheHit means "paid no compile", so a single-flight waiter
@@ -284,27 +452,126 @@ void Engine::executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
   // itself is microseconds and not worth a span.
   batchSpan.finish();
 
-  // Deliver outside the try: each promise is touched exactly once.
-  metrics_.recordBatch(k);
   if (failure != nullptr) {
-    metrics_.recordError(k);
-    for (auto& r : batch) r->promise.set_exception(failure);
+    // Engine-side failure outside the run itself (coalescing,
+    // de-interleave): no per-request attribution possible.
+    for (auto& r : live) deliverError(std::move(r), failure);
   } else {
-    for (int j = 0; j < k; ++j) {
-      metrics_.recordRequest(responses[static_cast<std::size_t>(j)].timing);
-      batch[static_cast<std::size_t>(j)]->promise.set_value(
-          std::move(responses[static_cast<std::size_t>(j)]));
-    }
+    for (int j = 0; j < k; ++j)
+      deliver(std::move(live[static_cast<std::size_t>(j)]),
+              std::move(responses[static_cast<std::size_t>(j)]));
+  }
+}
+
+void Engine::executeSolo(std::unique_ptr<PendingRequest> request,
+                         Clock::time_point execStart) {
+  FaultInjector* const injector = options_.faultInjector;
+  const ProgramKey key = request->key;  // the per-request (unbatched) key
+  const workloads::WorkloadConfig config = request->request.config;
+  ProgramCache::Lookup lookup = cache_.getOrCompile(key, [&] {
+    if (injector != nullptr) injector->onCompile(key.toString());
+    obs::TraceSpan compileSpan("serve", "compile");
+    compileSpan.arg("workload", key.workload);
+    compileSpan.arg("signature", key.signature);
+    workloads::Workload w = workloads::buildWorkload(key.workload, config);
+    auto pipeline = std::make_unique<runtime::Pipeline>(
+        options_.kind, *w.graph, options_.pipeline);
+    if (injector != nullptr)
+      pipeline->setLaunchProbe([injector] { injector->onKernelLaunch(); });
+    return pipeline;
+  });
+  if (lookup.error != nullptr) {
+    degradeOrReject(std::move(request), execStart, lookup.error);
+    return;
   }
 
-  {
-    // Notify under the mutex: the destructor destroys drainCv_ as soon as
-    // its wait observes pending == 0, so the notify must complete before
-    // the waiter can reacquire the lock and return.
-    std::lock_guard<std::mutex> lock(drainMutex_);
-    pendingRequests_ -= static_cast<std::uint64_t>(k);
-    drainCv_.notify_all();
+  const auto runStart = Clock::now();
+  std::vector<runtime::RtValue> outputs;
+  runtime::Profiler::MemoryCounters mem;
+  try {
+    obs::TraceSpan execSpan("serve", "exec");
+    execSpan.arg("workload", key.workload);
+    execSpan.arg("batch_size", 1);
+    std::lock_guard<std::mutex> execLock(lookup.program->execMutex);
+    if (injector != nullptr) injector->beginRun();
+    outputs = lookup.program->pipeline->run(request->request.inputs);
+    mem = lookup.program->pipeline->profiler().memoryCounters();
+  } catch (...) {
+    deliverError(std::move(request), std::current_exception());
+    return;
   }
+  metrics_.recordMemory(mem.freshAllocs, mem.reusedAllocs);
+
+  Response resp;
+  resp.outputs = std::move(outputs);
+  resp.timing.queueUs = usBetween(request->enqueueTime, execStart);
+  resp.timing.compileUs = lookup.wasReady ? 0.0 : lookup.waitUs;
+  resp.timing.execUs = usSince(runStart);
+  resp.batchedWith = 1;
+  resp.cacheHit = lookup.wasReady;
+  deliver(std::move(request), std::move(resp));
+}
+
+void Engine::degradeOrReject(std::unique_ptr<PendingRequest> request,
+                             Clock::time_point execStart,
+                             const std::exception_ptr& compileError) {
+  if (!options_.fallbackOnCompileFailure) {
+    rejectRequest(std::move(request), RejectReason::CompileFailed,
+                  describeError(compileError));
+    return;
+  }
+
+  // Graceful degradation: serve through the reference (eager, unbatched)
+  // pipeline. Cached under its own key — kind forced to Eager plus a
+  // "|fallback" signature tag, so it cannot collide with a specialized
+  // program even when the engine's kind already is Eager. Deliberately NOT
+  // routed through the fault injector and never given a launch probe: the
+  // recovery path must stay recoverable.
+  ProgramKey key = request->key;
+  key.kind = runtime::PipelineKind::Eager;
+  key.signature += "|fallback";
+  const workloads::WorkloadConfig config = request->request.config;
+  ProgramCache::Lookup lookup = cache_.getOrCompile(key, [&] {
+    obs::TraceSpan compileSpan("serve", "compile");
+    compileSpan.arg("workload", key.workload);
+    compileSpan.arg("signature", key.signature);
+    workloads::Workload w = workloads::buildWorkload(key.workload, config);
+    return std::make_unique<runtime::Pipeline>(runtime::PipelineKind::Eager,
+                                               *w.graph, options_.pipeline);
+  });
+  if (lookup.error != nullptr) {
+    rejectRequest(std::move(request), RejectReason::CompileFailed,
+                  "specialized compile failed (" +
+                      describeError(compileError) +
+                      ") and so did the fallback (" +
+                      describeError(lookup.error) + ")");
+    return;
+  }
+
+  const auto runStart = Clock::now();
+  std::vector<runtime::RtValue> outputs;
+  try {
+    obs::TraceSpan execSpan("serve", "exec");
+    execSpan.arg("workload", key.workload);
+    execSpan.arg("batch_size", 1);
+    execSpan.arg("fallback", std::int64_t{1});
+    std::lock_guard<std::mutex> execLock(lookup.program->execMutex);
+    outputs = lookup.program->pipeline->run(request->request.inputs);
+  } catch (...) {
+    deliverError(std::move(request), std::current_exception());
+    return;
+  }
+  metrics_.recordFallback();
+
+  Response resp;
+  resp.outputs = std::move(outputs);
+  resp.timing.queueUs = usBetween(request->enqueueTime, execStart);
+  resp.timing.compileUs = lookup.wasReady ? 0.0 : lookup.waitUs;
+  resp.timing.execUs = usSince(runStart);
+  resp.batchedWith = 1;
+  resp.cacheHit = false;  // the specialized program was never served
+  resp.fallback = true;
+  deliver(std::move(request), std::move(resp));
 }
 
 void Engine::exportMetrics(obs::MetricsRegistry& registry) const {
@@ -320,6 +587,8 @@ MetricsSnapshot Engine::metrics() const {
   snap.cacheMisses = cs.misses;
   snap.cacheEvictions = cs.evictions;
   snap.cacheCompiles = cs.compiles;
+  snap.cacheCompileFailures = cs.compileFailures;
+  snap.cacheNegativeHits = cs.negativeHits;
   snap.cacheSize = cs.size;
   snap.compileUsTotal = cs.compileUsTotal;
   return snap;

@@ -15,6 +15,16 @@
 // asserts it). This holds because every registered workload computes
 // batch rows independently (BatchTraits in the registry) and because the
 // executor itself is deterministic at any thread count (DESIGN.md §6).
+//
+// Robustness contract (DESIGN.md §10): admission is bounded (maxQueueDepth,
+// per-session in-flight caps), deadlines are enforced at admission, in the
+// batcher, and before execution, and failures degrade per request — a
+// failed specialized compile is negatively cached and its traffic served
+// through the reference pipeline; a kernel throw mid-batch fails only the
+// faulty request (the batch is re-executed de-coalesced). Every refusal is
+// a typed RejectedError on the future and a reason-labelled counter in
+// tssa_serve_rejected_total; a submit future is always fulfilled, whatever
+// happens (tests/serve_faults_test.cpp, tests/serve_soak_test.cpp).
 #pragma once
 
 #include <atomic>
@@ -27,6 +37,7 @@
 #include <vector>
 
 #include "src/serve/batcher.h"
+#include "src/serve/fault_injector.h"
 #include "src/serve/metrics.h"
 #include "src/serve/program_cache.h"
 #include "src/serve/request.h"
@@ -45,6 +56,32 @@ struct EngineOptions {
   /// (0 = hardware concurrency). Distinct cached programs execute
   /// concurrently; runs of one program are serialized.
   int executeConcurrency = 0;
+
+  // ---- Admission control & graceful degradation (DESIGN.md §10) ----------
+
+  /// Engine-wide cap on requests admitted but not yet delivered; a submit
+  /// beyond it is shed with RejectReason::QueueFull instead of growing the
+  /// queue (and its latency) without bound. 0 = unbounded.
+  std::size_t maxQueueDepth = 0;
+  /// Per-session cap on in-flight requests (admitted, not yet delivered);
+  /// one runaway client sheds its own traffic before it can exhaust
+  /// maxQueueDepth for everyone. 0 = unbounded.
+  std::size_t maxInFlightPerSession = 0;
+  /// How long a failed shape-specialized compile is remembered (negative
+  /// cache): traffic for a broken key pays one compile attempt per TTL
+  /// window, then is degraded or rejected straight away. <= 0 retries the
+  /// compile on every batch.
+  std::int64_t compileFailureTtlUs = 5'000'000;
+  /// When the specialized compile fails, serve the request through the
+  /// reference (eager, unbatched) pipeline instead of rejecting it —
+  /// degraded throughput, correct results. When false, such requests are
+  /// rejected with RejectReason::CompileFailed.
+  bool fallbackOnCompileFailure = true;
+  /// Deterministic fault seam for tests (src/serve/fault_injector.h):
+  /// scripted compile failures, kernel throws, and batch-seal stalls.
+  /// Not owned; must outlive the Engine. Null (production) costs a pointer
+  /// check on the compile/run/seal paths and nothing on the request path.
+  FaultInjector* faultInjector = nullptr;
 };
 
 class Engine;
@@ -54,24 +91,32 @@ class Engine;
 /// fully thread-safe). The Engine must outlive its sessions.
 class Session {
  public:
-  /// Asynchronous submit; the future throws tssa::Error on failure.
+  /// Asynchronous submit. The future throws RejectedError when the engine
+  /// refuses the request (load shed, deadline miss, shutdown, unrecoverable
+  /// compile failure) and plain tssa::Error when execution itself fails;
+  /// malformed requests throw synchronously from submit.
   std::future<Response> submit(Request request);
   /// Blocking convenience: submit + get.
   Response infer(Request request);
 
   const std::string& id() const { return id_; }
   std::uint64_t requestsSubmitted() const { return *submitted_; }
+  /// Requests admitted for this session and not yet delivered (bounded by
+  /// EngineOptions::maxInFlightPerSession when that is set).
+  std::int64_t inFlight() const { return *inFlight_; }
 
  private:
   friend class Engine;
   Session(Engine* engine, std::string id)
       : engine_(engine),
         id_(std::move(id)),
-        submitted_(std::make_shared<std::atomic<std::uint64_t>>(0)) {}
+        submitted_(std::make_shared<std::atomic<std::uint64_t>>(0)),
+        inFlight_(std::make_shared<std::atomic<std::int64_t>>(0)) {}
 
   Engine* engine_;
   std::string id_;
   std::shared_ptr<std::atomic<std::uint64_t>> submitted_;
+  std::shared_ptr<std::atomic<std::int64_t>> inFlight_;
 };
 
 class Engine {
@@ -93,6 +138,11 @@ class Engine {
   /// sealed immediately rather than waiting out their window).
   void drain();
 
+  /// Stops admitting: every subsequent submit is rejected with
+  /// RejectReason::ShuttingDown; then drains what was already admitted.
+  /// Idempotent. The destructor implies it.
+  void shutdown();
+
   MetricsSnapshot metrics() const;
   /// Unified export: the snapshot's counters/gauges plus the full latency
   /// histograms (tssa_serve_request/queue/exec_latency_us) under the
@@ -111,21 +161,47 @@ class Engine {
  private:
   friend class Session;
 
+  using InFlightCounter = std::shared_ptr<std::atomic<std::int64_t>>;
+
   std::future<Response> submitInternal(const std::string& sessionId,
+                                       InFlightCounter inFlight,
                                        Request request);
-  /// Runs one sealed batch: concat inputs → cached compile → execute →
-  /// de-interleave → fulfill promises. Executes on a pool worker.
-  void executeBatch(std::vector<std::unique_ptr<PendingRequest>> batch);
-  void onBatchDispatched(std::vector<std::unique_ptr<PendingRequest>> batch);
+  /// Runs one sealed batch: pre-execution deadline check → concat inputs →
+  /// cached compile → execute → de-interleave → fulfill promises. Degrades
+  /// per request on compile failure and de-coalesces on a mid-batch throw.
+  /// Executes on a pool worker.
+  void executeBatch(SealedBatch batch);
+  void onBatchDispatched(SealedBatch batch);
+  /// Re-runs one request of a de-coalesced batch through its own (solo)
+  /// specialized program.
+  void executeSolo(std::unique_ptr<PendingRequest> request,
+                   std::chrono::steady_clock::time_point execStart);
+  /// Compile failed for `request`'s program: serve it through the reference
+  /// pipeline (fallbackOnCompileFailure) or reject it (CompileFailed).
+  void degradeOrReject(std::unique_ptr<PendingRequest> request,
+                       std::chrono::steady_clock::time_point execStart,
+                       const std::exception_ptr& compileError);
   ProgramKey keyFor(const Request& request) const;
+
+  // ---- Per-request terminal transitions (each touches the promise once,
+  // ---- then releases the request's admission accounting) -----------------
+  void deliver(std::unique_ptr<PendingRequest> request, Response response);
+  void deliverError(std::unique_ptr<PendingRequest> request,
+                    std::exception_ptr error);
+  void rejectRequest(std::unique_ptr<PendingRequest> request,
+                     RejectReason reason, const std::string& detail);
+  void finishOne(PendingRequest& request);
 
   const EngineOptions options_;
   ProgramCache cache_;
   MetricsCollector metrics_;
+  std::atomic<bool> shuttingDown_{false};
   std::atomic<std::uint64_t> pendingRequests_{0};
   std::mutex drainMutex_;
   std::condition_variable drainCv_;
   std::atomic<std::uint64_t> sessionCounter_{0};
+  /// In-flight counter for session-less Engine::submit calls.
+  InFlightCounter anonymousInFlight_;
   /// Last member: destroyed first, so its flush-on-destroy happens while
   /// cache/metrics are still alive.
   std::unique_ptr<MicroBatcher> batcher_;

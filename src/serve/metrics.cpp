@@ -9,6 +9,16 @@ namespace tssa::serve {
 // serving engine and the runtime profiler now share one implementation and
 // one set of canonical metric names instead of two divergent copies.
 
+std::string_view rejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::Deadline: return "deadline";
+    case RejectReason::QueueFull: return "queue_full";
+    case RejectReason::ShuttingDown: return "shutting_down";
+    case RejectReason::CompileFailed: return "compile_failed";
+  }
+  return "unknown";
+}
+
 LatencyStats toLatencyStats(const obs::HistogramStats& stats) {
   LatencyStats s;
   s.p50Us = stats.p50;
@@ -48,6 +58,21 @@ void MetricsCollector::recordSessionOpened() {
   ++sessions_;
 }
 
+void MetricsCollector::recordRejected(RejectReason reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++rejected_[static_cast<int>(reason)];
+}
+
+void MetricsCollector::recordFallback() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++fallbacks_;
+}
+
+void MetricsCollector::recordDecoalesced() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++decoalesced_;
+}
+
 void MetricsCollector::recordMemory(std::int64_t freshAllocs,
                                     std::int64_t reusedAllocs) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -73,6 +98,9 @@ void MetricsCollector::fill(MetricsSnapshot& out) const {
   out.sessionsOpened = sessions_;
   out.arenaFreshAllocs = arenaFresh_;
   out.arenaReusedAllocs = arenaReused_;
+  for (int r = 0; r < kNumRejectReasons; ++r) out.rejected[r] = rejected_[r];
+  out.fallbackRequests = fallbacks_;
+  out.decoalescedBatches = decoalesced_;
   out.throughputRps = 0;
   if (haveSpan_ && total.count > 1) {
     const double spanUs = std::chrono::duration<double, std::micro>(
@@ -111,11 +139,26 @@ void exportSnapshot(const MetricsSnapshot& snapshot,
                       static_cast<std::int64_t>(snapshot.cacheEvictions));
   registry.counterSet("tssa_serve_cache_compiles_total",
                       static_cast<std::int64_t>(snapshot.cacheCompiles));
+  registry.counterSet(
+      "tssa_serve_cache_compile_failures_total",
+      static_cast<std::int64_t>(snapshot.cacheCompileFailures));
+  registry.counterSet("tssa_serve_cache_negative_hits_total",
+                      static_cast<std::int64_t>(snapshot.cacheNegativeHits));
   registry.gaugeSet("tssa_serve_cache_size",
                     static_cast<double>(snapshot.cacheSize));
   registry.gaugeSet("tssa_serve_compile_us_total", snapshot.compileUsTotal);
   registry.gaugeSet("tssa_serve_mean_batch_size", snapshot.meanBatchSize);
   registry.gaugeSet("tssa_serve_throughput_rps", snapshot.throughputRps);
+  for (int r = 0; r < kNumRejectReasons; ++r) {
+    const RejectReason reason = static_cast<RejectReason>(r);
+    registry.counterSet("tssa_serve_rejected_total{reason=\"" +
+                            std::string(rejectReasonName(reason)) + "\"}",
+                        static_cast<std::int64_t>(snapshot.rejected[r]));
+  }
+  registry.counterSet("tssa_serve_fallback_total",
+                      static_cast<std::int64_t>(snapshot.fallbackRequests));
+  registry.counterSet("tssa_serve_decoalesced_total",
+                      static_cast<std::int64_t>(snapshot.decoalescedBatches));
   // Same canonical names the Profiler exporter uses: one logical metric,
   // one name, whether it comes from a single pipeline or an engine-wide
   // aggregate. (Don't export a Profiler and the Engine that aggregates it
@@ -130,12 +173,16 @@ std::string MetricsSnapshot::toString() const {
   char buf[640];
   std::snprintf(
       buf, sizeof(buf),
-      "requests=%llu errors=%llu rps=%.1f p50=%.0fus p95=%.0fus p99=%.0fus "
+      "requests=%llu errors=%llu rejected=%llu fallback=%llu rps=%.1f "
+      "p50=%.0fus p95=%.0fus p99=%.0fus "
       "batches=%llu mean_batch=%.2f cache_hit_rate=%.1f%% (hits=%llu "
       "misses=%llu evictions=%llu) compile_total=%.0fus "
       "arena_reuse=%.1f%% (fresh=%llu reused=%llu)",
       static_cast<unsigned long long>(requests),
-      static_cast<unsigned long long>(errors), throughputRps, total.p50Us,
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(rejectedTotal()),
+      static_cast<unsigned long long>(fallbackRequests), throughputRps,
+      total.p50Us,
       total.p95Us, total.p99Us, static_cast<unsigned long long>(batches),
       meanBatchSize, cacheHitRate() * 100.0,
       static_cast<unsigned long long>(cacheHits),

@@ -14,6 +14,22 @@
 
 namespace tssa::serve {
 
+/// Why the engine refused to serve a request. Delivered to the client as a
+/// typed RejectedError (src/serve/request.h) on the submit future, and
+/// counted per reason in `tssa_serve_rejected_total{reason=...}`.
+/// DESIGN.md §10 has the full request state machine.
+enum class RejectReason : int {
+  Deadline = 0,    ///< the request's deadline expired before execution
+  QueueFull,       ///< admission control: engine or session at capacity
+  ShuttingDown,    ///< submitted after Engine::shutdown() began
+  CompileFailed,   ///< program compile failed and the fallback path did too
+};
+inline constexpr int kNumRejectReasons = 4;
+
+/// Stable metric-label name: "deadline", "queue_full", "shutting_down",
+/// "compile_failed".
+std::string_view rejectReasonName(RejectReason reason);
+
 /// Latency decomposition of one served request, all in microseconds.
 struct RequestTiming {
   double queueUs = 0;    ///< submit → the batch actually starts executing
@@ -54,6 +70,8 @@ struct MetricsSnapshot {
   std::uint64_t cacheMisses = 0;
   std::uint64_t cacheEvictions = 0;
   std::uint64_t cacheCompiles = 0;
+  std::uint64_t cacheCompileFailures = 0;  ///< compiles that threw
+  std::uint64_t cacheNegativeHits = 0;  ///< lookups served a cached failure
   std::size_t cacheSize = 0;
   double compileUsTotal = 0;
   double cacheHitRate() const {
@@ -62,6 +80,25 @@ struct MetricsSnapshot {
   }
 
   std::uint64_t sessionsOpened = 0;
+
+  // Robustness counters (DESIGN.md §10). `rejected[r]` counts requests
+  // refused with RejectReason r — load shedding and deadline misses are
+  // first-class outcomes, not errors. `fallbackRequests` counts requests
+  // served through the reference (eager, unbatched) pipeline after their
+  // specialized compile failed; `decoalescedBatches` counts micro-batches
+  // that were re-executed request-by-request after the batched run threw,
+  // so one poisoned request cannot fail its co-batched peers.
+  std::uint64_t rejected[kNumRejectReasons] = {0, 0, 0, 0};
+  std::uint64_t fallbackRequests = 0;
+  std::uint64_t decoalescedBatches = 0;
+  std::uint64_t rejectedTotal() const {
+    std::uint64_t n = 0;
+    for (int r = 0; r < kNumRejectReasons; ++r) n += rejected[r];
+    return n;
+  }
+  std::uint64_t rejectedFor(RejectReason reason) const {
+    return rejected[static_cast<int>(reason)];
+  }
 
   // Memory-planner counters accumulated across executed batches (read from
   // each program's Profiler after its run): arena allocations served fresh
@@ -100,6 +137,12 @@ class MetricsCollector {
   void recordBatch(int size);
   void recordError(int count);
   void recordSessionOpened();
+  /// Records one rejected request (admission shed, deadline miss, ...).
+  void recordRejected(RejectReason reason);
+  /// Records one request served via the reference (fallback) pipeline.
+  void recordFallback();
+  /// Records one batch re-executed de-coalesced after its batched run threw.
+  void recordDecoalesced();
   /// Records one executed batch's arena traffic (fresh vs. reused
   /// allocations, from the program profiler's memory counters).
   void recordMemory(std::int64_t freshAllocs, std::int64_t reusedAllocs);
@@ -123,6 +166,9 @@ class MetricsCollector {
   std::uint64_t sessions_ = 0;
   std::uint64_t arenaFresh_ = 0;
   std::uint64_t arenaReused_ = 0;
+  std::uint64_t rejected_[kNumRejectReasons] = {0, 0, 0, 0};
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t decoalesced_ = 0;
   bool haveSpan_ = false;
   std::chrono::steady_clock::time_point firstComplete_;
   std::chrono::steady_clock::time_point lastComplete_;

@@ -27,8 +27,10 @@ std::size_t ProgramKeyHash::operator()(const ProgramKey& key) const {
   return h;
 }
 
-ProgramCache::ProgramCache(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+ProgramCache::ProgramCache(std::size_t capacity, std::int64_t negativeTtlUs)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      negativeTtl_(std::chrono::microseconds(std::max<std::int64_t>(
+          negativeTtlUs, 0))) {}
 
 ProgramCache::Lookup ProgramCache::getOrCompile(const ProgramKey& key,
                                                 const CompileFn& compile) {
@@ -44,6 +46,23 @@ ProgramCache::Lookup ProgramCache::getOrCompile(const ProgramKey& key,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = map_.find(key);
+    if (it != map_.end()) {
+      // A ready entry holding an expired failure ends its generation here:
+      // unlink it and fall through to the miss path, which starts exactly
+      // one fresh compile. (Lock order is always mutex_ → stateMutex.)
+      bool expired = false;
+      {
+        std::lock_guard<std::mutex> slock(it->second.program->stateMutex);
+        expired = it->second.program->ready &&
+                  it->second.program->error != nullptr &&
+                  t0 - it->second.program->failedAt >= negativeTtl_;
+      }
+      if (expired) {
+        lru_.erase(it->second.lruIt);
+        map_.erase(it);
+        it = map_.end();
+      }
+    }
     if (it != map_.end()) {
       ++stats_.hits;
       lru_.splice(lru_.begin(), lru_, it->second.lruIt);  // touch
@@ -73,30 +92,55 @@ ProgramCache::Lookup ProgramCache::getOrCompile(const ProgramKey& key,
       program->pipeline = std::move(compiled);
       program->compileUs = us;
       program->error = error;
+      program->failedAt = std::chrono::steady_clock::now();
       program->ready = true;
     }
     program->readyCv.notify_all();
     if (error != nullptr) {
-      forget(key, program.get());
-      std::rethrow_exception(error);
+      // Negative-cache the failure for the TTL (the entry stays and later
+      // lookups get the error without compiling); with no TTL, forget it so
+      // the next lookup retries.
+      if (negativeTtl_ == std::chrono::steady_clock::duration::zero())
+        forget(key, program.get());
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.compileFailures;
+      Lookup lookup;
+      lookup.program = std::move(program);
+      lookup.error = error;
+      lookup.waitUs = us;
+      return lookup;
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.compiles;
       stats_.compileUsTotal += us;
     }
-    return {std::move(program), false, false, us};
+    Lookup lookup;
+    lookup.program = std::move(program);
+    lookup.waitUs = us;
+    return lookup;
   }
 
   // Someone else is (or was) compiling: wait for the rendezvous.
-  bool wasReady = false;
+  Lookup lookup;
+  lookup.hit = true;
   {
     std::unique_lock<std::mutex> lock(program->stateMutex);
-    wasReady = program->ready;
+    lookup.wasReady = program->ready;
     program->readyCv.wait(lock, [&] { return program->ready; });
-    if (program->error != nullptr) std::rethrow_exception(program->error);
+    if (program->error != nullptr) {
+      lookup.error = program->error;
+      lookup.negative = lookup.wasReady;  // served a cached failure
+      lookup.wasReady = false;
+    }
   }
-  return {std::move(program), true, wasReady, elapsedUs()};
+  if (lookup.negative) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.negativeHits;
+  }
+  lookup.program = std::move(program);
+  lookup.waitUs = elapsedUs();
+  return lookup;
 }
 
 void ProgramCache::evictExcess(const ProgramKey& justInserted) {

@@ -8,10 +8,19 @@
 // requests for a key being compiled block on that entry (single-flight: one
 // compile per key, everyone else reuses it), and eviction only unlinks an
 // entry — in-flight executions keep it alive through their shared_ptr.
+//
+// Failed compiles are cached *negatively*: the entry stays in the map with
+// its exception for `negativeTtlUs`, so traffic for a broken key pays one
+// compile attempt per TTL window instead of re-compiling on every request
+// (the serving engine degrades those requests to the fallback pipeline —
+// DESIGN.md §10). getOrCompile never throws the compiler's exception; it is
+// returned in Lookup::error so callers choose between fallback and reject.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <list>
 #include <memory>
@@ -55,6 +64,10 @@ struct CachedProgram {
   std::condition_variable readyCv;
   bool ready = false;
   std::exception_ptr error;
+  /// When `error` is set: the instant the compile failed. The entry serves
+  /// as a negative cache until failedAt + negativeTtl, then the next lookup
+  /// starts a fresh generation (one new compile).
+  std::chrono::steady_clock::time_point failedAt;
 };
 
 class ProgramCache {
@@ -64,6 +77,8 @@ class ProgramCache {
     std::uint64_t misses = 0;      ///< key absent → a compile was started
     std::uint64_t evictions = 0;   ///< entries unlinked by LRU pressure
     std::uint64_t compiles = 0;    ///< successful compiles
+    std::uint64_t compileFailures = 0;  ///< compiles that threw
+    std::uint64_t negativeHits = 0;     ///< lookups served a cached failure
     double compileUsTotal = 0;     ///< wall-clock spent compiling
     std::size_t size = 0;          ///< entries currently cached
     double hitRate() const {
@@ -80,16 +95,25 @@ class ProgramCache {
     /// request paid no compilation latency. A single-flight waiter that
     /// blocked on a concurrent compile has hit=true but wasReady=false.
     bool wasReady = false;
+    /// The compile failed — this lookup's own attempt, the single-flight
+    /// compile it waited on, or a cached failure still inside its TTL
+    /// (`negative` distinguishes the last case). `program->pipeline` is
+    /// null; callers degrade or reject instead of executing.
+    std::exception_ptr error;
+    bool negative = false;  ///< error served from the negative cache
     double waitUs = 0;  ///< time spent compiling or waiting on the compiler
   };
 
   using CompileFn = std::function<std::unique_ptr<runtime::Pipeline>()>;
 
-  explicit ProgramCache(std::size_t capacity);
+  /// `negativeTtlUs` <= 0 disables negative caching: a failed compile is
+  /// forgotten immediately and the next lookup retries.
+  explicit ProgramCache(std::size_t capacity, std::int64_t negativeTtlUs = 0);
 
   /// Returns the ready program for `key`, invoking `compile` at most once
-  /// per cached key (single-flight). Rethrows the compiler's exception on
-  /// every waiter and forgets the entry so a later request can retry.
+  /// per cached key per generation (single-flight; a generation ends when
+  /// the entry is evicted or its negative TTL expires). Never throws the
+  /// compiler's exception — it is returned in Lookup::error.
   Lookup getOrCompile(const ProgramKey& key, const CompileFn& compile);
 
   Stats stats() const;
@@ -106,6 +130,7 @@ class ProgramCache {
   void forget(const ProgramKey& key, const CachedProgram* program);
 
   const std::size_t capacity_;
+  const std::chrono::steady_clock::duration negativeTtl_;
   mutable std::mutex mutex_;
   std::list<ProgramKey> lru_;  ///< front = most recently used
   std::unordered_map<ProgramKey, Slot, ProgramKeyHash> map_;

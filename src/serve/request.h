@@ -2,13 +2,16 @@
 // shared by the Engine and the MicroBatcher.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/serve/metrics.h"
 #include "src/serve/program_cache.h"
+#include "src/support/error.h"
 #include "src/workloads/workload.h"
 
 namespace tssa::serve {
@@ -22,6 +25,14 @@ struct Request {
   std::string workload;
   workloads::WorkloadConfig config;
   std::vector<runtime::RtValue> inputs;
+  /// Relative deadline from submit, in microseconds. 0 means no deadline;
+  /// a negative value is treated as already expired (rejected at admission).
+  /// Enforced at admission, in the micro-batcher (a tight deadline seals its
+  /// batch early, leaving half the remaining budget for execution), and once
+  /// more just before the batch executes; a miss is delivered as
+  /// RejectedError(RejectReason::Deadline). Work that is already executing
+  /// when the deadline passes is finished and delivered late, not cancelled.
+  std::int64_t deadlineUs = 0;
 };
 
 struct Response {
@@ -30,20 +41,52 @@ struct Response {
   int batchedWith = 1;   ///< requests coalesced into the same execution
   /// Program was compiled and ready when this request's batch looked it up
   /// (timing.compileUs == 0). False both when this batch compiled it and
-  /// when it blocked on a concurrent single-flight compile.
+  /// when it blocked on a concurrent single-flight compile — and always
+  /// false on the fallback path, which never runs a specialized program.
   bool cacheHit = false;
+  /// Served via the reference (eager, unbatched) pipeline because the
+  /// shape-specialized compile failed (graceful degradation, DESIGN.md §10).
+  bool fallback = false;
+};
+
+/// The typed failure a submit future throws when the engine refuses to
+/// serve a request: load shedding, deadline misses, and unrecoverable
+/// compile failures are expected serving outcomes that clients dispatch on
+/// (retry elsewhere, hedge, drop), not anonymous tssa::Error strings.
+class RejectedError : public Error {
+ public:
+  RejectedError(RejectReason reason, const std::string& detail,
+                const char* file = __builtin_FILE(),
+                int line = __builtin_LINE())
+      : Error("request rejected (" + std::string(rejectReasonName(reason)) +
+                  "): " + detail,
+              file, line),
+        reason_(reason) {}
+
+  RejectReason reason() const noexcept { return reason_; }
+
+ private:
+  RejectReason reason_;
 };
 
 /// A submitted request waiting for execution: request payload + the promise
 /// its response is delivered through + everything the batcher needs to
-/// group it (per-request program key, batch traits).
+/// group it (per-request program key, batch traits, absolute deadline).
 struct PendingRequest {
   Request request;
   std::promise<Response> promise;
   std::chrono::steady_clock::time_point enqueueTime;
+  /// Absolute expiry (enqueueTime + Request::deadlineUs); time_point::max()
+  /// when the request carries no deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
   ProgramKey key;                   ///< per-request (unbatched) program key
   workloads::BatchTraits traits;
   std::string sessionId;
+  /// The owning session's in-flight counter; decremented exactly once when
+  /// the promise is fulfilled (response, exception, or rejection). Null for
+  /// requests admitted before per-session caps existed in the path.
+  std::shared_ptr<std::atomic<std::int64_t>> sessionInFlight;
 };
 
 }  // namespace tssa::serve

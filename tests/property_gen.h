@@ -1,5 +1,8 @@
 // Shared random-program generator used by property tests and repro tools.
 #pragma once
+#include <cstdint>
+#include <vector>
+
 #include "src/ir/builder.h"
 #include "src/runtime/pipeline.h"
 #include "src/tensor/random.h"
@@ -202,5 +205,68 @@ class ProgramGenerator {
   std::vector<Entry> live_;
 };
 
+/// One step of a randomized cache schedule: worker `thread` looks up key
+/// index `key`; if that lookup wins the compile (single-flight miss), the
+/// compile sleeps `compileDelayUs` and throws iff `failCompile` — failures
+/// exercise the negative-cache generation logic, delays stretch the
+/// single-flight window so other workers pile onto the rendezvous.
+struct CacheScheduleStep {
+  std::size_t thread = 0;
+  std::size_t key = 0;
+  bool failCompile = false;
+  int compileDelayUs = 0;
+};
+
+/// Random schedule generator for concurrent ProgramCache property tests
+/// (lookup / evict / negative-entry interleavings). The schedule is data,
+/// not timing: the test replays per-thread step lists concurrently and
+/// asserts the cache's invariants (at most one compile per key per
+/// generation) over whatever real interleaving occurs — every seed is a
+/// different stress pattern, and a failing seed reproduces the pattern.
+class ScheduleGenerator {
+ public:
+  struct Options {
+    std::size_t threads = 4;
+    std::size_t keys = 3;          ///< distinct program keys in play
+    std::size_t steps = 64;        ///< total lookups across all threads
+    double failProbability = 0.3;  ///< chance a won compile throws
+    int maxCompileDelayUs = 400;   ///< won compiles sleep up to this long
+  };
+
+  explicit ScheduleGenerator(Rng& rng) : rng_(rng) {}
+
+  /// Flat schedule in program order; steps are round-robin-free (thread
+  /// assignment is random, so some threads are hot and some idle — the
+  /// interesting case for rendezvous pile-ups).
+  std::vector<CacheScheduleStep> generate(const Options& options) {
+    std::vector<CacheScheduleStep> schedule;
+    schedule.reserve(options.steps);
+    for (std::size_t s = 0; s < options.steps; ++s) {
+      CacheScheduleStep step;
+      step.thread = static_cast<std::size_t>(rng_.nextInt(
+          0, static_cast<std::int64_t>(options.threads) - 1));
+      step.key = static_cast<std::size_t>(
+          rng_.nextInt(0, static_cast<std::int64_t>(options.keys) - 1));
+      step.failCompile = rng_.nextBool(options.failProbability);
+      step.compileDelayUs =
+          static_cast<int>(rng_.nextInt(0, options.maxCompileDelayUs));
+      schedule.push_back(step);
+    }
+    return schedule;
+  }
+
+  /// The same schedule split into per-thread step lists (each preserves
+  /// program order within its thread).
+  static std::vector<std::vector<CacheScheduleStep>> perThread(
+      const std::vector<CacheScheduleStep>& schedule, std::size_t threads) {
+    std::vector<std::vector<CacheScheduleStep>> lanes(threads);
+    for (const CacheScheduleStep& step : schedule)
+      lanes[step.thread].push_back(step);
+    return lanes;
+  }
+
+ private:
+  Rng& rng_;
+};
 
 }  // namespace tssa::testing_support

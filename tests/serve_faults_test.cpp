@@ -1,0 +1,576 @@
+// Fault-injection suite for the serving robustness layer (ISSUE 5):
+//   (a) compile failure → negative cache + fallback pipeline, co-batched
+//       peers still bitwise-correct, other keys unaffected,
+//   (b) kernel throw mid-batch → the batch is re-executed de-coalesced and
+//       only the faulty request's future throws,
+//   (c) deadline expiry at admission, in the batcher (a tight deadline
+//       seals early), and in the execution queue (virtual seal delay),
+//   (d) bounded admission: engine queue depth and per-session in-flight
+//       caps shed with RejectReason::QueueFull,
+//   (e) ProgramCache negative-TTL generations and a randomized concurrent
+//       schedule property (single-flight per key per generation).
+// Every fault is scripted through serve::FaultInjector — no sleeps on the
+// injection paths, deterministic under TSan/ASan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/serve/engine.h"
+#include "src/serve/fault_injector.h"
+#include "src/tensor/random.h"
+#include "tests/property_gen.h"
+
+namespace tssa {
+namespace {
+
+using runtime::PipelineKind;
+using runtime::RtValue;
+using serve::Engine;
+using serve::EngineOptions;
+using serve::FaultInjector;
+using serve::ProgramCache;
+using serve::ProgramKey;
+using serve::RejectedError;
+using serve::RejectReason;
+using serve::Request;
+using serve::Response;
+using serve::Session;
+using workloads::WorkloadConfig;
+
+WorkloadConfig smallConfig(std::int64_t batch = 1, std::int64_t seqLen = 6) {
+  WorkloadConfig c;
+  c.batch = batch;
+  c.seqLen = seqLen;
+  return c;
+}
+
+/// Fresh random inputs shaped like the registry's example tuple, so distinct
+/// requests carry distinct payloads.
+std::vector<RtValue> randomInputs(const std::string& workload,
+                                  const WorkloadConfig& config,
+                                  std::uint64_t dataSeed) {
+  std::vector<RtValue> inputs = Engine::defaultInputs(workload, config);
+  Rng rng(dataSeed);
+  for (RtValue& v : inputs) {
+    if (!v.isTensor() || v.tensor().dtype() != DType::Float32) continue;
+    Tensor fresh = rng.normal(v.tensor().sizes(), 0.0, 0.5);
+    v = RtValue(fresh);
+  }
+  return inputs;
+}
+
+/// Ground truth: the reference (eager) pipeline run solo on the same inputs.
+std::vector<RtValue> referenceOutputs(const std::string& workload,
+                                      const WorkloadConfig& config,
+                                      const std::vector<RtValue>& inputs) {
+  workloads::Workload w = workloads::buildWorkload(workload, config);
+  runtime::Pipeline pipeline(PipelineKind::Eager, *w.graph);
+  return pipeline.run(inputs);
+}
+
+RejectReason rejectionReasonOf(std::future<Response>& future) {
+  try {
+    future.get();
+  } catch (const RejectedError& e) {
+    return e.reason();
+  }
+  ADD_FAILURE() << "future did not throw RejectedError";
+  return RejectReason::Deadline;
+}
+
+// ---- (a) compile failure → negative cache + fallback -----------------------
+
+TEST(ServeFaultsTest, CompileFailureServesBatchThroughFallback) {
+  FaultInjector injector;
+  injector.failCompilesForKeyContaining("lstm");
+
+  EngineOptions options;
+  options.maxBatch = 3;
+  options.maxWaitUs = 60'000'000;  // only "full" seals this batch
+  options.faultInjector = &injector;
+  Engine engine(options);
+  Session session = engine.openSession("faulty");
+
+  const WorkloadConfig config = smallConfig();
+  std::vector<std::vector<RtValue>> payloads;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 3; ++i) {
+    Request r;
+    r.workload = "lstm";
+    r.config = config;
+    r.inputs = randomInputs("lstm", config, 100 + i);
+    payloads.push_back(r.inputs);
+    futures.push_back(session.submit(std::move(r)));
+  }
+
+  for (int i = 0; i < 3; ++i) {
+    Response resp = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_TRUE(resp.fallback);
+    EXPECT_FALSE(resp.cacheHit);
+    EXPECT_EQ(resp.batchedWith, 1);
+    // Degraded, not wrong: fallback outputs match the reference pipeline
+    // bitwise for each co-batched peer's own payload.
+    EXPECT_TRUE(bench::outputsBitwiseEqual(
+        resp.outputs,
+        referenceOutputs("lstm", config,
+                         payloads[static_cast<std::size_t>(i)])));
+  }
+
+  const serve::MetricsSnapshot snap = engine.metrics();
+  EXPECT_EQ(snap.fallbackRequests, 3u);
+  EXPECT_EQ(snap.rejectedTotal(), 0u);  // degraded, never rejected
+  EXPECT_GE(snap.cacheCompileFailures, 1u);
+  EXPECT_GE(injector.faultsInjected(), 1u);
+}
+
+TEST(ServeFaultsTest, BrokenKeyLeavesOtherWorkloadsUntouched) {
+  // The acceptance scenario: every compile for one key fails; a mixed run
+  // over all registered workloads still completes — the broken key via
+  // fallback, everything else specialized as usual.
+  FaultInjector injector;
+  injector.failCompilesForKeyContaining("nasrnn");
+
+  EngineOptions options;
+  options.maxBatch = 1;  // one request per workload: keep it solo
+  options.faultInjector = &injector;
+  Engine engine(options);
+  Session session = engine.openSession("mixed");
+
+  for (const std::string& name : workloads::workloadNames()) {
+    const WorkloadConfig config = smallConfig();
+    std::vector<RtValue> inputs = randomInputs(name, config, 7);
+    Request r;
+    r.workload = name;
+    r.config = config;
+    r.inputs = inputs;
+    Response resp = session.infer(std::move(r));
+    EXPECT_EQ(resp.fallback, name == "nasrnn") << name;
+    if (name == "nasrnn") {
+      EXPECT_FALSE(resp.cacheHit);
+    }
+    EXPECT_TRUE(bench::outputsBitwiseEqual(
+        resp.outputs, referenceOutputs(name, config, inputs)))
+        << name;
+  }
+
+  const serve::MetricsSnapshot snap = engine.metrics();
+  EXPECT_EQ(snap.rejectedTotal(), 0u);
+  EXPECT_EQ(snap.fallbackRequests, 1u);
+  EXPECT_EQ(snap.errors, 0u);
+}
+
+TEST(ServeFaultsTest, RepeatedTrafficForBrokenKeyPaysOneCompileAttempt) {
+  FaultInjector injector;
+  injector.failCompilesForKeyContaining("lstm");
+
+  EngineOptions options;
+  options.maxBatch = 1;
+  options.compileFailureTtlUs = 60'000'000;  // long TTL: one attempt total
+  options.faultInjector = &injector;
+  Engine engine(options);
+
+  for (int i = 0; i < 4; ++i) {
+    Request r;
+    r.workload = "lstm";
+    r.config = smallConfig();
+    Response resp = engine.submit(std::move(r)).get();
+    EXPECT_TRUE(resp.fallback);
+  }
+  // One specialized compile attempt hit the injector; the other three
+  // requests were served the cached failure (negative hits), then degraded.
+  EXPECT_EQ(engine.cacheStats().compileFailures, 1u);
+  EXPECT_EQ(engine.cacheStats().negativeHits, 3u);
+  EXPECT_EQ(engine.metrics().fallbackRequests, 4u);
+}
+
+TEST(ServeFaultsTest, CompileFailureRejectsWhenFallbackDisabled) {
+  FaultInjector injector;
+  injector.failNthCompile(1);
+
+  EngineOptions options;
+  options.maxBatch = 1;
+  options.fallbackOnCompileFailure = false;
+  options.faultInjector = &injector;
+  Engine engine(options);
+
+  Request r;
+  r.workload = "lstm";
+  r.config = smallConfig();
+  std::future<Response> future = engine.submit(std::move(r));
+  EXPECT_EQ(rejectionReasonOf(future), RejectReason::CompileFailed);
+  EXPECT_EQ(engine.metrics().rejectedFor(RejectReason::CompileFailed), 1u);
+}
+
+// ---- (b) kernel throw mid-batch --------------------------------------------
+
+TEST(ServeFaultsTest, KernelThrowMidBatchFailsOnlyTheFaultyRequest) {
+  FaultInjector injector;
+  // Run 1 is the coalesced batch: poison it to force de-coalescing. The
+  // solo re-runs are runs 2, 3, 4 in request order; poison run 3 so the
+  // middle request is the (only) faulty one.
+  injector.throwOnKernelLaunch(1, 1);
+  injector.throwOnKernelLaunch(3, 1);
+
+  EngineOptions options;
+  options.maxBatch = 3;
+  options.maxWaitUs = 60'000'000;  // seal on "full" only
+  options.executeConcurrency = 1;  // one batch in flight: runs don't overlap
+  options.faultInjector = &injector;
+  Engine engine(options);
+
+  const WorkloadConfig config = smallConfig();
+  std::vector<std::vector<RtValue>> payloads;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 3; ++i) {
+    Request r;
+    r.workload = "lstm";
+    r.config = config;
+    r.inputs = randomInputs("lstm", config, 200 + i);
+    payloads.push_back(r.inputs);
+    futures.push_back(engine.submit(std::move(r)));
+  }
+
+  // Requests 0 and 2 are re-executed solo and come back correct.
+  for (int i : {0, 2}) {
+    Response resp = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(resp.batchedWith, 1);
+    EXPECT_FALSE(resp.fallback);
+    EXPECT_TRUE(bench::outputsBitwiseEqual(
+        resp.outputs,
+        referenceOutputs("lstm", config,
+                         payloads[static_cast<std::size_t>(i)])));
+  }
+  // Request 1's solo run hit the armed launch fault: only its future throws.
+  EXPECT_THROW(futures[1].get(), serve::InjectedFault);
+
+  const serve::MetricsSnapshot snap = engine.metrics();
+  EXPECT_EQ(snap.decoalescedBatches, 1u);
+  EXPECT_EQ(snap.errors, 1u);
+  EXPECT_EQ(snap.requests, 2u);
+  EXPECT_EQ(snap.rejectedTotal(), 0u);
+  EXPECT_EQ(injector.faultsInjected(), 2u);
+}
+
+TEST(ServeFaultsTest, KernelThrowOnSoloRequestDeliversTheError) {
+  FaultInjector injector;
+  injector.throwOnKernelLaunch(1, 2);
+
+  EngineOptions options;
+  options.maxBatch = 1;
+  options.faultInjector = &injector;
+  Engine engine(options);
+
+  Request r;
+  r.workload = "lstm";
+  r.config = smallConfig();
+  std::future<Response> future = engine.submit(std::move(r));
+  EXPECT_THROW(future.get(), serve::InjectedFault);
+  EXPECT_EQ(engine.metrics().errors, 1u);
+
+  // The engine (and the cached program) survive the fault: the next
+  // request for the same key executes normally.
+  Request again;
+  again.workload = "lstm";
+  again.config = smallConfig();
+  Response resp = engine.submit(std::move(again)).get();
+  EXPECT_FALSE(resp.fallback);
+}
+
+// ---- (c) deadlines ---------------------------------------------------------
+
+TEST(ServeFaultsTest, ExpiredDeadlineIsRejectedAtAdmission) {
+  FaultInjector injector;
+  EngineOptions options;
+  options.faultInjector = &injector;
+  Engine engine(options);
+
+  Request r;
+  r.workload = "lstm";
+  r.config = smallConfig();
+  r.deadlineUs = -1;  // already expired
+  std::future<Response> future = engine.submit(std::move(r));
+  EXPECT_EQ(rejectionReasonOf(future), RejectReason::Deadline);
+  EXPECT_EQ(engine.metrics().rejectedFor(RejectReason::Deadline), 1u);
+  EXPECT_EQ(injector.sealsSeen(), 0u);  // never reached the batcher
+}
+
+TEST(ServeFaultsTest, DeadlineExpiryInExecutionQueueShedsBeforeRunning) {
+  // The batch stalls (virtually) for 10 s between seal and execution; the
+  // request's 1 s deadline expires in the queue. No wall-clock sleeps.
+  FaultInjector injector;
+  injector.delayNthBatchSeal(1, 10'000'000);
+
+  EngineOptions options;
+  options.maxBatch = 1;
+  options.faultInjector = &injector;
+  Engine engine(options);
+
+  Request r;
+  r.workload = "lstm";
+  r.config = smallConfig();
+  r.deadlineUs = 1'000'000;
+  std::future<Response> future = engine.submit(std::move(r));
+  EXPECT_EQ(rejectionReasonOf(future), RejectReason::Deadline);
+
+  const serve::MetricsSnapshot snap = engine.metrics();
+  EXPECT_EQ(snap.rejectedFor(RejectReason::Deadline), 1u);
+  EXPECT_EQ(snap.requests, 0u);  // the work was shed, not executed late
+  EXPECT_EQ(injector.runsSeen(), 0u);
+}
+
+TEST(ServeFaultsTest, TighterDeadlineArrivalShortensTheBatchWait) {
+  // Regression for the batcher's wake-on-deadline-change: request A opens a
+  // batch with a 60 s window; request B joins with a 200 ms deadline, which
+  // must pull the seal forward (and actually wake the timer). If the timer
+  // kept waiting on the original window this test would time out.
+  EngineOptions options;
+  options.maxBatch = 8;
+  options.maxWaitUs = 60'000'000;
+  Engine engine(options);
+
+  const WorkloadConfig config = smallConfig();
+  Request a;
+  a.workload = "lstm";
+  a.config = config;
+  a.inputs = randomInputs("lstm", config, 1);
+  std::future<Response> futureA = engine.submit(std::move(a));
+
+  Request b;
+  b.workload = "lstm";
+  b.config = config;
+  b.inputs = randomInputs("lstm", config, 2);
+  b.deadlineUs = 200'000;
+  std::future<Response> futureB = engine.submit(std::move(b));
+
+  // Generous bound, still far below the 60 s window the fix removes.
+  ASSERT_EQ(futureB.wait_for(std::chrono::seconds(20)),
+            std::future_status::ready);
+  Response respB = futureB.get();
+  Response respA = futureA.get();
+  EXPECT_EQ(respA.batchedWith, 2);  // sealed together, early
+  EXPECT_EQ(respB.batchedWith, 2);
+}
+
+// ---- (d) bounded admission -------------------------------------------------
+
+TEST(ServeFaultsTest, QueueFullShedsBeyondMaxQueueDepth) {
+  EngineOptions options;
+  options.maxBatch = 8;            // requests park in the open batch...
+  options.maxWaitUs = 60'000'000;  // ...for as long as the test needs
+  options.maxQueueDepth = 4;
+  Engine engine(options);
+  Session session = engine.openSession("overload");
+
+  const WorkloadConfig config = smallConfig();
+  std::vector<std::future<Response>> admitted;
+  for (int i = 0; i < 4; ++i) {
+    Request r;
+    r.workload = "lstm";
+    r.config = config;
+    r.inputs = randomInputs("lstm", config, 300 + i);
+    admitted.push_back(session.submit(std::move(r)));
+  }
+
+  Request overflow;
+  overflow.workload = "lstm";
+  overflow.config = config;
+  overflow.inputs = randomInputs("lstm", config, 399);
+  std::future<Response> shed = session.submit(std::move(overflow));
+  EXPECT_EQ(rejectionReasonOf(shed), RejectReason::QueueFull);
+
+  engine.drain();  // seal the parked batch and finish the admitted four
+  for (auto& f : admitted) {
+    Response resp = f.get();
+    EXPECT_EQ(resp.batchedWith, 4);
+  }
+  const serve::MetricsSnapshot snap = engine.metrics();
+  EXPECT_EQ(snap.rejectedFor(RejectReason::QueueFull), 1u);
+  EXPECT_EQ(snap.requests, 4u);
+}
+
+TEST(ServeFaultsTest, PerSessionInFlightCapShedsOnlyThatSession) {
+  EngineOptions options;
+  options.maxBatch = 8;
+  options.maxWaitUs = 60'000'000;
+  options.maxInFlightPerSession = 2;
+  Engine engine(options);
+  Session greedy = engine.openSession("greedy");
+  Session modest = engine.openSession("modest");
+
+  const WorkloadConfig config = smallConfig();
+  auto makeRequest = [&](std::uint64_t seed) {
+    Request r;
+    r.workload = "lstm";
+    r.config = config;
+    r.inputs = randomInputs("lstm", config, seed);
+    return r;
+  };
+
+  std::vector<std::future<Response>> ok;
+  ok.push_back(greedy.submit(makeRequest(1)));
+  ok.push_back(greedy.submit(makeRequest(2)));
+  EXPECT_EQ(greedy.inFlight(), 2);
+
+  std::future<Response> third = greedy.submit(makeRequest(3));
+  EXPECT_EQ(rejectionReasonOf(third), RejectReason::QueueFull);
+
+  // The other session is not penalized for its neighbour's backlog.
+  ok.push_back(modest.submit(makeRequest(4)));
+
+  engine.drain();
+  for (auto& f : ok) f.get();
+  EXPECT_EQ(greedy.inFlight(), 0);
+  EXPECT_EQ(modest.inFlight(), 0);
+  EXPECT_EQ(engine.metrics().rejectedFor(RejectReason::QueueFull), 1u);
+}
+
+TEST(ServeFaultsTest, ShutdownRejectsNewSubmitsAndDrainsAdmitted) {
+  EngineOptions options;
+  options.maxBatch = 1;
+  Engine engine(options);
+
+  Request before;
+  before.workload = "lstm";
+  before.config = smallConfig();
+  std::future<Response> admitted = engine.submit(std::move(before));
+
+  engine.shutdown();
+  EXPECT_NO_THROW(admitted.get());  // admitted work is finished, not dropped
+
+  Request after;
+  after.workload = "lstm";
+  after.config = smallConfig();
+  std::future<Response> rejected = engine.submit(std::move(after));
+  EXPECT_EQ(rejectionReasonOf(rejected), RejectReason::ShuttingDown);
+  EXPECT_EQ(engine.metrics().rejectedFor(RejectReason::ShuttingDown), 1u);
+}
+
+TEST(ServeFaultsTest, RejectionsAreExportedPerReason) {
+  EngineOptions options;
+  options.maxBatch = 1;
+  Engine engine(options);
+
+  Request r;
+  r.workload = "lstm";
+  r.config = smallConfig();
+  r.deadlineUs = -1;
+  std::future<Response> future = engine.submit(std::move(r));
+  EXPECT_EQ(rejectionReasonOf(future), RejectReason::Deadline);
+
+  obs::MetricsRegistry registry;
+  engine.exportMetrics(registry);
+  const obs::MetricsRegistry::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(
+      snap.counter("tssa_serve_rejected_total{reason=\"deadline\"}"), 1);
+  EXPECT_EQ(
+      snap.counter("tssa_serve_rejected_total{reason=\"queue_full\"}"), 0);
+  EXPECT_EQ(snap.counter("tssa_serve_fallback_total"), 0);
+}
+
+// ---- (e) ProgramCache negative TTL + randomized schedules ------------------
+
+TEST(ServeFaultsTest, NegativeCacheExpiryStartsAFreshGeneration) {
+  ProgramCache cache(4, /*negativeTtlUs=*/50'000);
+  workloads::Workload w = workloads::buildWorkload("lstm", smallConfig());
+  ProgramKey key;
+  key.workload = "lstm";
+  key.signature = "sig";
+
+  std::atomic<int> compiles{0};
+  auto failingOnce = [&]() -> std::unique_ptr<runtime::Pipeline> {
+    if (compiles.fetch_add(1) == 0) TSSA_THROW("scripted compile failure");
+    return std::make_unique<runtime::Pipeline>(PipelineKind::Eager, *w.graph);
+  };
+
+  ProgramCache::Lookup first = cache.getOrCompile(key, failingOnce);
+  EXPECT_NE(first.error, nullptr);
+  EXPECT_FALSE(first.negative);  // its own attempt, not a cached failure
+
+  ProgramCache::Lookup second = cache.getOrCompile(key, failingOnce);
+  EXPECT_NE(second.error, nullptr);
+  EXPECT_TRUE(second.negative);  // served from the negative cache
+  EXPECT_EQ(compiles.load(), 1);  // within TTL: no retry
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ProgramCache::Lookup third = cache.getOrCompile(key, failingOnce);
+  EXPECT_EQ(third.error, nullptr);  // TTL expired: new generation, retried
+  ASSERT_NE(third.program->pipeline, nullptr);
+  EXPECT_EQ(compiles.load(), 2);
+
+  const ProgramCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.compileFailures, 1u);
+  EXPECT_EQ(stats.negativeHits, 1u);
+  EXPECT_EQ(stats.compiles, 1u);  // only the successful one counts
+}
+
+TEST(ServeFaultsTest, CacheSingleFlightHoldsUnderRandomSchedules) {
+  // Property: whatever the concurrent interleaving of lookups, evictions,
+  // failures, and negative-TTL expiries, at most one compile per key is
+  // ever in flight (single-flight per generation), and every lookup
+  // resolves to either a program or an error. The schedule (who looks up
+  // what, which compiles fail, how long they take) is generated from a
+  // seed; the real thread interleaving varies per run.
+  workloads::Workload w = workloads::buildWorkload("lstm", smallConfig());
+  for (std::uint64_t seed : {11u, 23u, 47u}) {
+    Rng rng(seed);
+    testing_support::ScheduleGenerator generator(rng);
+    testing_support::ScheduleGenerator::Options scheduleOptions;
+    scheduleOptions.threads = 4;
+    scheduleOptions.keys = 3;
+    scheduleOptions.steps = 48;
+    scheduleOptions.failProbability = 0.3;
+    scheduleOptions.maxCompileDelayUs = 300;
+    const auto schedule = generator.generate(scheduleOptions);
+    const auto lanes = testing_support::ScheduleGenerator::perThread(
+        schedule, scheduleOptions.threads);
+
+    // Capacity below the key count forces evictions; a short negative TTL
+    // forces failed generations to expire mid-run.
+    ProgramCache cache(2, /*negativeTtlUs=*/2'000);
+    std::vector<std::atomic<int>> inFlight(scheduleOptions.keys);
+    std::vector<std::atomic<int>> maxInFlight(scheduleOptions.keys);
+    std::atomic<int> badLookups{0};
+
+    std::vector<std::thread> workers;
+    for (const auto& lane : lanes) {
+      workers.emplace_back([&, lane] {
+        for (const testing_support::CacheScheduleStep& step : lane) {
+          ProgramKey key;
+          key.workload = "lstm";
+          key.signature = "k" + std::to_string(step.key);
+          ProgramCache::Lookup lookup = cache.getOrCompile(key, [&] {
+            const int now = ++inFlight[step.key];
+            int seen = maxInFlight[step.key].load();
+            while (seen < now &&
+                   !maxInFlight[step.key].compare_exchange_weak(seen, now)) {
+            }
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(step.compileDelayUs));
+            --inFlight[step.key];
+            if (step.failCompile) TSSA_THROW("scripted compile failure");
+            return std::make_unique<runtime::Pipeline>(PipelineKind::Eager,
+                                                       *w.graph);
+          });
+          const bool hasProgram = lookup.program != nullptr &&
+                                  lookup.program->pipeline != nullptr;
+          const bool hasError = lookup.error != nullptr;
+          if (hasProgram == hasError) ++badLookups;
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+
+    EXPECT_EQ(badLookups.load(), 0) << "seed " << seed;
+    for (std::size_t k = 0; k < scheduleOptions.keys; ++k)
+      EXPECT_LE(maxInFlight[k].load(), 1)
+          << "single-flight violated for key " << k << " at seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace tssa

@@ -1,0 +1,218 @@
+// Serving soak test (ctest label `soak`, excluded from the tier-1 suite):
+// multi-session churn over randomized shapes and deadlines for ~30 s of
+// wall-clock, with scripted compile faults mixed in, asserting the engine's
+// ground rules hold under sustained load:
+//   * no future is ever abandoned — every submit resolves or rejects,
+//   * the outcome counters are consistent — completions + errors +
+//     rejections add up to exactly the number of submits,
+//   * per-session in-flight accounting returns to zero.
+//
+// Gated twice so a plain `ctest` stays fast: the binary is only run by
+// `ctest -L soak`, and the test body SKIPs unless TSSA_SOAK=1 is set.
+// TSSA_SOAK_SECONDS overrides the churn duration (default 30).
+// CI runs this under TSan on a schedule (.github/workflows/ci.yml).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/engine.h"
+#include "src/serve/fault_injector.h"
+#include "src/tensor/random.h"
+
+namespace tssa {
+namespace {
+
+using serve::Engine;
+using serve::EngineOptions;
+using serve::FaultInjector;
+using serve::ProgramCache;
+using serve::RejectedError;
+using serve::Request;
+using serve::Response;
+using serve::Session;
+using workloads::WorkloadConfig;
+
+int soakSeconds() {
+  const char* value = std::getenv("TSSA_SOAK_SECONDS");
+  if (value == nullptr) return 30;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : 30;
+}
+
+bool soakEnabled() {
+  const char* value = std::getenv("TSSA_SOAK");
+  return value != nullptr && std::string(value) == "1";
+}
+
+/// A small fixed menu of (workload, batch, seqLen) shapes: enough churn to
+/// exercise eviction and shape-specialized recompiles, bounded so the run
+/// spends its time serving rather than compiling.
+struct ShapePoint {
+  const char* workload;
+  std::int64_t batch;
+  std::int64_t seqLen;
+};
+constexpr ShapePoint kShapes[] = {
+    {"lstm", 1, 4},   {"lstm", 2, 4},    {"lstm", 1, 6},
+    {"nasrnn", 1, 4}, {"nasrnn", 2, 4},  {"attention", 1, 4},
+    {"attention", 2, 4}, {"seq2seq", 1, 4},
+};
+constexpr std::size_t kShapeCount = std::size(kShapes);
+
+WorkloadConfig configOf(const ShapePoint& shape) {
+  WorkloadConfig config;
+  config.batch = shape.batch;
+  config.seqLen = shape.seqLen;
+  return config;
+}
+
+/// Fresh random payload shaped like `sample` (the registry's example tuple
+/// for the shape point); non-float entries are carried over verbatim.
+std::vector<runtime::RtValue> randomizedInputs(
+    const std::vector<runtime::RtValue>& sample, Rng& rng) {
+  std::vector<runtime::RtValue> inputs = sample;
+  for (runtime::RtValue& v : inputs) {
+    if (!v.isTensor() || v.tensor().dtype() != DType::Float32) continue;
+    v = runtime::RtValue(rng.normal(v.tensor().sizes(), 0.0, 0.5));
+  }
+  return inputs;
+}
+
+TEST(ServeSoakTest, MultiSessionChurnLosesNoFutureAndBalancesCounters) {
+  if (!soakEnabled())
+    GTEST_SKIP() << "soak disabled; set TSSA_SOAK=1 (and optionally "
+                    "TSSA_SOAK_SECONDS) to run";
+
+  // Scripted faults sprinkled through the run: a handful of compile
+  // failures (exercising negative cache + fallback) at fixed indices.
+  FaultInjector injector;
+  for (std::uint64_t n : {3u, 11u, 19u, 31u, 53u}) injector.failNthCompile(n);
+
+  EngineOptions options;
+  options.maxBatch = 4;
+  options.maxWaitUs = 200;
+  options.cacheCapacity = 6;  // below the shape-menu size: eviction churn
+  options.maxQueueDepth = 256;
+  options.maxInFlightPerSession = 64;
+  options.compileFailureTtlUs = 100'000;  // failures expire mid-run
+  options.faultInjector = &injector;
+  Engine engine(options);
+
+  constexpr int kClients = 4;
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> abandoned{0};
+  std::atomic<std::uint64_t> fallbacks{0};
+
+  // Example input tuples for every shape point, built once up front
+  // (Engine::defaultInputs builds the workload — too heavy for the loop).
+  std::vector<std::vector<runtime::RtValue>> samples;
+  samples.reserve(kShapeCount);
+  for (const ShapePoint& shape : kShapes)
+    samples.push_back(Engine::defaultInputs(shape.workload, configOf(shape)));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(soakSeconds());
+
+  std::vector<Session> sessions;
+  sessions.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    sessions.push_back(engine.openSession("soak-" + std::to_string(c)));
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Session& session = sessions[static_cast<std::size_t>(c)];
+      Rng rng(1000 + static_cast<std::uint64_t>(c));
+      std::vector<std::future<Response>> inflight;
+      auto settle = [&](std::future<Response>& future) {
+        // "Resolves or rejects" with a hard bound: a future still pending
+        // after 60 s of grace is an abandoned promise — the exact bug this
+        // soak exists to catch.
+        if (future.wait_for(std::chrono::seconds(60)) !=
+            std::future_status::ready) {
+          ++abandoned;
+          return;
+        }
+        try {
+          const Response resp = future.get();
+          ++completed;
+          if (resp.fallback) ++fallbacks;
+        } catch (const RejectedError&) {
+          ++rejected;
+        } catch (...) {
+          ++failed;
+        }
+      };
+
+      while (std::chrono::steady_clock::now() < deadline) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.nextInt(0, static_cast<std::int64_t>(kShapeCount) - 1));
+        const ShapePoint& shape = kShapes[pick];
+        Request r;
+        r.workload = shape.workload;
+        r.config = configOf(shape);
+        r.inputs = randomizedInputs(samples[pick], rng);
+        // A third of the traffic carries deadlines, from "hopeless" (often
+        // shed in the batcher or queue) to comfortable.
+        const std::int64_t dice = rng.nextInt(0, 5);
+        if (dice == 0) r.deadlineUs = rng.nextInt(50, 2'000);
+        if (dice == 1) r.deadlineUs = rng.nextInt(100'000, 2'000'000);
+        ++submitted;
+        inflight.push_back(session.submit(std::move(r)));
+        // Settle in waves so the in-flight set keeps breathing without
+        // lock-stepping submit → get.
+        if (inflight.size() >= 16) {
+          for (auto& f : inflight) settle(f);
+          inflight.clear();
+        }
+      }
+      for (auto& f : inflight) settle(f);
+    });
+  }
+  for (auto& t : clients) t.join();
+  engine.drain();
+
+  EXPECT_EQ(abandoned.load(), 0u);
+  const std::uint64_t settledTotal =
+      completed.load() + rejected.load() + failed.load();
+  EXPECT_EQ(settledTotal, submitted.load());
+
+  // Engine-side counters agree with the client-side tallies.
+  const serve::MetricsSnapshot snap = engine.metrics();
+  EXPECT_EQ(snap.requests, completed.load());
+  EXPECT_EQ(snap.rejectedTotal(), rejected.load());
+  EXPECT_EQ(snap.errors, failed.load());
+  EXPECT_EQ(snap.fallbackRequests, fallbacks.load());
+  for (const Session& session : sessions) EXPECT_EQ(session.inFlight(), 0);
+
+  // The scripted compile faults actually fired (the menu guarantees more
+  // than enough compiles), so the fallback path saw soak traffic too.
+  EXPECT_GE(injector.faultsInjected(), 1u);
+
+  const ProgramCache::Stats cs = engine.cacheStats();
+  std::printf("soak: %llu submitted, %llu ok (%llu fallback), %llu rejected, "
+              "%llu errors; cache: %llu compiles, %llu failures, %llu "
+              "evictions\n",
+              static_cast<unsigned long long>(submitted.load()),
+              static_cast<unsigned long long>(completed.load()),
+              static_cast<unsigned long long>(fallbacks.load()),
+              static_cast<unsigned long long>(rejected.load()),
+              static_cast<unsigned long long>(failed.load()),
+              static_cast<unsigned long long>(cs.compiles),
+              static_cast<unsigned long long>(cs.compileFailures),
+              static_cast<unsigned long long>(cs.evictions));
+}
+
+}  // namespace
+}  // namespace tssa
