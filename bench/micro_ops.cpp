@@ -1,11 +1,16 @@
-// Micro-benchmarks: tensor-library primitives, interpreter dispatch, and the
-// analytic device model's per-op pricing (sanity anchors for the figures).
+// Micro-benchmarks: tensor-library primitives, interpreter dispatch, the
+// analytic device model's per-op pricing (sanity anchors for the figures),
+// and fused-region execution — texpr JIT native code vs the tree-walking
+// interpreter on identical bodies (records feed the CI perf gate).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "bench/bench_common.h"
 #include "src/ir/builder.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/random.h"
+#include "src/texpr/texpr.h"
 
 namespace {
 
@@ -140,6 +145,127 @@ void BM_InterpreterDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_InterpreterDispatch);
 
+// ---- Fused-region: texpr JIT vs interpreter --------------------------------
+
+/// `sigmoid(p0 * p1 + p2) * relu(p0 - p2)` — a pure elementwise chain; all
+/// inputs contiguous and shape-equal, so the JIT's linear fast loop runs.
+ir::Block* buildEwiseBody(ir::Graph& g) {
+  ir::Value* in0 = g.addInput(ir::Type::tensor());
+  ir::Value* in1 = g.addInput(ir::Type::tensor());
+  ir::Value* in2 = g.addInput(ir::Type::tensor());
+  ir::IRBuilder b(g);
+  ir::Node* group = b.emitNode(ir::OpKind::FusionGroup, {in0, in1, in2}, 0);
+  ir::Block* body = group->addBlock();
+  ir::Value* p0 = body->addParam(in0->type());
+  ir::Value* p1 = body->addParam(in1->type());
+  ir::Value* p2 = body->addParam(in2->type());
+  ir::IRBuilder inner(g);
+  inner.setInsertionPointToEnd(body);
+  ir::Value* s = inner.sigmoid(inner.add(inner.mul(p0, p1), p2));
+  body->addReturn(inner.mul(s, inner.relu(inner.sub(p0, p2))));
+  group->addOutput(ir::Type::tensor());
+  g.addOutput(group->output(0));
+  return body;
+}
+
+/// `relu(transpose(p0) + p1) * p1` with an Access view — exercises the
+/// generic coordinate-walking loop of the generated code.
+ir::Block* buildViewBody(ir::Graph& g) {
+  ir::Value* in0 = g.addInput(ir::Type::tensor());
+  ir::Value* in1 = g.addInput(ir::Type::tensor());
+  ir::IRBuilder b(g);
+  ir::Node* group = b.emitNode(ir::OpKind::FusionGroup, {in0, in1}, 0);
+  ir::Block* body = group->addBlock();
+  ir::Value* p0 = body->addParam(in0->type());
+  ir::Value* p1 = body->addParam(in1->type());
+  ir::IRBuilder inner(g);
+  inner.setInsertionPointToEnd(body);
+  ir::Node* tr = inner.emitNode(ir::OpKind::Access, {p0}, 1);
+  tr->attrs().set("view",
+                  Scalar(static_cast<std::int64_t>(ir::OpKind::Transpose)));
+  tr->attrs().set("dim0", Scalar(0));
+  tr->attrs().set("dim1", Scalar(1));
+  body->addReturn(
+      inner.mul(inner.relu(inner.add(tr->output(), p1)), p1));
+  group->addOutput(ir::Type::tensor());
+  g.addOutput(group->output(0));
+  return body;
+}
+
+/// Best-of-`reps` mean ns per kernel run over `iters` runs.
+double fusedNsPerIter(const texpr::Kernel& kernel,
+                      const std::vector<runtime::RtValue>& inputs, int iters,
+                      int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      auto out = kernel.run(inputs, nullptr, 1);
+      benchmark::DoNotOptimize(out);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                        iters);
+  }
+  return best;
+}
+
+void runFusedRegionBench(const bench::BenchFlags& flags,
+                         bench::BenchReport& report) {
+  struct Case {
+    const char* name;
+    ir::Block* (*build)(ir::Graph&);
+    std::size_t numInputs;
+  };
+  const Case cases[] = {{"ewise", buildEwiseBody, 3},
+                        {"views", buildViewBody, 2}};
+  std::printf("\n=== Fused-region ns/iter: texpr JIT vs interpreter ===\n");
+  for (const Case& c : cases) {
+    ir::Graph g;
+    ir::Block* body = c.build(g);
+    Rng rng(42);
+    std::vector<runtime::RtValue> inputs;
+    for (std::size_t i = 0; i < c.numInputs; ++i)
+      inputs.emplace_back(rng.uniform({256, 256}, -1, 1));
+
+    texpr::Kernel jit(*body, /*allowJit=*/true);
+    texpr::Kernel interp(*body, /*allowJit=*/false);
+    // Warm up: first JIT run pays the external compile; outputs must agree
+    // bitwise or the comparison is meaningless.
+    const auto a = jit.run(inputs, nullptr, 1);
+    const auto b = interp.run(inputs, nullptr, 1);
+    if (!bench::outputsBitwiseEqual(a, b)) {
+      std::fprintf(stderr, "fused_region/%s: JIT and interpreter disagree\n",
+                   c.name);
+      std::exit(1);
+    }
+
+    const double jitNs = fusedNsPerIter(jit, inputs, 40, flags.reps);
+    const double interpNs = fusedNsPerIter(interp, inputs, 3, flags.reps);
+    const double speedup = interpNs / jitNs;
+    std::printf("  %-8s jit=%10.0f ns  interp=%12.0f ns  speedup=%6.1fx\n",
+                c.name, jitNs, interpNs, speedup);
+
+    bench::BenchRecord jitRecord;
+    jitRecord.name = std::string("fused_region/") + c.name + "/jit";
+    jitRecord.workload = "micro";
+    jitRecord.pipeline = "texpr_jit";
+    jitRecord.nsPerIter = jitNs;
+    jitRecord.timeGated = true;
+    jitRecord.extra.emplace_back("speedup_vs_interp", speedup);
+    report.add(std::move(jitRecord));
+
+    bench::BenchRecord interpRecord;
+    interpRecord.name = std::string("fused_region/") + c.name + "/interp";
+    interpRecord.workload = "micro";
+    interpRecord.pipeline = "texpr_interp";
+    interpRecord.nsPerIter = interpNs;
+    interpRecord.timeGated = false;  // tracked for the ratio, not gated
+    report.add(std::move(interpRecord));
+  }
+}
+
 void printDeviceModelAnchors() {
   std::printf("\n=== Device-model anchors (per-kernel cost in us) ===\n");
   for (const auto& device : {runtime::DeviceSpec::consumer(),
@@ -154,7 +280,11 @@ void printDeviceModelAnchors() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const tssa::bench::BenchFlags flags = tssa::bench::BenchFlags::parse(argc, argv);
+  tssa::bench::BenchReport report("micro_ops", flags);
   printDeviceModelAnchors();
+  runFusedRegionBench(flags, report);
+  report.finish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

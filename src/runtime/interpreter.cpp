@@ -253,7 +253,7 @@ texpr::Kernel* Interpreter::kernelFor(const Node& node,
   if (it == kernels_.end()) {
     std::unique_ptr<texpr::Kernel> compiled;
     if (texpr::Kernel::supports(body))
-      compiled = std::make_unique<texpr::Kernel>(body);
+      compiled = std::make_unique<texpr::Kernel>(body, texprJit_);
     it = kernels_.emplace(&node, std::move(compiled)).first;
   }
   return it->second.get();

@@ -46,10 +46,12 @@ class Interpreter {
   /// otherwise bodies are interpreted node by node. Both paths are
   /// cross-checked for equality in tests. `threads` caps the worker count
   /// for parallel constructs: 1 (default) executes fully serially, 0 means
-  /// ThreadPool::hardwareThreads().
+  /// ThreadPool::hardwareThreads(). `texprJit` lets texpr kernels lower to
+  /// native code via src/texpr/jit.h (bitwise-identical; declines fall back
+  /// to per-element interpretation).
   explicit Interpreter(Profiler* profiler = nullptr, bool useTexpr = true,
-                       int threads = 1)
-      : profiler_(profiler), useTexpr_(useTexpr) {
+                       int threads = 1, bool texprJit = true)
+      : profiler_(profiler), useTexpr_(useTexpr), texprJit_(texprJit) {
     setThreads(threads);
   }
 
@@ -159,6 +161,7 @@ class Interpreter {
 
   Profiler* profiler_;
   bool useTexpr_ = true;
+  bool texprJit_ = true;
   int threads_ = 1;
   const analysis::MemoryPlan* plan_ = nullptr;
   /// Root-context buffer pool, created lazily on the first planned run and

@@ -189,6 +189,7 @@ std::size_t hashValue(const PipelineOptions& options) {
   mix(std::hash<int>{}(options.threads));
   mix(std::hash<bool>{}(options.useTexpr));
   mix(std::hash<bool>{}(options.memoryPlan));
+  mix(std::hash<bool>{}(options.texprJit));
   return h;
 }
 
@@ -197,7 +198,8 @@ Pipeline::Pipeline(PipelineKind kind, const ir::Graph& source,
     : kind_(kind),
       graph_(ir::cloneGraph(source)),
       profiler_(options.device, hostFor(kind)),
-      interpreter_(&profiler_, options.useTexpr, options.threads) {
+      interpreter_(&profiler_, options.useTexpr, options.threads,
+                   options.texprJit) {
   compileFor(kind, *graph_);
   // The plan is built once per compiled program; in the serving engine it
   // travels with the cached Pipeline, so every request hitting the same

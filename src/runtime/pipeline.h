@@ -48,6 +48,13 @@ struct PipelineOptions {
   /// or off — the differential suite cross-checks both modes — so this stays
   /// on by default; the toggle exists for that cross-check and for debugging.
   bool memoryPlan = true;
+  /// Native codegen for fused element regions (src/texpr/jit.h): texpr
+  /// kernels compile to shared objects at runtime and dispatch through a C
+  /// ABI; unsupported patterns and toolchain failures decline back to the
+  /// per-element interpreter. Results are bitwise identical either way (the
+  /// differential fuzz suite enforces this), so it defaults on; the toggle
+  /// exists for that cross-check and for toolchain-less deployments.
+  bool texprJit = true;
 
   friend bool operator==(const PipelineOptions&,
                          const PipelineOptions&) = default;

@@ -10,6 +10,7 @@
 #include "src/runtime/thread_pool.h"
 #include "src/support/error.h"
 #include "src/tensor/ops.h"
+#include "src/texpr/jit.h"
 
 namespace tssa::serve {
 
@@ -577,6 +578,9 @@ void Engine::degradeOrReject(std::unique_ptr<PendingRequest> request,
 void Engine::exportMetrics(obs::MetricsRegistry& registry) const {
   exportSnapshot(metrics(), registry);
   metrics_.exportTo(registry);
+  // Compiled texpr kernels are shared process-wide (one KernelCache across
+  // every shard and cached program), so their counters export here too.
+  texpr::jit::KernelCache::instance().exportTo(registry);
 }
 
 MetricsSnapshot Engine::metrics() const {

@@ -12,7 +12,8 @@ std::string ProgramKey::toString() const {
   std::ostringstream os;
   os << workload << "/" << runtime::pipelineName(kind) << "/" << signature
      << "/" << options.device.name << "/threads=" << options.threads
-     << "/texpr=" << (options.useTexpr ? 1 : 0);
+     << "/texpr=" << (options.useTexpr ? 1 : 0)
+     << "/jit=" << (options.texprJit ? 1 : 0);
   return os.str();
 }
 
@@ -58,6 +59,7 @@ ProgramCache::Lookup ProgramCache::getOrCompile(const ProgramKey& key,
                   t0 - it->second.program->failedAt >= negativeTtl_;
       }
       if (expired) {
+        if (it->second.negative) --negativeCount_;
         lru_.erase(it->second.lruIt);
         map_.erase(it);
         it = map_.end();
@@ -104,6 +106,18 @@ ProgramCache::Lookup ProgramCache::getOrCompile(const ProgramKey& key,
         forget(key, program.get());
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.compileFailures;
+      // Mark the surviving entry negative so it stops counting toward the
+      // LRU capacity (it holds no program — see Slot::negative).
+      auto failedIt = map_.find(key);
+      if (failedIt != map_.end() &&
+          failedIt->second.program.get() == program.get() &&
+          !failedIt->second.negative) {
+        failedIt->second.negative = true;
+        ++negativeCount_;
+      }
+      // The entry just became ready (as a failure) and now counts toward
+      // the negative budget; trim whichever class this pushed over.
+      evictExcess(key);
       Lookup lookup;
       lookup.program = std::move(program);
       lookup.error = error;
@@ -114,6 +128,9 @@ ProgramCache::Lookup ProgramCache::getOrCompile(const ProgramKey& key,
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.compiles;
       stats_.compileUsTotal += us;
+      // Budgets count only ready entries, so the insert-time eviction saw
+      // this entry as pending; now that it is ready, trim the excess.
+      evictExcess(key);
     }
     Lookup lookup;
     lookup.program = std::move(program);
@@ -145,8 +162,24 @@ ProgramCache::Lookup ProgramCache::getOrCompile(const ProgramKey& key,
 
 void ProgramCache::evictExcess(const ProgramKey& justInserted) {
   // Walk from the LRU tail; never evict the entry we are about to compile.
+  // Healthy entries and negative (cached-failure) entries are budgeted
+  // separately: a storm of failing keys fills the negative budget without
+  // ever displacing a healthy compiled program, and vice versa.
+  // Only ready entries are budgeted: an in-flight compile may turn out to
+  // be a failure, and charging it to the healthy budget up front would let
+  // a storm of failing keys displace healthy compiled programs. The map may
+  // exceed capacity while compiles are in flight; the insert after they
+  // finish trims whichever class went over.
+  std::size_t ready = 0;
+  for (const auto& [key, slot] : map_) {
+    std::lock_guard<std::mutex> slock(slot.program->stateMutex);
+    if (slot.program->ready) ++ready;
+  }
   auto it = lru_.end();
-  while (map_.size() > capacity_ && it != lru_.begin()) {
+  std::size_t negatives = negativeCount_;
+  std::size_t healthy = ready - negatives;
+  while ((healthy > capacity_ || negatives > capacity_) &&
+         it != lru_.begin()) {
     --it;
     if (*it == justInserted) continue;
     auto mapIt = map_.find(*it);
@@ -159,6 +192,14 @@ void ProgramCache::evictExcess(const ProgramKey& justInserted) {
       std::lock_guard<std::mutex> slock(mapIt->second.program->stateMutex);
       if (!mapIt->second.program->ready) continue;
     }
+    const bool negative = mapIt->second.negative;
+    if (negative ? negatives <= capacity_ : healthy <= capacity_) continue;
+    if (negative) {
+      --negativeCount_;
+      --negatives;
+    } else {
+      --healthy;
+    }
     mapIt->second.program.reset();  // in-flight users keep their shared_ptr
     map_.erase(mapIt);
     it = lru_.erase(it);
@@ -170,6 +211,7 @@ void ProgramCache::forget(const ProgramKey& key, const CachedProgram* program) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = map_.find(key);
   if (it == map_.end() || it->second.program.get() != program) return;
+  if (it->second.negative) --negativeCount_;
   lru_.erase(it->second.lruIt);
   map_.erase(it);
 }
@@ -178,6 +220,7 @@ ProgramCache::Stats ProgramCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats s = stats_;
   s.size = map_.size();
+  s.negativeSize = negativeCount_;
   return s;
 }
 

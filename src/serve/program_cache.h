@@ -81,6 +81,7 @@ class ProgramCache {
     std::uint64_t negativeHits = 0;     ///< lookups served a cached failure
     double compileUsTotal = 0;     ///< wall-clock spent compiling
     std::size_t size = 0;          ///< entries currently cached
+    std::size_t negativeSize = 0;  ///< of which negative (failures in TTL)
     double hitRate() const {
       const std::uint64_t n = hits + misses;
       return n == 0 ? 0.0
@@ -124,6 +125,11 @@ class ProgramCache {
   struct Slot {
     std::shared_ptr<CachedProgram> program;
     std::list<ProgramKey>::iterator lruIt;
+    /// True for an entry holding a cached compile failure. Negative entries
+    /// carry no compiled program, so they do not count toward the LRU
+    /// capacity (a compile-fail storm must not evict healthy programs);
+    /// they are bounded by their own capacity-sized budget instead.
+    bool negative = false;
   };
 
   void evictExcess(const ProgramKey& justInserted);  // requires mutex_ held
@@ -134,6 +140,7 @@ class ProgramCache {
   mutable std::mutex mutex_;
   std::list<ProgramKey> lru_;  ///< front = most recently used
   std::unordered_map<ProgramKey, Slot, ProgramKeyHash> map_;
+  std::size_t negativeCount_ = 0;  ///< slots with negative == true
   Stats stats_;
 };
 

@@ -1,0 +1,239 @@
+#include "src/texpr/jit.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/support/error.h"
+
+#ifndef TSSA_JIT_CXX
+#define TSSA_JIT_CXX "c++"
+#endif
+
+namespace tssa::texpr::jit {
+
+bool jitEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("TSSA_TEXPR_JIT");
+    return v == nullptr || std::string_view(v) != "0";
+  }();
+  return enabled;
+}
+
+CompiledKernel::~CompiledKernel() {
+  if (handle_ != nullptr) dlclose(handle_);
+}
+
+namespace {
+
+std::string compilerCommand() {
+  // Read per call: tests redirect the toolchain (TSSA_JIT_CC=/bin/false)
+  // around individual compiles.
+  if (const char* cc = std::getenv("TSSA_JIT_CC"); cc != nullptr && *cc != '\0')
+    return cc;
+  return TSSA_JIT_CXX;
+}
+
+/// RAII temp dir: created 0700 by mkdtemp, best-effort cleaned on exit.
+struct TempDir {
+  std::string path;
+  std::vector<std::string> files;
+
+  explicit TempDir() {
+    char tmpl[] = "/tmp/tssa-jit-XXXXXX";
+    if (::mkdtemp(tmpl) != nullptr) path = tmpl;
+  }
+  ~TempDir() {
+    for (const std::string& f : files) ::unlink(f.c_str());
+    if (!path.empty()) ::rmdir(path.c_str());
+  }
+  std::string file(const char* name) {
+    files.push_back(path + "/" + name);
+    return files.back();
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<CompiledKernel> compileSource(const std::string& source) {
+  obs::TraceSpan span("jit", "compile");
+  TempDir dir;
+  if (dir.path.empty()) return nullptr;
+  const std::string cppPath = dir.file("kernel.cpp");
+  const std::string soPath = dir.file("kernel.so");
+  {
+    std::ofstream out(cppPath);
+    if (!out) return nullptr;
+    out << source;
+    if (!out.flush()) return nullptr;
+  }
+  // -ffp-contract=off: the bitwise-equality contract with the interpreter
+  // forbids fusing a multiply-add across what the interpreter rounds twice.
+  const std::string cmd = compilerCommand() + " -std=c++17 -O2 -fPIC -shared" +
+                          " -ffp-contract=off -o " + soPath + " " + cppPath +
+                          " 2>/dev/null";
+  if (std::system(cmd.c_str()) != 0) return nullptr;
+  void* handle = dlopen(soPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  // The object is mapped (or failed); nothing on disk needs to outlive this
+  // call. TempDir unlinks kernel.{cpp,so} and removes the directory now, so
+  // no other process can swap the .so between compile and a later load.
+  if (handle == nullptr) return nullptr;
+  auto entry = reinterpret_cast<EntryFn>(dlsym(handle, "tssa_jit_entry"));
+  if (entry == nullptr) {
+    dlclose(handle);
+    return nullptr;
+  }
+  if (span.active()) span.arg("bytes", static_cast<std::int64_t>(source.size()));
+  return std::make_shared<CompiledKernel>(handle, entry);
+}
+
+// ---- KernelCache -----------------------------------------------------------
+
+KernelCache& KernelCache::instance() {
+  static KernelCache* cache = new KernelCache();  // immortal: used at exit
+  return *cache;
+}
+
+void KernelCache::recordDecline(codegen::Decline reason) {
+  // compileFails_ counts actual failed compile attempts (incremented at the
+  // compile site in getOrCompile); a memoized toolchain decline only adds to
+  // the decline count.
+  declines_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceSpan span("jit", "decline");
+  if (span.active()) span.arg("reason", codegen::declineName(reason));
+}
+
+void KernelCache::touchLocked(const std::string& key, Slot& slot) {
+  if (slot.inLru) lru_.erase(slot.lruIt);
+  lru_.push_front(key);
+  slot.lruIt = lru_.begin();
+  slot.inLru = true;
+}
+
+void KernelCache::evictExcessLocked() {
+  // Negative entries are not counted against capacity (they hold no code),
+  // but they are still evictable from the cold end.
+  std::size_t positive = 0;
+  for (const auto& [key, slot] : map_)
+    if (slot.ready && slot.kernel != nullptr) ++positive;
+  while (positive > capacity_ && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    auto it = map_.find(victim);
+    if (it != map_.end() && it->second.ready) {
+      if (it->second.kernel != nullptr) --positive;
+      // The shared_ptr keeps any executing kernel mapped until its last
+      // caller returns; eviction only drops the cache's reference.
+      map_.erase(it);
+    }
+    lru_.pop_back();
+  }
+}
+
+std::shared_ptr<CompiledKernel> KernelCache::getOrCompile(
+    const std::string& key, const std::function<std::string()>& makeSource) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    auto it = map_.find(key);
+    if (it == map_.end()) break;  // miss: this thread compiles
+    Slot& slot = it->second;
+    if (slot.ready) {
+      if (slot.kernel != nullptr) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        touchLocked(key, slot);
+      }
+      return slot.kernel;  // nullptr = cached failure
+    }
+    // Someone is compiling this key: rendezvous.
+    cv_.wait(lock, [&] {
+      auto w = map_.find(key);
+      return w == map_.end() || w->second.ready;
+    });
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = map_[key];
+  slot.compiling = true;
+  slot.generation = generation_;
+  const std::uint64_t myGeneration = generation_;
+  lock.unlock();
+
+  std::shared_ptr<CompiledKernel> kernel;
+  std::string source;
+  try {
+    source = makeSource();
+  } catch (...) {
+    source.clear();
+  }
+  if (!source.empty()) kernel = compileSource(source);
+  if (kernel == nullptr)
+    compileFails_.fetch_add(1, std::memory_order_relaxed);
+
+  lock.lock();
+  if (myGeneration != generation_) {
+    // clearForTesting ran mid-compile: the map entry is gone; hand the
+    // result to this caller only.
+    cv_.notify_all();
+    return kernel;
+  }
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.kernel = kernel;
+    it->second.ready = true;
+    it->second.compiling = false;
+    touchLocked(key, it->second);
+    evictExcessLocked();
+  }
+  cv_.notify_all();
+  return kernel;
+}
+
+KernelCache::Stats KernelCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.declines = declines_.load(std::memory_order_relaxed);
+  s.compileFails = compileFails_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, slot] : map_)
+    if (slot.ready && slot.kernel != nullptr) ++s.size;
+  return s;
+}
+
+void KernelCache::exportTo(obs::MetricsRegistry& registry) const {
+  const Stats s = stats();
+  registry.counterSet("tssa_texpr_jit_hits_total",
+                      static_cast<std::int64_t>(s.hits));
+  registry.counterSet("tssa_texpr_jit_misses_total",
+                      static_cast<std::int64_t>(s.misses));
+  registry.counterSet("tssa_texpr_jit_declines_total",
+                      static_cast<std::int64_t>(s.declines));
+  registry.counterSet("tssa_texpr_jit_compile_fail_total",
+                      static_cast<std::int64_t>(s.compileFails));
+  registry.gaugeSet("tssa_texpr_jit_cache_size",
+                    static_cast<double>(s.size));
+}
+
+void KernelCache::clearForTesting() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++generation_;
+  map_.clear();
+  lru_.clear();
+  hits_.store(0);
+  misses_.store(0);
+  declines_.store(0);
+  compileFails_.store(0);
+  cv_.notify_all();
+}
+
+void KernelCache::setCapacityForTesting(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  evictExcessLocked();
+}
+
+}  // namespace tssa::texpr::jit

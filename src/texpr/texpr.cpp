@@ -5,6 +5,8 @@
 
 #include "src/runtime/thread_pool.h"
 #include "src/tensor/shape.h"
+#include "src/texpr/codegen.h"
+#include "src/texpr/jit.h"
 
 namespace tssa::texpr {
 
@@ -125,9 +127,13 @@ bool Kernel::supports(const Block& body) {
   return true;
 }
 
-Kernel::Kernel(const Block& body) : body_(body) {
+Kernel::Kernel(const Block& body, bool allowJit) : body_(body) {
   TSSA_CHECK(supports(body), "unsupported fusion body for texpr");
+  if (allowJit && jit::jitEnabled())
+    gen_ = std::make_unique<codegen::Generator>(body);
 }
+
+Kernel::~Kernel() = default;
 
 // ---- Shape/dtype inference ---------------------------------------------------------------
 
@@ -576,7 +582,157 @@ namespace {
 /// Elements below this count are not worth a trip through the pool.
 constexpr std::int64_t kMinParallelElems = 1024;
 
+/// The tensor's base element pointer (storage offset applied), type-erased
+/// for the JIT ABI.
+void* rawDataOf(const Tensor& t) {
+  auto& mt = const_cast<Tensor&>(t);
+  switch (t.dtype()) {
+    case DType::Float32: return mt.data<float>();
+    case DType::Int64: return mt.data<std::int64_t>();
+    case DType::Bool: return mt.data<std::uint8_t>();
+  }
+  return nullptr;
+}
+
 }  // namespace
+
+bool Kernel::tryRunJit(std::span<const RtValue> inputs, const Binding& b,
+                       std::vector<RtValue>& outputs, int threads) const {
+  using codegen::Decline;
+  if (gen_ == nullptr) return false;
+  jit::KernelCache& cache = jit::KernelCache::instance();
+  if (gen_->structuralDecline() != Decline::None) {
+    cache.recordDecline(gen_->structuralDecline());
+    return false;
+  }
+
+  std::vector<codegen::InputSig> sig(body_.numParams());
+  for (std::size_t i = 0; i < body_.numParams(); ++i) {
+    const RtValue& in = inputs[i];
+    if (in.isTensor()) {
+      const Tensor& t = in.tensor();
+      sig[i].isTensor = true;
+      sig[i].dtype = t.dtype();
+      sig[i].rank = static_cast<int>(t.dim());
+      sig[i].contiguous = t.isContiguous();
+    } else if (!in.isScalar()) {
+      cache.recordDecline(Decline::Op);
+      return false;
+    }
+  }
+
+  const std::string key = gen_->cacheKey(sig);
+  std::shared_ptr<jit::CompiledKernel> kernel;
+  bool memoized = false;
+  {
+    std::lock_guard<std::mutex> lock(jitMutex_);
+    auto it = jitMemo_.find(key);
+    if (it != jitMemo_.end()) {
+      kernel = it->second;
+      memoized = true;
+    }
+  }
+  if (memoized) {
+    if (kernel == nullptr) {
+      cache.recordDecline(Decline::Toolchain);
+      return false;
+    }
+    cache.recordHit();
+  } else {
+    const Decline reason = gen_->declineFor(sig);
+    if (reason != Decline::None) {
+      cache.recordDecline(reason);
+      return false;
+    }
+    kernel = cache.getOrCompile(key, [&] { return gen_->emitSource(sig); });
+    {
+      std::lock_guard<std::mutex> lock(jitMutex_);
+      jitMemo_[key] = kernel;
+    }
+    if (kernel == nullptr) {
+      cache.recordDecline(Decline::Toolchain);
+      return false;
+    }
+  }
+
+  // Select indices are validated here because the generated code cannot
+  // throw: an out-of-range index falls back to the interpreter, which
+  // raises the identical tssa::Error.
+  for (const codegen::SelectGuard& guard : gen_->selectGuards()) {
+    const Shape& baseShape = b.shapeOf(guard.base);
+    const std::int64_t rank = static_cast<std::int64_t>(baseShape.size());
+    std::int64_t d = guard.dim < 0 ? guard.dim + rank : guard.dim;
+    if (d < 0 || d >= rank) return false;
+    const std::int64_t extent = baseShape[static_cast<std::size_t>(d)];
+    std::int64_t idx =
+        static_cast<std::int64_t>(b.scalarOf(guard.indexParam));
+    if (idx < 0) idx += extent;
+    if (idx < 0 || idx >= extent) return false;
+  }
+
+  // Dispatch tables: per-slot shape extents, per-param buffers, scalars.
+  const auto slotVals = gen_->slotValues();
+  std::vector<const std::int64_t*> shapes(slotVals.size(), nullptr);
+  for (std::size_t s = 0; s < slotVals.size(); ++s) {
+    auto it = b.shapes.find(slotVals[s]);
+    if (it != b.shapes.end()) shapes[s] = it->second.data();
+  }
+  std::vector<jit::JitBuffer> ins(body_.numParams());
+  std::vector<double> scalars(body_.numParams(), 0.0);
+  for (std::size_t i = 0; i < body_.numParams(); ++i) {
+    const RtValue& in = inputs[i];
+    if (in.isTensor()) {
+      const Tensor& t = in.tensor();
+      ins[i].data = rawDataOf(t);
+      ins[i].sizes = t.sizes().data();
+      ins[i].strides = t.strides().data();
+      if (ins[i].data == nullptr) return false;
+    } else {
+      scalars[i] = in.scalar().toDouble();
+    }
+  }
+
+  // The linear fast loop was emitted only for all-contiguous signatures of
+  // pure elementwise bodies; it is valid at run time only when every tensor
+  // input additionally has exactly the output's shape (no broadcasting).
+  bool emittedFast = gen_->fastPathEligible();
+  for (const codegen::InputSig& s : sig)
+    if (s.isTensor && !s.contiguous) emittedFast = false;
+
+  jit::EntryFn entry = kernel->entry();
+  outputs.reserve(body_.numReturns());
+  std::int32_t outIndex = 0;
+  for (const Value* r : body_.returns()) {
+    Tensor out = Tensor::empty(b.shapeOf(r), b.dtypeOf(r));
+    const std::int64_t numel = out.numel();
+    std::int32_t flags = 0;
+    if (emittedFast) {
+      bool linear = true;
+      for (std::size_t i = 0; i < body_.numParams(); ++i) {
+        if (inputs[i].isTensor() &&
+            inputs[i].tensor().sizes() != out.sizes())
+          linear = false;
+      }
+      if (linear) flags = 1;
+    }
+    jit::JitBuffer ob{rawDataOf(out), out.sizes().data(),
+                      out.strides().data()};
+    if (threads > 1 && numel >= kMinParallelElems) {
+      runtime::ThreadPool::shared().parallelFor(
+          numel, threads,
+          [&](std::int64_t begin, std::int64_t end, int /*chunk*/) {
+            entry(ins.data(), &ob, shapes.data(), scalars.data(), outIndex,
+                  begin, end, flags);
+          });
+    } else {
+      entry(ins.data(), &ob, shapes.data(), scalars.data(), outIndex, 0,
+            numel, flags);
+    }
+    outputs.emplace_back(std::move(out));
+    ++outIndex;
+  }
+  return true;
+}
 
 std::vector<RtValue> Kernel::run(std::span<const RtValue> inputs,
                                  RunStats* stats, int threads) const {
@@ -605,6 +761,7 @@ std::vector<RtValue> Kernel::run(std::span<const RtValue> inputs,
   }
 
   std::vector<RtValue> outputs;
+  if (tryRunJit(inputs, b, outputs, threads)) return outputs;
   outputs.reserve(body_.numReturns());
   for (const Value* r : body_.returns()) {
     Tensor out = Tensor::empty(b.shapeOf(r), b.dtypeOf(r));

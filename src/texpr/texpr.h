@@ -11,6 +11,8 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +20,13 @@
 #include "src/runtime/rt_value.h"
 
 namespace tssa::texpr {
+
+namespace codegen {
+class Generator;
+}
+namespace jit {
+class CompiledKernel;
+}
 
 /// A compiled fusion-group body.
 class Kernel {
@@ -29,8 +38,12 @@ class Kernel {
   static bool supports(const ir::Block& body);
 
   /// Compiles `body` (does not take ownership; the IR must outlive the
-  /// kernel).
-  explicit Kernel(const ir::Block& body);
+  /// kernel). With `allowJit` (and TSSA_TEXPR_JIT not set to 0), runs try
+  /// the native code path first: the body is lowered to C++, compiled via
+  /// jit::KernelCache, and dispatched through the C ABI; any decline falls
+  /// back to the tree-walking interpreter below, bitwise-identically.
+  explicit Kernel(const ir::Block& body, bool allowJit = true);
+  ~Kernel();
 
   /// Cost-model numbers observed during a run.
   struct RunStats {
@@ -63,7 +76,21 @@ class Kernel {
   double evalAt(const ir::Value* v, std::span<const std::int64_t> coord,
                 const Binding& b) const;
 
+  /// Native-code dispatch. Returns true and fills `outputs` when a compiled
+  /// kernel ran; false when this launch declines to the interpreter (the
+  /// reason is counted in jit::KernelCache).
+  bool tryRunJit(std::span<const runtime::RtValue> inputs, const Binding& b,
+                 std::vector<runtime::RtValue>& outputs, int threads) const;
+
   const ir::Block& body_;
+  std::unique_ptr<codegen::Generator> gen_;  ///< null when JIT is off
+  /// Per-signature lookup memo (shared_ptr null = known failure). Guards
+  /// concurrent run() calls on one Kernel; the global KernelCache guards
+  /// cross-kernel sharing.
+  mutable std::mutex jitMutex_;
+  mutable std::unordered_map<std::string,
+                             std::shared_ptr<jit::CompiledKernel>>
+      jitMemo_;
 };
 
 }  // namespace tssa::texpr

@@ -1,5 +1,7 @@
 // Shared random-program generator used by property tests and repro tools.
 #pragma once
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -203,6 +205,519 @@ class ProgramGenerator {
   Graph& graph_;
   Rng& rng_;
   std::vector<Entry> live_;
+};
+
+/// Random fused-element-region generator for the JIT differential fuzz
+/// harness (texpr_fuzz_test.cpp). Builds a FusionGroup body of elementwise
+/// compute plus Access/Assign view nodes over mixed dtypes, ranks, and
+/// broadcasts, together with matching runtime inputs.
+///
+/// Decisions are split across two Rngs so the fuzz suite can bound JIT
+/// compile count: everything that lands in the kernel-cache key (ops, attrs,
+/// dtypes, ranks, contiguity — and shapes, which pin attrs like Reshape
+/// sizes) comes from `structRng`; runtime-only values (tensor contents,
+/// dynamic select indices / slice bounds) come from `dataRng`. Replaying a
+/// structure seed with many data seeds exercises one compiled kernel against
+/// many input values.
+///
+/// Value-safety invariant: the generator tracks a conservative magnitude
+/// bound and a may-be-NaN flag per value, and only emits Cast-to-Int64 when
+/// the operand is provably NaN-free and small — the double→int64 conversion
+/// is undefined otherwise (in the interpreter's roundTo just as much as in
+/// the generated code), and the fuzz suite runs under sanitizers.
+class FusedRegionGenerator {
+ public:
+  FusedRegionGenerator(Graph& graph, Rng& structRng, Rng& dataRng)
+      : graph_(graph), structRng_(structRng), dataRng_(dataRng) {}
+
+  struct Built {
+    std::vector<RtValue> inputs;  ///< one per body param
+    const Block* body = nullptr;
+    Node* group = nullptr;
+  };
+
+  Built build() {
+    Built built;
+    group_ = makeGroup();
+    built.group = group_;
+    built.body = body_;
+
+    // Region base shape: every tensor param is a trailing suffix of it with
+    // dims independently collapsed to 1, so any two values broadcast. A
+    // slice of structures uses large extents to push outputs past the
+    // parallel-dispatch threshold (exercises the threaded JIT path).
+    const bool large = structRng_.nextBool(0.15);
+    const int regionRank = static_cast<int>(structRng_.nextInt(1, 3));
+    Shape base;
+    for (int d = 0; d < regionRank; ++d)
+      base.push_back(large && regionRank == 3 ? structRng_.nextInt(11, 12)
+                                              : structRng_.nextInt(2, 4));
+
+    const int numTensors = static_cast<int>(structRng_.nextInt(2, 3));
+    for (int i = 0; i < numTensors; ++i) addTensorParam(built, base);
+
+    IRBuilder b(graph_);
+    b.setInsertionPointToEnd(body_);
+    const int numNodes = static_cast<int>(structRng_.nextInt(2, 5));
+    for (int s = 0; s < numNodes; ++s) {
+      const std::int64_t kind = structRng_.nextInt(0, 9);
+      if (kind <= 6) {
+        emitEwise(b);
+      } else if (kind <= 8) {
+        emitAccess(b, built);
+      } else {
+        emitAssign(b, built);
+      }
+    }
+    for (const Val& v : produced_) body_->addReturn(v.v);
+    for (std::size_t i = 0; i < body_->numReturns(); ++i)
+      group_->addOutput(Type::tensor());
+    for (std::size_t i = 0; i < group_->numOutputs(); ++i)
+      graph_.addOutput(group_->output(i));
+    return built;
+  }
+
+ private:
+  struct Val {
+    Value* v = nullptr;
+    Shape shape;
+    DType dtype = DType::Float32;
+    double bound = 0;    ///< conservative |value| bound
+    bool mayNaN = false; ///< value can be NaN at runtime
+  };
+
+  Node* makeGroup() {
+    IRBuilder b(graph_);
+    Node* group = b.emitNode(OpKind::FusionGroup, {}, 0);
+    body_ = group->addBlock();
+    return group;
+  }
+
+  void addTensorParam(Built& built, const Shape& base) {
+    Val val;
+    const int rank = static_cast<int>(
+        structRng_.nextInt(0, static_cast<std::int64_t>(base.size())));
+    for (std::size_t d = base.size() - static_cast<std::size_t>(rank);
+         d < base.size(); ++d) {
+      val.shape.push_back(structRng_.nextBool(0.25) ? 1 : base[d]);
+    }
+    const std::int64_t dt = structRng_.nextInt(0, 9);
+    // Non-contiguous inputs are a distinct cache-key class: pick from the
+    // structure stream.
+    const bool transposed = rank >= 2 && structRng_.nextBool(0.25);
+    Tensor t;
+    if (dt <= 5) {
+      val.dtype = DType::Float32;
+      val.bound = 2.0;
+      t = dataRng_.uniform(val.shape, -2, 2);
+    } else if (dt <= 7) {
+      val.dtype = DType::Int64;
+      val.bound = 3.0;
+      t = dataRng_.randint(val.shape, -3, 3);
+    } else {
+      val.dtype = DType::Bool;
+      val.bound = 1.0;
+      t = dataRng_.bernoulli(val.shape, 0.5);
+    }
+    if (transposed) {
+      // Materialize the transposed layout, then view it back: same logical
+      // shape/content, non-contiguous strides.
+      const auto r = static_cast<std::int64_t>(val.shape.size());
+      t = t.transpose(r - 2, r - 1).contiguous().transpose(r - 2, r - 1);
+    }
+    Value* in = graph_.addInput(Type::tensor());
+    Value* p = body_->addParam(in->type());
+    group_->addInput(in);
+    built.inputs.emplace_back(std::move(t));
+    val.v = p;
+    live_.push_back(val);
+  }
+
+  /// Adds a scalar body param carrying `value` at run time.
+  Value* addScalarParam(Built& built, std::int64_t value) {
+    Value* in = graph_.addInput(Type::integer());
+    Value* p = body_->addParam(in->type());
+    group_->addInput(in);
+    built.inputs.emplace_back(Scalar(value));
+    return p;
+  }
+
+  Val& pickLive() {
+    return live_[static_cast<std::size_t>(structRng_.nextInt(
+        0, static_cast<std::int64_t>(live_.size()) - 1))];
+  }
+
+  static bool broadcastable(const Shape& a, const Shape& b) {
+    const std::size_t r = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < r; ++i) {
+      const std::int64_t x = a[a.size() - 1 - i];
+      const std::int64_t y = b[b.size() - 1 - i];
+      if (x != y && x != 1 && y != 1) return false;
+    }
+    return true;
+  }
+
+  static Shape broadcast(const Shape& a, const Shape& b) {
+    Shape out(std::max(a.size(), b.size()));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::size_t ri = out.size() - 1 - i;
+      const std::int64_t x = i < a.size() ? a[a.size() - 1 - i] : 1;
+      const std::int64_t y = i < b.size() ? b[b.size() - 1 - i] : 1;
+      out[ri] = std::max(x, y);
+    }
+    return out;
+  }
+
+  void push(Value* v, Shape shape, DType dtype, double bound, bool mayNaN) {
+    Val val{v, std::move(shape), dtype, std::min(bound, 1e300), mayNaN};
+    live_.push_back(val);
+    produced_.push_back(val);
+  }
+
+  void emitEwise(IRBuilder& b) {
+    Val& a = pickLive();
+    // Find a broadcast partner; fall back to unary when none fits.
+    Val* other = nullptr;
+    for (int tries = 0; tries < 3 && other == nullptr; ++tries) {
+      Val& cand = pickLive();
+      if (broadcastable(a.shape, cand.shape)) other = &cand;
+    }
+    const Shape outShape =
+        other != nullptr ? broadcast(a.shape, other->shape) : a.shape;
+    const bool intSafe = !a.mayNaN && a.bound <= 1e12;
+    const std::int64_t pick = structRng_.nextInt(0, 13);
+    if (other != nullptr) {
+      Val& o = *other;
+      const DType promoted = promoteTypes(a.dtype, o.dtype);
+      const bool arithOk = promoted != DType::Bool && a.bound <= 1e14 &&
+                           o.bound <= 1e14;
+      const double sum = a.bound + o.bound;
+      const bool nan = a.mayNaN || o.mayNaN;
+      switch (pick) {
+        case 0:
+        case 1:
+          if (arithOk) {
+            push(b.add(a.v, o.v), outShape, promoted, sum, nan);
+            return;
+          }
+          break;
+        case 2:
+          if (arithOk) {
+            push(b.sub(a.v, o.v), outShape, promoted, sum, nan);
+            return;
+          }
+          break;
+        case 3:
+        case 4:
+          // Int64 products must stay far from overflow: the wrap is UB in
+          // the double→int64 rounding on both execution paths.
+          if (arithOk &&
+              (promoted != DType::Int64 || a.bound * o.bound <= 1e14)) {
+            push(b.mul(a.v, o.v), outShape, promoted,
+                 a.bound * o.bound, nan);
+            return;
+          }
+          break;
+        case 5:
+          // Division by a random value: ±inf and 0/0 NaN are legal fuzz
+          // outputs (allClose treats NaN==NaN and inf==inf as equal).
+          push(b.div(a.v, o.v), outShape, DType::Float32, 1e300, true);
+          return;
+        case 6:
+          if (arithOk) {
+            push(b.minimum(a.v, o.v), outShape, promoted,
+                 std::max(a.bound, o.bound), nan);
+            return;
+          }
+          break;
+        case 7:
+          if (arithOk) {
+            push(b.maximum(a.v, o.v), outShape, promoted,
+                 std::max(a.bound, o.bound), nan);
+            return;
+          }
+          break;
+        case 8:
+          push(b.gt(a.v, o.v), outShape, DType::Bool, 1.0, false);
+          return;
+        case 9:
+          push(b.le(a.v, o.v), outShape, DType::Bool, 1.0, false);
+          return;
+        case 10:
+          push(b.eq(a.v, o.v), outShape, DType::Bool, 1.0, false);
+          return;
+        case 11:
+          push(b.logicalAnd(a.v, o.v), outShape, DType::Bool, 1.0, false);
+          return;
+        default:
+          break;
+      }
+    }
+    // Unary (also the fallback when the binary pick was unsafe).
+    switch (pick % 8) {
+      case 0:
+        if (a.dtype != DType::Bool && a.bound <= 1e14) {
+          push(b.neg(a.v), a.shape, a.dtype, a.bound, a.mayNaN);
+          return;
+        }
+        break;
+      case 1:
+        push(b.relu(a.v), a.shape, a.dtype, a.bound, /*mayNaN=*/false);
+        return;
+      case 2:
+        push(b.sigmoid(a.v), a.shape, DType::Float32, 1.0, a.mayNaN);
+        return;
+      case 3:
+        push(b.tanh(a.v), a.shape, DType::Float32, 1.0, a.mayNaN);
+        return;
+      case 4:
+        if (a.bound <= 8) {
+          push(b.exp(a.v), a.shape, DType::Float32, 3000.0, a.mayNaN);
+          return;
+        }
+        break;
+      case 5:
+        // sqrt of a negative is NaN: legal, tracked.
+        push(b.sqrt(a.v), a.shape, DType::Float32,
+             std::sqrt(std::max(a.bound, 1.0)), true);
+        return;
+      case 6:
+        if (intSafe) {
+          push(b.cast(a.v, DType::Int64), a.shape, DType::Int64, a.bound,
+               false);
+          return;
+        }
+        break;
+      default:
+        break;
+    }
+    push(b.logicalNot(a.v), a.shape, DType::Bool, 1.0, false);
+  }
+
+  Value* makeAccess(IRBuilder& b, Value* base, OpKind rule,
+                    std::vector<Value*> dyn) {
+    std::vector<Value*> inputs{base};
+    inputs.insert(inputs.end(), dyn.begin(), dyn.end());
+    Node* n = b.emitNode(OpKind::Access, std::move(inputs), 1);
+    n->attrs().set("view", Scalar(static_cast<std::int64_t>(rule)));
+    lastNode_ = n;
+    return n->output();
+  }
+
+  void emitAccess(IRBuilder& b, Built& built) {
+    Val& base = pickLive();
+    const auto rank = static_cast<std::int64_t>(base.shape.size());
+    if (rank == 0) {
+      emitEwise(b);
+      return;
+    }
+    switch (structRng_.nextInt(0, 6)) {
+      case 0: {  // select, dynamic index (sometimes negative)
+        const std::int64_t dim = structRng_.nextInt(0, rank - 1);
+        const std::int64_t extent =
+            base.shape[static_cast<std::size_t>(dim)];
+        std::int64_t idx = dataRng_.nextInt(0, extent - 1);
+        if (dataRng_.nextBool(0.3)) idx -= extent;  // negative, still valid
+        Value* out = makeAccess(b, base.v, OpKind::Select,
+                                {addScalarParam(built, idx)});
+        lastNode_->attrs().set("dim", Scalar(dim));
+        Shape s = base.shape;
+        s.erase(s.begin() + dim);
+        push(out, std::move(s), base.dtype, base.bound, base.mayNaN);
+        return;
+      }
+      case 1: {  // slice with structurally-fixed output extent
+        const std::int64_t dim = structRng_.nextInt(0, rank - 1);
+        const std::int64_t extent =
+            base.shape[static_cast<std::size_t>(dim)];
+        const std::int64_t step = structRng_.nextInt(1, 2);
+        const std::int64_t maxLen = (extent - 1) / step + 1;
+        const std::int64_t len = structRng_.nextInt(1, maxLen);
+        const std::int64_t covered = (len - 1) * step + 1;
+        std::int64_t start = dataRng_.nextInt(0, extent - covered);
+        std::int64_t end = start + covered;
+        if (dataRng_.nextBool(0.3)) start -= extent;  // negative form
+        if (dataRng_.nextBool(0.3) && end < extent) end -= extent;
+        Value* out = makeAccess(b, base.v, OpKind::Slice,
+                                {addScalarParam(built, start),
+                                 addScalarParam(built, end)});
+        lastNode_->attrs().set("dim", Scalar(dim));
+        lastNode_->attrs().set("step", Scalar(step));
+        Shape s = base.shape;
+        s[static_cast<std::size_t>(dim)] = len;
+        push(out, std::move(s), base.dtype, base.bound, base.mayNaN);
+        return;
+      }
+      case 2: {  // transpose
+        const std::int64_t d0 = structRng_.nextInt(0, rank - 1);
+        const std::int64_t d1 = structRng_.nextInt(0, rank - 1);
+        Value* out = makeAccess(b, base.v, OpKind::Transpose, {});
+        lastNode_->attrs().set("dim0", Scalar(d0));
+        lastNode_->attrs().set("dim1", Scalar(d1));
+        Shape s = base.shape;
+        std::swap(s[static_cast<std::size_t>(d0)],
+                  s[static_cast<std::size_t>(d1)]);
+        push(out, std::move(s), base.dtype, base.bound, base.mayNaN);
+        return;
+      }
+      case 3: {  // permute
+        std::vector<std::int64_t> dims(static_cast<std::size_t>(rank));
+        for (std::int64_t i = 0; i < rank; ++i)
+          dims[static_cast<std::size_t>(i)] = i;
+        for (std::int64_t i = rank - 1; i > 0; --i)
+          std::swap(dims[static_cast<std::size_t>(i)],
+                    dims[static_cast<std::size_t>(
+                        structRng_.nextInt(0, i))]);
+        Value* out = makeAccess(b, base.v, OpKind::Permute, {});
+        lastNode_->attrs().set("dims", dims);
+        Shape s(base.shape.size());
+        for (std::size_t i = 0; i < s.size(); ++i)
+          s[i] = base.shape[static_cast<std::size_t>(dims[i])];
+        push(out, std::move(s), base.dtype, base.bound, base.mayNaN);
+        return;
+      }
+      case 4: {  // reshape (flatten to 1-D or split into two factors)
+        const std::int64_t numel = numelOf(base.shape);
+        Shape sizes;
+        if (structRng_.nextBool() || numel <= 1) {
+          sizes = {numel};
+        } else {
+          std::int64_t a = 1;
+          for (std::int64_t f = 2; f * f <= numel; ++f)
+            if (numel % f == 0) a = f;
+          if (a == 1) a = numel;
+          sizes = {a, numel / a};
+        }
+        Value* out = makeAccess(b, base.v, OpKind::Reshape, {});
+        lastNode_->attrs().set(
+            "sizes", std::vector<std::int64_t>(sizes.begin(), sizes.end()));
+        push(out, std::move(sizes), base.dtype, base.bound, base.mayNaN);
+        return;
+      }
+      case 5: {  // unsqueeze
+        const std::int64_t dim = structRng_.nextInt(0, rank);
+        Value* out = makeAccess(b, base.v, OpKind::Unsqueeze, {});
+        lastNode_->attrs().set("dim", Scalar(dim));
+        Shape s = base.shape;
+        s.insert(s.begin() + dim, 1);
+        push(out, std::move(s), base.dtype, base.bound, base.mayNaN);
+        return;
+      }
+      default: {  // expand a size-1 dim (or fall back when none)
+        std::int64_t oneDim = -1;
+        for (std::size_t i = 0; i < base.shape.size(); ++i)
+          if (base.shape[i] == 1) oneDim = static_cast<std::int64_t>(i);
+        if (oneDim < 0) {
+          emitEwise(b);
+          return;
+        }
+        Shape sizes = base.shape;
+        sizes[static_cast<std::size_t>(oneDim)] = structRng_.nextInt(2, 4);
+        Value* out = makeAccess(b, base.v, OpKind::Expand, {});
+        lastNode_->attrs().set(
+            "sizes", std::vector<std::int64_t>(sizes.begin(), sizes.end()));
+        push(out, std::move(sizes), base.dtype, base.bound, base.mayNaN);
+        return;
+      }
+    }
+  }
+
+  void emitAssign(IRBuilder& b, Built& built) {
+    Val& base = pickLive();
+    const auto rank = static_cast<std::int64_t>(base.shape.size());
+    if (rank == 0) {
+      emitEwise(b);
+      return;
+    }
+    // The written view's shape under the chosen rule, plus dynamic operands.
+    OpKind rule = OpKind::Identity;
+    Shape viewShape = base.shape;
+    std::int64_t dim = 0;
+    std::int64_t step = 1;
+    std::vector<std::int64_t> dynVals;
+    switch (structRng_.nextInt(0, 3)) {
+      case 0:
+        break;  // identity
+      case 1: {
+        rule = OpKind::Select;
+        dim = structRng_.nextInt(0, rank - 1);
+        const std::int64_t extent =
+            base.shape[static_cast<std::size_t>(dim)];
+        std::int64_t idx = dataRng_.nextInt(0, extent - 1);
+        if (dataRng_.nextBool(0.3)) idx -= extent;
+        dynVals.push_back(idx);
+        viewShape.erase(viewShape.begin() + dim);
+        break;
+      }
+      case 2: {
+        rule = OpKind::Slice;
+        dim = structRng_.nextInt(0, rank - 1);
+        const std::int64_t extent =
+            base.shape[static_cast<std::size_t>(dim)];
+        step = structRng_.nextInt(1, 2);
+        const std::int64_t maxLen = (extent - 1) / step + 1;
+        const std::int64_t len = structRng_.nextInt(1, maxLen);
+        const std::int64_t covered = (len - 1) * step + 1;
+        const std::int64_t start = dataRng_.nextInt(0, extent - covered);
+        dynVals.push_back(start);
+        dynVals.push_back(start + covered);
+        viewShape[static_cast<std::size_t>(dim)] = len;
+        break;
+      }
+      default: {
+        rule = OpKind::Transpose;
+        dim = structRng_.nextInt(0, rank - 1);
+        step = structRng_.nextInt(0, rank - 1);  // reused as dim1
+        std::swap(viewShape[static_cast<std::size_t>(dim)],
+                  viewShape[static_cast<std::size_t>(step)]);
+        break;
+      }
+    }
+    // Source: any live value broadcastable INTO the view (ranks must not
+    // exceed the view's); fall back to identity self-assign when none fits.
+    Val* src = nullptr;
+    for (int tries = 0; tries < 4 && src == nullptr; ++tries) {
+      Val& cand = pickLive();
+      if (cand.shape.size() > viewShape.size() ||
+          !broadcastable(cand.shape, viewShape) ||
+          broadcast(cand.shape, viewShape) != viewShape)
+        continue;
+      // Written elements round to the base dtype: a NaN or huge source
+      // into an Int64 base would be UB in that conversion.
+      if (base.dtype == DType::Int64 && (cand.mayNaN || cand.bound > 1e14))
+        continue;
+      src = &cand;
+    }
+    if (src == nullptr) {
+      rule = OpKind::Identity;
+      dynVals.clear();
+      src = &base;
+    }
+    std::vector<Value*> inputs{base.v, src->v};
+    for (std::int64_t v : dynVals) inputs.push_back(addScalarParam(built, v));
+    Node* n = b.emitNode(OpKind::Assign, std::move(inputs), 1);
+    n->attrs().set("view", Scalar(static_cast<std::int64_t>(rule)));
+    if (rule == OpKind::Select) {
+      n->attrs().set("dim", Scalar(dim));
+    } else if (rule == OpKind::Slice) {
+      n->attrs().set("dim", Scalar(dim));
+      n->attrs().set("step", Scalar(step));
+    } else if (rule == OpKind::Transpose) {
+      n->attrs().set("dim0", Scalar(dim));
+      n->attrs().set("dim1", Scalar(step));
+    }
+    push(n->output(), base.shape, base.dtype,
+         std::max(base.bound, src->bound), base.mayNaN || src->mayNaN);
+  }
+
+  Graph& graph_;
+  Rng& structRng_;
+  Rng& dataRng_;
+  Node* group_ = nullptr;
+  Block* body_ = nullptr;
+  Node* lastNode_ = nullptr;
+  std::vector<Val> live_;
+  std::vector<Val> produced_;  ///< node outputs, returned in order
 };
 
 /// One step of a randomized cache schedule: worker `thread` looks up key

@@ -508,6 +508,57 @@ TEST(ServeFaultsTest, NegativeCacheExpiryStartsAFreshGeneration) {
   EXPECT_EQ(stats.compiles, 1u);  // only the successful one counts
 }
 
+TEST(ServeFaultsTest, FailingKeyStormDoesNotEvictHealthyPrograms) {
+  // Regression: negative (cached-failure) entries used to count toward the
+  // same LRU capacity as compiled programs, so a burst of failing keys
+  // could flush every healthy program out of a full cache. Negative entries
+  // are budgeted separately now.
+  ProgramCache cache(2, /*negativeTtlUs=*/10'000'000);
+  workloads::Workload w = workloads::buildWorkload("lstm", smallConfig());
+  auto healthyCompile = [&]() -> std::unique_ptr<runtime::Pipeline> {
+    return std::make_unique<runtime::Pipeline>(PipelineKind::Eager, *w.graph);
+  };
+  auto failingCompile = []() -> std::unique_ptr<runtime::Pipeline> {
+    TSSA_THROW("scripted compile failure");
+  };
+  auto keyFor = [](const std::string& sig) {
+    ProgramKey key;
+    key.workload = "lstm";
+    key.signature = sig;
+    return key;
+  };
+
+  // Fill the cache to capacity with healthy programs.
+  ASSERT_EQ(cache.getOrCompile(keyFor("h0"), healthyCompile).error, nullptr);
+  ASSERT_EQ(cache.getOrCompile(keyFor("h1"), healthyCompile).error, nullptr);
+
+  // A storm of distinct failing keys, wider than the whole capacity.
+  for (int i = 0; i < 5; ++i) {
+    ProgramCache::Lookup lookup = cache.getOrCompile(
+        keyFor("f" + std::to_string(i)), failingCompile);
+    EXPECT_NE(lookup.error, nullptr);
+  }
+
+  // Both healthy programs must still be served from cache: no new compile.
+  const ProgramCache::Stats before = cache.stats();
+  ProgramCache::Lookup h0 = cache.getOrCompile(keyFor("h0"), failingCompile);
+  ProgramCache::Lookup h1 = cache.getOrCompile(keyFor("h1"), failingCompile);
+  EXPECT_EQ(h0.error, nullptr);
+  EXPECT_EQ(h1.error, nullptr);
+  EXPECT_TRUE(h0.hit);
+  EXPECT_TRUE(h1.hit);
+  const ProgramCache::Stats after = cache.stats();
+  EXPECT_EQ(after.hits, before.hits + 2);
+  EXPECT_EQ(after.compiles, 2u);          // only the two healthy ones, once
+  EXPECT_EQ(after.compileFailures, 5u);
+  // Negative entries respect their own budget: the storm evicted only
+  // older negatives (the last insert may leave one extra pending-turned-
+  // negative entry until a later insert trims it).
+  EXPECT_LE(after.negativeSize, 3u);
+  EXPECT_GE(after.negativeSize, 2u);
+  EXPECT_EQ(after.size - after.negativeSize, 2u);  // the healthy pair
+}
+
 TEST(ServeFaultsTest, CacheSingleFlightHoldsUnderRandomSchedules) {
   // Property: whatever the concurrent interleaving of lookups, evictions,
   // failures, and negative-TTL expiries, at most one compile per key is

@@ -1,0 +1,250 @@
+// Differential fuzz harness for the texpr JIT: randomized fused regions
+// must produce bitwise-identical results through the native-code path and
+// the tree-walking interpreter, at every thread count, and every decline
+// reason must fall back cleanly (same results, counter incremented).
+//
+// Case count defaults to 1000 and is overridable via TSSA_FUZZ_REPS (CI's
+// sanitizer legs run a reduced sweep). Structures repeat every
+// kStructureCycle cases so the number of distinct JIT compiles stays
+// bounded while data values keep changing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/runtime/thread_pool.h"
+#include "src/tensor/random.h"
+#include "src/texpr/codegen.h"
+#include "src/texpr/jit.h"
+#include "src/texpr/texpr.h"
+#include "tests/property_gen.h"
+
+namespace tssa {
+namespace {
+
+using ir::Block;
+using ir::Graph;
+using ir::IRBuilder;
+using ir::Node;
+using ir::OpKind;
+using ir::Type;
+using ir::Value;
+using runtime::RtValue;
+using testing_support::FusedRegionGenerator;
+
+int fuzzReps() {
+  const char* reps = std::getenv("TSSA_FUZZ_REPS");
+  if (reps == nullptr) return 1000;
+  const int n = std::atoi(reps);
+  return n > 0 ? n : 1000;
+}
+
+/// Distinct structure seeds per sweep: bounds the number of kernels the
+/// sweep compiles (~one per structure × contiguity/dtype signature).
+constexpr std::uint64_t kStructureCycle = 150;
+
+void expectBitwiseEqual(const std::vector<RtValue>& a,
+                        const std::vector<RtValue>& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(allClose(a[i].tensor(), b[i].tensor(), 0.0))
+        << what << " output " << i << ":\n"
+        << a[i].tensor().toString() << "\nvs\n"
+        << b[i].tensor().toString();
+  }
+}
+
+TEST(TexprFuzzTest, JitMatchesInterpreterBitwise) {
+  const int reps = fuzzReps();
+  const int hw = std::max(2, runtime::ThreadPool::hardwareThreads());
+  auto& cache = texpr::jit::KernelCache::instance();
+  for (int i = 0; i < reps; ++i) {
+    const std::uint64_t structSeed =
+        101 + static_cast<std::uint64_t>(i) % kStructureCycle;
+    const std::uint64_t dataSeed = 7000 + static_cast<std::uint64_t>(i);
+    Graph g;
+    Rng structRng(structSeed);
+    Rng dataRng(dataSeed);
+    FusedRegionGenerator gen(g, structRng, dataRng);
+    auto built = gen.build();
+    SCOPED_TRACE("case " + std::to_string(i) + " structSeed " +
+                 std::to_string(structSeed) + " dataSeed " +
+                 std::to_string(dataSeed));
+    ir::verify(g);
+    ASSERT_TRUE(texpr::Kernel::supports(*built.body));
+
+    texpr::Kernel jitKernel(*built.body, /*allowJit=*/true);
+    texpr::Kernel interpKernel(*built.body, /*allowJit=*/false);
+
+    const auto before = cache.stats();
+    const auto jitSerial = jitKernel.run(built.inputs, nullptr, 1);
+    const auto after = cache.stats();
+    // Every generated structure is JIT-supported: the run must have engaged
+    // the native path (fresh compile or cache hit), never declined. With
+    // TSSA_TEXPR_JIT=0 the sweep still runs as a pure differential check of
+    // the interpreter against itself at both thread counts.
+    if (texpr::jit::jitEnabled()) {
+      EXPECT_EQ(after.declines, before.declines);
+      EXPECT_GE(after.hits + after.misses, before.hits + before.misses + 1);
+    }
+
+    const auto interpSerial = interpKernel.run(built.inputs, nullptr, 1);
+    expectBitwiseEqual(jitSerial, interpSerial, "jit vs interp, serial");
+
+    const auto jitThreaded = jitKernel.run(built.inputs, nullptr, hw);
+    expectBitwiseEqual(jitThreaded, interpSerial,
+                       "jit(threads=" + std::to_string(hw) + ") vs interp");
+    const auto interpThreaded = interpKernel.run(built.inputs, nullptr, hw);
+    expectBitwiseEqual(interpThreaded, interpSerial,
+                       "interp threaded vs serial");
+  }
+}
+
+/// Builds `relu(maskedFill(p0, p1 > p0, fill))` with `fill` a scalar param —
+/// MaskedFill is structurally declined by the codegen (reason "op").
+std::unique_ptr<Graph> maskedFillGraph() {
+  auto g = std::make_unique<Graph>();
+  Value* in0 = g->addInput(Type::tensor());
+  Value* in1 = g->addInput(Type::tensor());
+  Value* inFill = g->addInput(Type::floating());
+  IRBuilder b(*g);
+  Node* group = b.emitNode(OpKind::FusionGroup, {in0, in1, inFill}, 0);
+  Block* body = group->addBlock();
+  Value* p0 = body->addParam(in0->type());
+  Value* p1 = body->addParam(in1->type());
+  Value* fill = body->addParam(inFill->type());
+  IRBuilder inner(*g);
+  inner.setInsertionPointToEnd(body);
+  Value* mask = inner.gt(p1, p0);
+  Node* mf = inner.emitNode(OpKind::MaskedFill, {p0, mask, fill}, 1);
+  body->addReturn(inner.relu(mf->output()));
+  group->addOutput(Type::tensor());
+  g->addOutput(group->output(0));
+  return g;
+}
+
+/// Bool+Bool arithmetic promotes to Bool, which the codegen declines
+/// (reason "dtype") while the interpreter happily evaluates it.
+std::unique_ptr<Graph> boolArithGraph() {
+  auto g = std::make_unique<Graph>();
+  Value* in0 = g->addInput(Type::tensor());
+  Value* in1 = g->addInput(Type::tensor());
+  IRBuilder b(*g);
+  Node* group = b.emitNode(OpKind::FusionGroup, {in0, in1}, 0);
+  Block* body = group->addBlock();
+  Value* p0 = body->addParam(in0->type());
+  Value* p1 = body->addParam(in1->type());
+  IRBuilder inner(*g);
+  inner.setInsertionPointToEnd(body);
+  body->addReturn(inner.add(inner.gt(p0, p1), inner.le(p0, p1)));
+  group->addOutput(Type::tensor());
+  g->addOutput(group->output(0));
+  return g;
+}
+
+Block* soleGroupBody(Graph& g) {
+  for (Node* n : *g.topBlock())
+    if (n->kind() == OpKind::FusionGroup) return n->block(0);
+  return nullptr;
+}
+
+TEST(TexprFuzzTest, OpDeclineFallsBackBitwise) {
+  if (!texpr::jit::jitEnabled()) GTEST_SKIP() << "texpr JIT disabled";
+  auto g = maskedFillGraph();
+  Block* body = soleGroupBody(*g);
+  ASSERT_NE(body, nullptr);
+  Rng rng(11);
+  std::vector<RtValue> inputs{RtValue(rng.uniform({3, 4}, -1, 1)),
+                              RtValue(rng.uniform({3, 4}, -1, 1)),
+                              RtValue(Scalar(0.5))};
+  auto& cache = texpr::jit::KernelCache::instance();
+  texpr::Kernel jitKernel(*body, /*allowJit=*/true);
+  texpr::Kernel interpKernel(*body, /*allowJit=*/false);
+  const auto before = cache.stats();
+  const auto a = jitKernel.run(inputs, nullptr, 1);
+  const auto after = cache.stats();
+  EXPECT_EQ(after.declines, before.declines + 1);
+  EXPECT_EQ(after.hits + after.misses, before.hits + before.misses);
+  const auto b = interpKernel.run(inputs, nullptr, 1);
+  expectBitwiseEqual(a, b, "op decline");
+}
+
+TEST(TexprFuzzTest, DtypeDeclineFallsBackBitwise) {
+  if (!texpr::jit::jitEnabled()) GTEST_SKIP() << "texpr JIT disabled";
+  auto g = boolArithGraph();
+  Block* body = soleGroupBody(*g);
+  ASSERT_NE(body, nullptr);
+  Rng rng(12);
+  std::vector<RtValue> inputs{RtValue(rng.uniform({4, 5}, -1, 1)),
+                              RtValue(rng.uniform({4, 5}, -1, 1))};
+  auto& cache = texpr::jit::KernelCache::instance();
+  texpr::Kernel jitKernel(*body, /*allowJit=*/true);
+  texpr::Kernel interpKernel(*body, /*allowJit=*/false);
+  const auto before = cache.stats();
+  const auto a = jitKernel.run(inputs, nullptr, 1);
+  const auto after = cache.stats();
+  EXPECT_EQ(after.declines, before.declines + 1);
+  const auto b = interpKernel.run(inputs, nullptr, 1);
+  expectBitwiseEqual(a, b, "dtype decline");
+}
+
+TEST(TexprFuzzTest, ToolchainFailureFallsBackBitwise) {
+  if (!texpr::jit::jitEnabled()) GTEST_SKIP() << "texpr JIT disabled";
+  // Point the per-compile compiler override at /bin/false: the compile
+  // fails, the launch declines (reason "toolchain"), and the interpreter
+  // result is served unchanged. The cache is cleared first so the key
+  // cannot be satisfied by an earlier successful compile.
+  ::setenv("TSSA_JIT_CC", "/bin/false", 1);
+  auto& cache = texpr::jit::KernelCache::instance();
+  cache.clearForTesting();
+
+  Graph g;
+  Rng structRng(7);
+  Rng dataRng(77);
+  FusedRegionGenerator gen(g, structRng, dataRng);
+  auto built = gen.build();
+  texpr::Kernel jitKernel(*built.body, /*allowJit=*/true);
+  texpr::Kernel interpKernel(*built.body, /*allowJit=*/false);
+
+  const auto before = cache.stats();
+  const auto a = jitKernel.run(built.inputs, nullptr, 1);
+  const auto after = cache.stats();
+  ::unsetenv("TSSA_JIT_CC");
+  cache.clearForTesting();
+
+  EXPECT_EQ(after.compileFails, before.compileFails + 1);
+  EXPECT_EQ(after.declines, before.declines + 1);
+  const auto b = interpKernel.run(built.inputs, nullptr, 1);
+  expectBitwiseEqual(a, b, "toolchain decline");
+
+  // The failure is memoized per kernel: a second run declines again without
+  // attempting another compile.
+  const auto mid = cache.stats();
+  const auto c = jitKernel.run(built.inputs, nullptr, 1);
+  const auto last = cache.stats();
+  EXPECT_EQ(last.compileFails, mid.compileFails);
+  EXPECT_EQ(last.declines, mid.declines + 1);
+  expectBitwiseEqual(c, b, "memoized toolchain decline");
+}
+
+TEST(TexprFuzzTest, DisabledKernelNeverTouchesJit) {
+  Graph g;
+  Rng structRng(9);
+  Rng dataRng(99);
+  FusedRegionGenerator gen(g, structRng, dataRng);
+  auto built = gen.build();
+  auto& cache = texpr::jit::KernelCache::instance();
+  texpr::Kernel kernel(*built.body, /*allowJit=*/false);
+  const auto before = cache.stats();
+  (void)kernel.run(built.inputs, nullptr, 1);
+  const auto after = cache.stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.declines, before.declines);
+}
+
+}  // namespace
+}  // namespace tssa
