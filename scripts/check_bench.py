@@ -19,6 +19,11 @@ bench/baseline.json and exits non-zero on a regression:
     silently rejected or degraded part of its traffic are not comparable to
     the baseline, so that is a hard failure, not a note. Records whose
     baseline already sheds (the overload sweep) are exempt.
+  * extra.kv_pages: the decode bench's KV-cache page high-water mark over a
+    deterministic session mix. Gated EXACTLY like kernel_launches: any
+    increase means the paged allocator holds more memory for the same
+    traffic. extra.kv_leaked (pages still in use after drain) must stay at
+    the baseline's zero — a leak is a hard failure.
 
 Everything else in the records (sim_us, latency percentiles, reuse rates) is
 informational: printed on drift, never fatal.
@@ -143,17 +148,40 @@ def main():
         # baseline's meant if every request was actually served the same way.
         cur_extra = record.get("extra", {})
         base_extra = base.get("extra", {})
-        for counter in ("rejected", "fallback"):
+
+        # KV page high-water: deterministic for the decode bench's fixed
+        # session mix, so it gets the kernel_launches treatment — exact,
+        # any increase fails, a decrease is a note to re-baseline.
+        cur_pages = cur_extra.get("kv_pages")
+        base_pages = base_extra.get("kv_pages")
+        if cur_pages is not None and base_pages is not None:
+            checked_launches += 1
+            if cur_pages > base_pages:
+                failures.append(
+                    f"KV_PAGES  {key}: {base_pages:.0f} -> {cur_pages:.0f} "
+                    f"(+{cur_pages - base_pages:.0f}); the paged KV cache "
+                    "now holds more pages for the same deterministic "
+                    "session mix")
+            elif cur_pages < base_pages:
+                notes.append(
+                    f"IMPROVED  {key}: kv_pages {base_pages:.0f} -> "
+                    f"{cur_pages:.0f}; consider re-baselining to lock it in")
+
+        for counter in ("rejected", "fallback", "kv_leaked"):
             cur_n = cur_extra.get(counter)
             base_n = base_extra.get(counter)
             if cur_n is None or base_n is None:
                 continue
             checked_shedding += 1
             if base_n == 0 and cur_n > 0:
-                failures.append(
-                    f"{counter.upper():9s} {key}: baseline served every "
-                    f"request, this run {counter} {cur_n:.0f}; the numbers "
-                    "are not comparable (silent load shedding/degradation)")
+                if counter == "kv_leaked":
+                    detail = (f"{cur_n:.0f} KV pages still in use after "
+                              "drain; the paged allocator leaked")
+                else:
+                    detail = (f"baseline served every request, this run "
+                              f"{counter} {cur_n:.0f}; the numbers are not "
+                              "comparable (silent load shedding/degradation)")
+                failures.append(f"{counter.upper():9s} {key}: {detail}")
 
     missing = sorted(set(baseline) - set(current))
     for key in missing:

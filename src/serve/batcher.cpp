@@ -37,8 +37,7 @@ void dispatchSealed(const MicroBatcher::DispatchFn& dispatch,
 /// deadline don't constrain the seal (time_point::max()).
 Clock::time_point sealBound(const PendingRequest& request,
                             Clock::time_point now) {
-  if (request.deadline == Clock::time_point::max())
-    return Clock::time_point::max();
+  if (!hasDeadline(request.deadline)) return Clock::time_point::max();
   if (request.deadline <= now) return now;  // already due: seal immediately
   return now + (request.deadline - now) / 2;
 }

@@ -135,11 +135,8 @@ std::future<Response> Engine::submitInternal(const std::string& sessionId,
   auto pending = std::make_unique<PendingRequest>();
   pending->key = keyFor(request);
   pending->enqueueTime = Clock::now();
-  if (request.deadlineUs != 0)
-    pending->deadline =
-        pending->enqueueTime +
-        std::chrono::microseconds(std::max<std::int64_t>(request.deadlineUs,
-                                                         0));
+  pending->deadline =
+      absoluteDeadline(pending->enqueueTime, request.deadlineUs);
   pending->request = std::move(request);
   pending->traits = traits;
   pending->sessionId = sessionId;

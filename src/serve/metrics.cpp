@@ -15,6 +15,7 @@ std::string_view rejectReasonName(RejectReason reason) {
     case RejectReason::QueueFull: return "queue_full";
     case RejectReason::ShuttingDown: return "shutting_down";
     case RejectReason::CompileFailed: return "compile_failed";
+    case RejectReason::KvExhausted: return "kv_exhausted";
   }
   return "unknown";
 }

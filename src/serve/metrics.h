@@ -23,11 +23,12 @@ enum class RejectReason : int {
   QueueFull,       ///< admission control: engine or session at capacity
   ShuttingDown,    ///< submitted after Engine::shutdown() began
   CompileFailed,   ///< program compile failed and the fallback path did too
+  KvExhausted,     ///< decode session shed: KV cache could not reserve pages
 };
-inline constexpr int kNumRejectReasons = 4;
+inline constexpr int kNumRejectReasons = 5;
 
 /// Stable metric-label name: "deadline", "queue_full", "shutting_down",
-/// "compile_failed".
+/// "compile_failed", "kv_exhausted".
 std::string_view rejectReasonName(RejectReason reason);
 
 /// Latency decomposition of one served request, all in microseconds.
@@ -88,7 +89,7 @@ struct MetricsSnapshot {
   // specialized compile failed; `decoalescedBatches` counts micro-batches
   // that were re-executed request-by-request after the batched run threw,
   // so one poisoned request cannot fail its co-batched peers.
-  std::uint64_t rejected[kNumRejectReasons] = {0, 0, 0, 0};
+  std::uint64_t rejected[kNumRejectReasons] = {};
   std::uint64_t fallbackRequests = 0;
   std::uint64_t decoalescedBatches = 0;
   std::uint64_t rejectedTotal() const {
@@ -166,7 +167,7 @@ class MetricsCollector {
   std::uint64_t sessions_ = 0;
   std::uint64_t arenaFresh_ = 0;
   std::uint64_t arenaReused_ = 0;
-  std::uint64_t rejected_[kNumRejectReasons] = {0, 0, 0, 0};
+  std::uint64_t rejected_[kNumRejectReasons] = {};
   std::uint64_t fallbacks_ = 0;
   std::uint64_t decoalesced_ = 0;
   bool haveSpan_ = false;

@@ -16,6 +16,30 @@
 
 namespace tssa::serve {
 
+/// The one sentinel for "this request/session carries no deadline". Every
+/// site that turns a relative `deadlineUs` into an absolute expiry — engine
+/// admission, the micro-batcher's seal bound, the decode scheduler's session
+/// deadlines — must go through absoluteDeadline() so 0 means "no deadline"
+/// everywhere and can never be read as "expired at epoch" by one call site
+/// and "unconstrained" by another.
+inline constexpr std::chrono::steady_clock::time_point kNoDeadline =
+    std::chrono::steady_clock::time_point::max();
+
+/// Maps a relative deadline to the absolute expiry used for enforcement:
+/// 0 ⇒ kNoDeadline, negative ⇒ already expired (the enqueue instant itself,
+/// so every `deadline <= now` check fires), positive ⇒ enqueue + deadlineUs.
+inline std::chrono::steady_clock::time_point absoluteDeadline(
+    std::chrono::steady_clock::time_point enqueueTime,
+    std::int64_t deadlineUs) {
+  if (deadlineUs == 0) return kNoDeadline;
+  if (deadlineUs < 0) return enqueueTime;
+  return enqueueTime + std::chrono::microseconds(deadlineUs);
+}
+
+inline bool hasDeadline(std::chrono::steady_clock::time_point deadline) {
+  return deadline != kNoDeadline;
+}
+
 /// One inference request for a registered workload. `config` carries the
 /// shape parameters (batch, seqLen) and the seed the workload's constant
 /// weights were drawn with; `inputs` must match the workload's input
@@ -76,10 +100,9 @@ struct PendingRequest {
   Request request;
   std::promise<Response> promise;
   std::chrono::steady_clock::time_point enqueueTime;
-  /// Absolute expiry (enqueueTime + Request::deadlineUs); time_point::max()
-  /// when the request carries no deadline.
-  std::chrono::steady_clock::time_point deadline =
-      std::chrono::steady_clock::time_point::max();
+  /// Absolute expiry, always computed via absoluteDeadline(): kNoDeadline
+  /// when the request carries no deadline (deadlineUs == 0).
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
   ProgramKey key;                   ///< per-request (unbatched) program key
   workloads::BatchTraits traits;
   std::string sessionId;

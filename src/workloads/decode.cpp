@@ -1,0 +1,94 @@
+// One autoregressive decode step: the per-iteration body of a DecodeSession
+// (src/serve/decode.h), expressed as its own shape-specialized workload.
+//
+// The iterative decode loop the paper's functionalized programs ultimately
+// serve cannot be captured as a single graph — its shapes grow every step
+// and the data dependence (next input = previous output) crosses the
+// serving boundary. So the *step* is the compiled unit: the scheduler keeps
+// the growing state outside the graph (in the paged KvCache) and re-enters
+// a step program whose context length is padded up to a bucket, reusing one
+// compiled program per (bucket, coalesced batch size) instead of one per
+// context length.
+//
+//   k, v, q = x@Wk, x@Wv, x@Wq            # project the incoming token
+//   K = cat(kctx, k); V = cat(vctx, v)    # history + this step
+//   p = softmax(q·Kᵀ·scale + mask)        # mask kills the padded rows
+//   out = tanh(softmax_attend(p, V)@Wo + x)
+//
+// Bitwise-batching contract: every op touches batch rows independently, and
+// padded context rows cannot perturb real ones — their additive mask of
+// -1e30 drives exp() to exactly 0.0 after max-subtraction, and adding
+// 0.0-weighted V rows leaves the float accumulation bitwise unchanged. A
+// session therefore produces identical bits whether its step shares a batch
+// or runs solo, and whichever bucket its context is padded to
+// (tests/decode_test.cpp asserts both).
+//
+// The projection weights are drawn from Rng(seed) *before* any shape-
+// dependent input is generated, so every bucket specialization of the same
+// seed computes with identical weights — a session's arithmetic does not
+// change when its context crosses a bucket boundary.
+#include <cmath>
+
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/tensor/random.h"
+#include "src/workloads/workload.h"
+
+namespace tssa::workloads {
+
+using ir::IRBuilder;
+using ir::Type;
+using ir::Value;
+
+Workload buildDecodeStep(const WorkloadConfig& config) {
+  const std::int64_t b = config.batch;
+  const std::int64_t ctx = config.seqLen;  // context bucket (history slots)
+  const std::int64_t d = kDecodeDim;
+  Rng rng(config.seed + 11);
+
+  auto graph = std::make_unique<ir::Graph>();
+  IRBuilder bld(*graph);
+  Value* x = graph->addInput(Type::tensor(DType::Float32), "x");        // [b,d]
+  Value* kctx = graph->addInput(Type::tensor(DType::Float32), "kctx"); // [b,ctx,d]
+  Value* vctx = graph->addInput(Type::tensor(DType::Float32), "vctx"); // [b,ctx,d]
+  Value* mask = graph->addInput(Type::tensor(DType::Float32), "mask"); // [b,ctx+1]
+
+  // Weights first, shapes only in terms of d: identical across buckets.
+  Value* wq = bld.constTensor(rng.normal({d, d}, 0.0, 0.3));
+  Value* wk = bld.constTensor(rng.normal({d, d}, 0.0, 0.3));
+  Value* wv = bld.constTensor(rng.normal({d, d}, 0.0, 0.3));
+  Value* wo = bld.constTensor(rng.normal({d, d}, 0.0, 0.3));
+  Value* scale = bld.constTensor(
+      Tensor::full({}, Scalar(1.0 / std::sqrt(static_cast<double>(d)))));
+
+  Value* q = bld.matmul(x, wq);                                  // [b,d]
+  Value* k = bld.matmul(x, wk);
+  Value* v = bld.matmul(x, wv);
+  Value* keys = bld.cat({kctx, bld.unsqueeze(k, 1)}, 1);         // [b,ctx+1,d]
+  Value* values = bld.cat({vctx, bld.unsqueeze(v, 1)}, 1);
+  Value* scores = bld.mul(
+      bld.bmm(bld.unsqueeze(q, 1), bld.transpose(keys, 1, 2)), scale);
+  scores = bld.add(scores, bld.unsqueeze(mask, 1));              // [b,1,ctx+1]
+  Value* probs = bld.softmax(scores, 2);
+  Value* attn = bld.squeeze(bld.bmm(probs, values), 1);          // [b,d]
+  Value* out = bld.tanh(bld.add(bld.matmul(attn, wo), x));
+
+  graph->addOutput(out);
+  graph->addOutput(k);
+  graph->addOutput(v);
+  ir::verify(*graph);
+
+  Workload w;
+  w.name = "decode_step";
+  w.description =
+      "one autoregressive decode step over a bucketed, masked KV context";
+  w.inputs.emplace_back(rng.normal({b, d}, 0.0, 0.5));
+  w.inputs.emplace_back(rng.normal({b, ctx, d}, 0.0, 0.5));
+  w.inputs.emplace_back(rng.normal({b, ctx, d}, 0.0, 0.5));
+  w.inputs.emplace_back(Tensor::zeros({b, ctx + 1}));
+  w.batchTraits = workloadBatchTraits(w.name);
+  w.graph = std::move(graph);
+  return w;
+}
+
+}  // namespace tssa::workloads

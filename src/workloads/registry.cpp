@@ -46,6 +46,8 @@ const BatchTraits& workloadBatchTraits(const std::string& name) {
       {"lstm", {{0, 0, 0}, {0, 0, 0}}},
       {"seq2seq", {{0, 0}, {0, 0}}},
       {"attention", {{0, 0, 0}, {0}}},
+      // Serving-only decode step (not a figure workload, see workloadNames).
+      {"decode_step", {{0, 0, 0, 0}, {0, 0, 0}}},
   };
   auto it = table.find(name);
   if (it == table.end()) TSSA_THROW("unknown workload '" << name << "'");
@@ -69,6 +71,7 @@ Workload buildWorkload(const std::string& name, const WorkloadConfig& config) {
   if (name == "lstm") return buildLstm(config);
   if (name == "seq2seq") return buildSeq2Seq(config);
   if (name == "attention") return buildAttention(config);
+  if (name == "decode_step") return buildDecodeStep(config);
   TSSA_THROW("unknown workload '" << name << "'");
 }
 

@@ -28,6 +28,11 @@ struct WorkloadConfig {
   std::uint64_t seed = 42;
 };
 
+/// Hidden width of the decode_step workload (and therefore of every decode
+/// session's token vectors): fixed, like attention's head dim, so the shape
+/// axes that matter for specialization are batch and context length only.
+inline constexpr std::int64_t kDecodeDim = 32;
+
 /// How a workload's runtime interface maps onto its batch dimension. Every
 /// builder fills this in; the serving engine (src/serve) uses it to coalesce
 /// same-shape requests into one execution and to split the results back up.
@@ -66,7 +71,10 @@ struct Workload {
 /// serving engine's program cache (à la TorchDynamo shape guards).
 std::string inputSignature(std::span<const runtime::RtValue> inputs);
 
-/// Workload names in the order the paper's figures list them.
+/// Workload names in the order the paper's figures list them. The serving-
+/// only "decode_step" workload (src/workloads/decode.cpp) is deliberately
+/// not listed: it is not one of the paper's figure workloads and is driven
+/// through the decode scheduler (src/serve/decode.h) instead.
 const std::vector<std::string>& workloadNames();
 
 /// Batch traits of a workload, available without building its graph (the
@@ -86,5 +94,9 @@ Workload buildNasRnn(const WorkloadConfig& config);
 Workload buildLstm(const WorkloadConfig& config);
 Workload buildSeq2Seq(const WorkloadConfig& config);
 Workload buildAttention(const WorkloadConfig& config);
+/// One autoregressive decode step (serving-only; `seqLen` is the context
+/// bucket). Inputs: x[b,d], kctx[b,ctx,d], vctx[b,ctx,d], mask[b,ctx+1];
+/// outputs: next token state, and the step's K/V rows for the cache.
+Workload buildDecodeStep(const WorkloadConfig& config);
 
 }  // namespace tssa::workloads

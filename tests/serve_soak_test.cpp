@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/serve/decode.h"
 #include "src/serve/engine.h"
 #include "src/serve/fault_injector.h"
 #include "src/tensor/random.h"
@@ -212,6 +213,117 @@ TEST(ServeSoakTest, MultiSessionChurnLosesNoFutureAndBalancesCounters) {
               static_cast<unsigned long long>(cs.compiles),
               static_cast<unsigned long long>(cs.compileFailures),
               static_cast<unsigned long long>(cs.evictions));
+}
+
+TEST(ServeSoakTest, DecodeSessionChurnBalancesKvAndCounters) {
+  if (!soakEnabled())
+    GTEST_SKIP() << "soak disabled; set TSSA_SOAK=1 (and optionally "
+                    "TSSA_SOAK_SECONDS) to run";
+
+  // Decode churn: sessions of randomized prompt/generation lengths joining
+  // and leaving the continuous step batch for the soak duration, under a
+  // deliberately tight KV budget and admission queue so every shedding path
+  // (KvExhausted, QueueFull, Deadline) sees sustained traffic. The
+  // invariants mirror the engine soak: every future settles, the outcome
+  // tallies balance, and the paged KV cache returns to exactly zero.
+  serve::DecodeOptions options;
+  options.maxStepBatch = 4;
+  options.maxActiveSessions = 6;
+  options.maxQueuedSessions = 32;
+  options.ctxBuckets = {8, 16, 32};
+  options.kvPageTokens = 8;
+  options.kvMaxPages = 20;  // < maxActive x worst case: admission shedding
+  serve::DecodeScheduler sched(options);
+
+  constexpr int kClients = 3;
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> abandoned{0};
+  std::atomic<std::uint64_t> kvShed{0};
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(soakSeconds());
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(2000 + static_cast<std::uint64_t>(c));
+      std::vector<std::future<serve::DecodeResult>> inflight;
+      auto settle = [&](std::future<serve::DecodeResult>& future) {
+        if (future.wait_for(std::chrono::seconds(60)) !=
+            std::future_status::ready) {
+          ++abandoned;
+          return;
+        }
+        try {
+          (void)future.get();
+          ++completed;
+        } catch (const RejectedError& e) {
+          ++rejected;
+          if (e.reason() == serve::RejectReason::KvExhausted) ++kvShed;
+        } catch (...) {
+          ++failed;
+        }
+      };
+
+      while (std::chrono::steady_clock::now() < deadline) {
+        serve::DecodeRequest r;
+        const std::int64_t promptLen = rng.nextInt(1, 5);
+        // Mostly fits; the tail exceeds the largest bucket so submit-time
+        // KV shedding fires throughout the run, not just at startup.
+        r.generate = rng.nextInt(1, 5) == 5 ? rng.nextInt(30, 40)
+                                            : rng.nextInt(1, 20);
+        r.prompt = serve::DecodeScheduler::randomPrompt(
+            promptLen, 3000 + static_cast<std::uint64_t>(c));
+        const std::int64_t dice = rng.nextInt(0, 5);
+        if (dice == 0) r.deadlineUs = rng.nextInt(50, 2'000);
+        if (dice == 1) r.deadlineUs = rng.nextInt(500'000, 5'000'000);
+        ++submitted;
+        inflight.push_back(sched.submit(std::move(r)));
+        if (inflight.size() >= 8) {
+          for (auto& f : inflight) settle(f);
+          inflight.clear();
+        }
+      }
+      for (auto& f : inflight) settle(f);
+    });
+  }
+  for (auto& t : clients) t.join();
+  sched.drain();
+
+  EXPECT_EQ(abandoned.load(), 0u);
+  const std::uint64_t settledTotal =
+      completed.load() + rejected.load() + failed.load();
+  EXPECT_EQ(settledTotal, submitted.load());
+
+  const serve::DecodeMetricsSnapshot snap = sched.metrics();
+  EXPECT_EQ(snap.sessionsSubmitted, submitted.load());
+  EXPECT_EQ(snap.sessionsCompleted, completed.load());
+  EXPECT_EQ(snap.rejectedTotal(), rejected.load());
+  EXPECT_EQ(snap.joins, snap.leaves);  // every joiner left again
+
+  // The paged KV cache drained to exactly zero: no leaked pages, no stale
+  // reservations, every alloc matched by a free.
+  EXPECT_EQ(snap.kv.pagesInUse, 0);
+  EXPECT_EQ(snap.kv.pagesReserved, 0);
+  EXPECT_EQ(snap.kv.activeSessions, 0);
+  EXPECT_EQ(snap.kv.pageAllocs, snap.kv.pageFrees);
+  EXPECT_LE(snap.kv.pagesHighWater, options.kvMaxPages);
+
+  std::printf("decode soak: %llu submitted, %llu ok, %llu rejected "
+              "(%llu kv_exhausted), %llu errors; %llu steps over %llu "
+              "iterations, occupancy %.2f, kv high water %lld pages\n",
+              static_cast<unsigned long long>(submitted.load()),
+              static_cast<unsigned long long>(completed.load()),
+              static_cast<unsigned long long>(rejected.load()),
+              static_cast<unsigned long long>(kvShed.load()),
+              static_cast<unsigned long long>(failed.load()),
+              static_cast<unsigned long long>(snap.steps),
+              static_cast<unsigned long long>(snap.iterations),
+              snap.meanOccupancy,
+              static_cast<long long>(snap.kv.pagesHighWater));
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 
 #include "bench/bench_common.h"
 #include "src/serve/engine.h"
+#include "src/serve/fault_injector.h"
 #include "src/tensor/random.h"
 
 namespace tssa {
@@ -262,6 +263,97 @@ TEST(ServeMetricsTest, NearestRankPercentilesAreExact) {
   two.fill(pair);
   EXPECT_EQ(pair.total.p50Us, 100.0);  // p50 of [a, b] is a, not b
   EXPECT_EQ(pair.total.p99Us, 200.0);
+}
+
+TEST(ServeMetricsTest, EmptyHistogramPercentilesAreZero) {
+  // Regression: nearest-rank percentiles over zero samples must be an exact
+  // 0, never an out-of-bounds read or NaN. Exercised at every layer — the
+  // raw helper, the obs::Histogram wrapper, and a fresh engine snapshot.
+  EXPECT_EQ(obs::percentileNearestRank({}, 0.50), 0.0);
+  EXPECT_EQ(obs::percentileNearestRank({}, 0.99), 0.0);
+
+  const obs::HistogramStats empty = obs::Histogram{}.stats();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.p50, 0.0);
+  EXPECT_EQ(empty.p95, 0.0);
+  EXPECT_EQ(empty.p99, 0.0);
+  EXPECT_EQ(empty.mean, 0.0);
+  EXPECT_EQ(empty.max, 0.0);
+
+  Engine engine;  // no traffic at all
+  const serve::MetricsSnapshot snap = engine.metrics();
+  EXPECT_EQ(snap.requests, 0u);
+  for (const serve::LatencyStats& stats :
+       {snap.total, snap.queue, snap.exec}) {
+    EXPECT_EQ(stats.p50Us, 0.0);
+    EXPECT_EQ(stats.p95Us, 0.0);
+    EXPECT_EQ(stats.p99Us, 0.0);
+    EXPECT_EQ(stats.meanUs, 0.0);
+    EXPECT_EQ(stats.maxUs, 0.0);
+  }
+  EXPECT_EQ(snap.throughputRps, 0.0);
+}
+
+// ---- deadline sentinel semantics ------------------------------------------
+
+TEST(ServeDeadlineTest, AbsoluteDeadlineSentinelSemantics) {
+  // The one mapping every deadline site must share: 0 ⇒ no deadline
+  // (kNoDeadline), negative ⇒ expired at the enqueue instant, positive ⇒
+  // enqueue + deadlineUs.
+  const auto enqueue = std::chrono::steady_clock::now();
+  EXPECT_EQ(serve::absoluteDeadline(enqueue, 0), serve::kNoDeadline);
+  EXPECT_FALSE(serve::hasDeadline(serve::absoluteDeadline(enqueue, 0)));
+  EXPECT_EQ(serve::absoluteDeadline(enqueue, -1), enqueue);
+  EXPECT_EQ(serve::absoluteDeadline(enqueue, 250),
+            enqueue + std::chrono::microseconds(250));
+  EXPECT_TRUE(serve::hasDeadline(serve::absoluteDeadline(enqueue, 250)));
+}
+
+TEST(ServeDeadlineTest, ZeroDeadlineIsNoDeadlineNotInstantExpiry) {
+  // Regression for the deadlineUs == 0 sentinel: a request with no deadline
+  // must survive an arbitrarily long stall between seal and execution. The
+  // stall is virtual (FaultInjector::delayNthBatchSeal), so if 0 were ever
+  // read as "expired at epoch" by the pre-execution check, this would
+  // reject deterministically — no wall-clock sleeps involved.
+  serve::FaultInjector injector;
+  injector.delayNthBatchSeal(1, 3'600'000'000LL);  // pretend one hour
+
+  EngineOptions options;
+  options.maxBatch = 1;
+  options.faultInjector = &injector;
+  Engine engine(options);
+
+  Request r;
+  r.workload = "lstm";
+  r.config = smallConfig();
+  r.deadlineUs = 0;  // no deadline
+  Response resp = engine.submit(std::move(r)).get();  // must not throw
+  ASSERT_FALSE(resp.outputs.empty());
+
+  const serve::MetricsSnapshot snap = engine.metrics();
+  EXPECT_EQ(snap.requests, 1u);
+  EXPECT_EQ(snap.rejectedTotal(), 0u);
+
+  // The same stall with a real (finite) deadline is rejected — the sentinel
+  // distinguishes "no deadline" from "very large deadline".
+  serve::FaultInjector injector2;
+  injector2.delayNthBatchSeal(1, 3'600'000'000LL);
+  EngineOptions options2;
+  options2.maxBatch = 1;
+  options2.faultInjector = &injector2;
+  Engine engine2(options2);
+
+  Request tight;
+  tight.workload = "lstm";
+  tight.config = smallConfig();
+  tight.deadlineUs = 1'000'000;
+  std::future<Response> future = engine2.submit(std::move(tight));
+  try {
+    future.get();
+    FAIL() << "expected RejectedError(Deadline)";
+  } catch (const serve::RejectedError& e) {
+    EXPECT_EQ(e.reason(), serve::RejectReason::Deadline);
+  }
 }
 
 // ---- (b) micro-batched == individual, bitwise -----------------------------
