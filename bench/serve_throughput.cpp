@@ -3,8 +3,9 @@
 // sweep point, the achieved requests/sec, latency percentiles, program-cache
 // hit rate, and micro-batch occupancy. The interesting shapes:
 //
-//   * hit rate → 1 after the first request per (workload, shape): every
-//     later request reuses the shape-specialized compiled program;
+//   * hit rate → 1 after the first request per workload: every later
+//     request reuses the workload's polymorphic compiled program
+//     (DESIGN.md §13), whatever its concrete shape;
 //   * mean batch size grows with client count (more same-key arrivals per
 //     window) and with the window itself;
 //   * p50 stays near the single-run execution time while p99 absorbs the
@@ -16,6 +17,7 @@
 //               serving wants more samples than a wall-clock rep)
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <string>
@@ -146,8 +148,77 @@ void printSweep(const bench::BenchFlags& flags, runtime::PipelineKind kind,
                            static_cast<double>(m.fallbackRequests));
     report.add(std::move(rec));
   }
-  std::printf("(hit-rate counts batched executions; every shape compiles "
-              "once, then all later requests hit)\n");
+  std::printf("(hit-rate counts batched executions; every workload compiles "
+              "one polymorphic program, then all later requests hit)\n");
+}
+
+/// Shape-storm run: one client sweeps 100 distinct sequence lengths over a
+/// single workload. Under exact-shape program keys every length is a new
+/// compile (the cache also churns at cacheCapacity=32, so late requests
+/// re-compile evicted shapes); under the symbolic-pattern keys of
+/// DESIGN.md §13 the whole storm runs through ONE polymorphic program. The
+/// compile count is deterministic and CI-gates it exactly — if a change
+/// re-introduces shape-specialized keys anywhere on the serve path, this
+/// record jumps from 1 to ~100 and the gate fails.
+void printShapeStorm(runtime::PipelineKind kind, bench::BenchReport& report) {
+  constexpr int kShapes = 100;
+  EngineOptions options;
+  options.kind = kind;
+  options.maxBatch = 1;  // measure caching, not coalescing
+  options.cacheCapacity = 32;
+  Engine engine(options);
+
+  std::uint64_t failed = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kShapes; ++i) {
+    Request r;
+    r.workload = "attention";
+    r.config.batch = 1 + i % 3;    // 100 distinct (batch, seqLen) pairs
+    r.config.seqLen = 4 + i;       // ...with 100 distinct sequence lengths
+    try {
+      (void)engine.submit(std::move(r)).get();
+    } catch (const std::exception&) {
+      ++failed;
+    }
+  }
+  engine.drain();
+  const double elapsedUs = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+
+  const MetricsSnapshot m = engine.metrics();
+  std::printf("\n=== Shape storm: %s pipeline, %d distinct shapes, "
+              "1 workload ===\n",
+              std::string(runtime::pipelineName(kind)).c_str(), kShapes);
+  std::printf("%d shapes -> %llu compiles, %zu cached programs, hit rate "
+              "%.0f%% (p50 %.0fus p99 %.0fus)\n",
+              kShapes,
+              static_cast<unsigned long long>(m.cacheCompiles),
+              engine.cacheStats().size, 100.0 * m.cacheHitRate(),
+              m.total.p50Us, m.total.p99Us);
+  std::printf("(polymorphic program keys: compile count stays flat while "
+              "shape diversity grows)\n");
+
+  bench::BenchRecord rec;
+  rec.name = "serve/" + std::string(runtime::pipelineName(kind)) +
+             "/shape_storm" + std::to_string(kShapes);
+  rec.workload = "attention";
+  rec.pipeline = std::string(runtime::pipelineName(kind));
+  rec.extra.emplace_back("shapes", static_cast<double>(kShapes));
+  // Deterministic; gated EXACTLY by scripts/check_bench.py.
+  rec.extra.emplace_back("compiles", static_cast<double>(m.cacheCompiles));
+  rec.extra.emplace_back("cache_size",
+                         static_cast<double>(engine.cacheStats().size));
+  rec.extra.emplace_back("rps", m.throughputRps);
+  rec.extra.emplace_back("p50_us", m.total.p50Us);
+  rec.extra.emplace_back("p99_us", m.total.p99Us);
+  rec.extra.emplace_back("elapsed_us", elapsedUs);
+  rec.extra.emplace_back("requests", static_cast<double>(m.requests));
+  rec.extra.emplace_back("errors",
+                         static_cast<double>(m.errors + failed));
+  rec.extra.emplace_back("rejected", static_cast<double>(m.rejectedTotal()));
+  rec.extra.emplace_back("fallback", static_cast<double>(m.fallbackRequests));
+  report.add(std::move(rec));
 }
 
 /// Open-burst overload run: every client fires its whole burst of async
@@ -256,6 +327,7 @@ int main(int argc, char** argv) {
        {runtime::PipelineKind::Eager, runtime::PipelineKind::TensorSsa}) {
     if (!flags.enabled(kind)) continue;
     printSweep(flags, kind, report);
+    printShapeStorm(kind, report);
     printOverload(flags, kind, report);
   }
   report.finish();

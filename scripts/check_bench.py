@@ -12,7 +12,9 @@ bench/baseline.json and exits non-zero on a regression:
     best-of-N over the real executor). Times are normalized by the run's
     calib_ns (a fixed arithmetic loop timed on the same machine), so a slower
     CI runner does not fail the gate; the normalized ratio must stay within
-    --threshold (default 1.25 = +25%).
+    --threshold (default 1.25 = +25%). A baseline record with a zero
+    ns_per_iter or calib_ns is corrupt, and fails the gate by name rather
+    than crashing the division.
   * extra.rejected / extra.fallback: serving records carry the engine's
     load-shed and degraded-request counters. A record whose baseline shed
     nothing must still shed nothing — throughput numbers from a run that
@@ -24,6 +26,11 @@ bench/baseline.json and exits non-zero on a regression:
     increase means the paged allocator holds more memory for the same
     traffic. extra.kv_leaked (pages still in use after drain) must stay at
     the baseline's zero — a leak is a hard failure.
+  * extra.compiles: the serving engine's program-compile count over a
+    deterministic request sequence. Gated EXACTLY like kernel_launches: with
+    symbolic program keys (DESIGN.md §13) the count stays flat while shape
+    diversity grows, so any increase means a request pattern started missing
+    the polymorphic cache and re-specializing.
 
 Everything else in the records (sim_us, latency percentiles, reuse rates) is
 informational: printed on drift, never fatal.
@@ -31,6 +38,7 @@ informational: printed on drift, never fatal.
 Usage:
   check_bench.py --baseline bench/baseline.json out/fig5.json out/fig6.json
   check_bench.py --baseline bench/baseline.json --update out/*.json   # re-baseline
+  check_bench.py --self-test                      # gate-logic unit checks
 
 Re-baselining (--update) rewrites the baseline from the given result files;
 commit the result. Do this when a change legitimately alters launch counts
@@ -43,6 +51,18 @@ import sys
 
 BASELINE_SCHEMA = "tssa-bench-baseline-v1"
 RESULT_SCHEMA = "tssa-bench-v1"
+
+# extra.* counters that are deterministic for a fixed request sequence and
+# therefore gated exactly, kernel_launches-style: any increase fails, any
+# decrease is a re-baseline note.
+EXACT_EXTRA_GATES = {
+    "kv_pages": ("KV_PAGES", "the paged KV cache now holds more pages for "
+                 "the same deterministic session mix"),
+    "compiles": ("COMPILES", "the program cache now compiles more programs "
+                 "for the same deterministic request sequence (a request "
+                 "pattern stopped hitting the polymorphic key, DESIGN.md "
+                 "§13)"),
+}
 
 
 def load_results(paths):
@@ -78,34 +98,16 @@ def write_baseline(entries, path):
     print(f"wrote baseline with {len(entries)} entries to {path}")
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("results", nargs="+", help="tssa-bench-v1 JSON files")
-    parser.add_argument("--baseline", required=True,
-                        help="bench/baseline.json")
-    parser.add_argument("--threshold", type=float, default=1.25,
-                        help="max allowed normalized ns_per_iter ratio "
-                             "(default 1.25)")
-    parser.add_argument("--update", action="store_true",
-                        help="rewrite the baseline from the result files "
-                             "instead of checking")
-    args = parser.parse_args()
+def compare(current, baseline, threshold):
+    """Gates `current` ({key: (record, calib)}) against `baseline` entries.
 
-    current = load_results(args.results)
-    if args.update:
-        write_baseline(current, args.baseline)
-        return
-
-    with open(args.baseline) as f:
-        baseline_doc = json.load(f)
-    if baseline_doc.get("schema") != BASELINE_SCHEMA:
-        sys.exit(f"{args.baseline}: expected schema {BASELINE_SCHEMA!r}, "
-                 f"got {baseline_doc.get('schema')!r}")
-    baseline = baseline_doc["entries"]
-
+    Returns (failures, notes, checked) where `checked` counts the exact
+    gates, time gates, and shed counters actually compared. Pure function of
+    its inputs so --self-test can drive it without touching the filesystem.
+    """
     failures = []
     notes = []
-    checked_launches = checked_times = checked_shedding = 0
+    checked = {"exact": 0, "times": 0, "shedding": 0}
 
     for key, (record, calib) in sorted(current.items()):
         base = baseline.get(key)
@@ -117,7 +119,7 @@ def main():
         cur_launches = record.get("kernel_launches")
         base_launches = base.get("kernel_launches")
         if cur_launches is not None and base_launches is not None:
-            checked_launches += 1
+            checked["exact"] += 1
             if cur_launches > base_launches:
                 failures.append(
                     f"LAUNCHES  {key}: {base_launches} -> {cur_launches} "
@@ -132,16 +134,24 @@ def main():
         base_ns = base.get("ns_per_iter")
         if (record.get("time_gated") and base.get("time_gated")
                 and cur_ns is not None and base_ns is not None):
-            checked_times += 1
-            base_calib = float(base["calib_ns"])
-            ratio = (cur_ns / calib) / (base_ns / base_calib)
-            if ratio > args.threshold:
+            checked["times"] += 1
+            base_calib = float(base.get("calib_ns", 0.0))
+            if base_ns <= 0 or base_calib <= 0:
+                # Never divide by a corrupt baseline: fail the gate naming
+                # the record instead of crashing with ZeroDivisionError.
                 failures.append(
-                    f"TIME      {key}: normalized {ratio:.2f}x over baseline "
-                    f"(raw {base_ns:.0f} -> {cur_ns:.0f} ns/iter, machine "
-                    f"factor {calib / base_calib:.2f})")
-            elif ratio < 1.0 / args.threshold:
-                notes.append(f"IMPROVED  {key}: normalized {ratio:.2f}x")
+                    f"BASELINE  {key}: baseline has non-positive "
+                    f"ns_per_iter ({base_ns}) or calib_ns ({base_calib}); "
+                    "the entry is corrupt — re-baseline it with --update")
+            else:
+                ratio = (cur_ns / calib) / (base_ns / base_calib)
+                if ratio > threshold:
+                    failures.append(
+                        f"TIME      {key}: normalized {ratio:.2f}x over "
+                        f"baseline (raw {base_ns:.0f} -> {cur_ns:.0f} "
+                        f"ns/iter, machine factor {calib / base_calib:.2f})")
+                elif ratio < 1.0 / threshold:
+                    notes.append(f"IMPROVED  {key}: normalized {ratio:.2f}x")
 
         # A record whose baseline shed/degraded nothing must still shed
         # nothing: its throughput and latency numbers only mean what the
@@ -149,30 +159,30 @@ def main():
         cur_extra = record.get("extra", {})
         base_extra = base.get("extra", {})
 
-        # KV page high-water: deterministic for the decode bench's fixed
-        # session mix, so it gets the kernel_launches treatment — exact,
-        # any increase fails, a decrease is a note to re-baseline.
-        cur_pages = cur_extra.get("kv_pages")
-        base_pages = base_extra.get("kv_pages")
-        if cur_pages is not None and base_pages is not None:
-            checked_launches += 1
-            if cur_pages > base_pages:
+        # Deterministic extra counters (KV page high-water, program-compile
+        # count) get the kernel_launches treatment — exact, any increase
+        # fails, a decrease is a note to re-baseline.
+        for counter, (label, why) in EXACT_EXTRA_GATES.items():
+            cur_n = cur_extra.get(counter)
+            base_n = base_extra.get(counter)
+            if cur_n is None or base_n is None:
+                continue
+            checked["exact"] += 1
+            if cur_n > base_n:
                 failures.append(
-                    f"KV_PAGES  {key}: {base_pages:.0f} -> {cur_pages:.0f} "
-                    f"(+{cur_pages - base_pages:.0f}); the paged KV cache "
-                    "now holds more pages for the same deterministic "
-                    "session mix")
-            elif cur_pages < base_pages:
+                    f"{label:9s} {key}: {base_n:.0f} -> {cur_n:.0f} "
+                    f"(+{cur_n - base_n:.0f}); {why}")
+            elif cur_n < base_n:
                 notes.append(
-                    f"IMPROVED  {key}: kv_pages {base_pages:.0f} -> "
-                    f"{cur_pages:.0f}; consider re-baselining to lock it in")
+                    f"IMPROVED  {key}: {counter} {base_n:.0f} -> "
+                    f"{cur_n:.0f}; consider re-baselining to lock it in")
 
         for counter in ("rejected", "fallback", "kv_leaked"):
             cur_n = cur_extra.get(counter)
             base_n = base_extra.get(counter)
             if cur_n is None or base_n is None:
                 continue
-            checked_shedding += 1
+            checked["shedding"] += 1
             if base_n == 0 and cur_n > 0:
                 if counter == "kv_leaked":
                     detail = (f"{cur_n:.0f} KV pages still in use after "
@@ -187,12 +197,147 @@ def main():
     for key in missing:
         notes.append(f"MISSING   {key} (in baseline but not in these "
                      "results; fine for partial runs)")
+    return failures, notes, checked
+
+
+def self_test():
+    """In-memory unit checks of the gate logic; exits non-zero on failure."""
+
+    def entry(key, **fields):
+        base = {"name": key.split("/", 1)[1], "calib_ns": 100.0}
+        base.update(fields)
+        return base
+
+    checks = []
+
+    def expect(name, cond, detail=""):
+        checks.append((name, bool(cond), detail))
+
+    # Clean pass: identical current and baseline produce no failures.
+    baseline = {
+        "b/ok": entry("b/ok", time_gated=True, ns_per_iter=50.0,
+                      kernel_launches=7,
+                      extra={"compiles": 1, "rejected": 0}),
+    }
+    current = {
+        "b/ok": ({"name": "ok", "time_gated": True, "ns_per_iter": 50.0,
+                  "kernel_launches": 7,
+                  "extra": {"compiles": 1, "rejected": 0}}, 100.0),
+    }
+    failures, notes, checked = compare(current, baseline, 1.25)
+    expect("clean pass has no failures", not failures, repr(failures))
+    expect("clean pass checked 2 exact + 1 time + 1 shed",
+           checked == {"exact": 2, "times": 1, "shedding": 1}, repr(checked))
+
+    # Zero-ns baseline record: must fail cleanly NAMING the record, not
+    # crash with ZeroDivisionError.
+    baseline = {"b/zero": entry("b/zero", time_gated=True, ns_per_iter=0.0)}
+    current = {"b/zero": ({"name": "zero", "time_gated": True,
+                           "ns_per_iter": 40.0}, 100.0)}
+    try:
+        failures, _, _ = compare(current, baseline, 1.25)
+    except ZeroDivisionError:
+        failures = None
+    expect("zero baseline ns does not raise", failures is not None)
+    expect("zero baseline ns fails the gate",
+           failures is not None and len(failures) == 1, repr(failures))
+    expect("zero-ns failure names the record",
+           failures is not None and failures and "b/zero" in failures[0],
+           repr(failures))
+
+    # Zero calib_ns in the baseline entry: same clean failure.
+    baseline = {"b/calib": entry("b/calib", time_gated=True,
+                                 ns_per_iter=50.0, calib_ns=0.0)}
+    current = {"b/calib": ({"name": "calib", "time_gated": True,
+                            "ns_per_iter": 40.0}, 100.0)}
+    try:
+        failures, _, _ = compare(current, baseline, 1.25)
+    except ZeroDivisionError:
+        failures = None
+    expect("zero baseline calib does not raise", failures is not None)
+    expect("zero-calib failure names the record",
+           failures is not None and len(failures) == 1
+           and "b/calib" in failures[0], repr(failures))
+
+    # extra.compiles is gated exactly: any increase fails by name...
+    baseline = {"b/storm": entry("b/storm", extra={"compiles": 1})}
+    current = {"b/storm": ({"name": "storm",
+                            "extra": {"compiles": 34}}, 100.0)}
+    failures, notes, _ = compare(current, baseline, 1.25)
+    expect("compile-count increase fails",
+           len(failures) == 1 and failures[0].startswith("COMPILES")
+           and "b/storm" in failures[0], repr(failures))
+    # ...and a decrease passes with a re-baseline note.
+    current = {"b/storm": ({"name": "storm",
+                            "extra": {"compiles": 0}}, 100.0)}
+    failures, notes, _ = compare(current, baseline, 1.25)
+    expect("compile-count decrease is a note, not a failure",
+           not failures and any("compiles" in n for n in notes),
+           repr((failures, notes)))
+
+    # Slow normalized time still fails (guard must not swallow real gating).
+    baseline = {"b/slow": entry("b/slow", time_gated=True, ns_per_iter=50.0)}
+    current = {"b/slow": ({"name": "slow", "time_gated": True,
+                           "ns_per_iter": 100.0}, 100.0)}
+    failures, _, _ = compare(current, baseline, 1.25)
+    expect("2x normalized slowdown fails",
+           len(failures) == 1 and failures[0].startswith("TIME"),
+           repr(failures))
+
+    bad = [(name, detail) for name, ok, detail in checks if not ok]
+    for name, ok, _ in checks:
+        print(f"  {'ok' if ok else 'FAIL'}  {name}")
+    if bad:
+        print(f"\nself-test: {len(bad)} of {len(checks)} checks failed:",
+              file=sys.stderr)
+        for name, detail in bad:
+            print(f"  {name}: {detail}", file=sys.stderr)
+        sys.exit(1)
+    print(f"self-test: all {len(checks)} checks passed")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", nargs="*", help="tssa-bench-v1 JSON files")
+    parser.add_argument("--baseline",
+                        help="bench/baseline.json")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="max allowed normalized ns_per_iter ratio "
+                             "(default 1.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the result files "
+                             "instead of checking")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate logic's unit checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+    if not args.baseline:
+        parser.error("--baseline is required unless --self-test")
+    if not args.results:
+        parser.error("at least one result file is required")
+
+    current = load_results(args.results)
+    if args.update:
+        write_baseline(current, args.baseline)
+        return
+
+    with open(args.baseline) as f:
+        baseline_doc = json.load(f)
+    if baseline_doc.get("schema") != BASELINE_SCHEMA:
+        sys.exit(f"{args.baseline}: expected schema {BASELINE_SCHEMA!r}, "
+                 f"got {baseline_doc.get('schema')!r}")
+    baseline = baseline_doc["entries"]
+
+    failures, notes, checked = compare(current, baseline, args.threshold)
 
     for note in notes:
         print(note)
-    print(f"checked {checked_launches} launch counts, {checked_times} gated "
-          f"times, and {checked_shedding} shed/fallback counters against "
-          f"{len(baseline)} baseline entries")
+    print(f"checked {checked['exact']} exact counters, {checked['times']} "
+          f"gated times, and {checked['shedding']} shed/fallback counters "
+          f"against {len(baseline)} baseline entries")
 
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)

@@ -52,6 +52,13 @@ Value* scalarBinary(IRBuilder& b, OpKind kind, Value* x, Value* y, Type type) {
 }
 }  // namespace
 
+Value* IRBuilder::sizeOf(Value* t, std::int64_t dim) {
+  Node* n = emitNode(OpKind::SizeOf, {t}, 1);
+  n->attrs().set("dim", Scalar(dim));
+  n->output()->setType(Type::integer());
+  return n->output();
+}
+
 Value* IRBuilder::scalarAdd(Value* a, Value* b) {
   return scalarBinary(*this, OpKind::ScalarAdd, a, b, Type::integer());
 }
@@ -201,6 +208,38 @@ Value* IRBuilder::full(std::vector<std::int64_t> sizes, Value* value,
   return factory(*this, OpKind::Full, {value}, std::move(sizes), dtype);
 }
 
+namespace {
+// Validates the dynamic-size convention (one trailing scalar operand per -1
+// placeholder) and stamps the "dyn" marker attr that distinguishes these -1s
+// from aten::reshape's static infer sentinel.
+void markDynSizes(Node* n, const std::vector<std::int64_t>& sizes,
+                  std::size_t numDyn) {
+  std::size_t holes = 0;
+  for (std::int64_t s : sizes) holes += (s == -1);
+  TSSA_CHECK(holes == numDyn, "dynamic-size op wants " << holes
+                                                       << " extents but got "
+                                                       << numDyn);
+  TSSA_CHECK(numDyn > 0, "dynamic-size op without dynamic extents");
+  n->attrs().set("dyn", Scalar(static_cast<std::int64_t>(numDyn)));
+}
+}  // namespace
+
+Value* IRBuilder::zeros(std::vector<std::int64_t> sizes,
+                        std::vector<Value*> dynSizes, DType dtype) {
+  std::size_t numDyn = dynSizes.size();
+  Value* v = factory(*this, OpKind::Zeros, std::move(dynSizes), sizes, dtype);
+  markDynSizes(v->definingNode(), sizes, numDyn);
+  return v;
+}
+
+Value* IRBuilder::ones(std::vector<std::int64_t> sizes,
+                       std::vector<Value*> dynSizes, DType dtype) {
+  std::size_t numDyn = dynSizes.size();
+  Value* v = factory(*this, OpKind::Ones, std::move(dynSizes), sizes, dtype);
+  markDynSizes(v->definingNode(), sizes, numDyn);
+  return v;
+}
+
 Value* IRBuilder::arange(Value* start, Value* end, Value* step) {
   Node* n = emitNode(OpKind::Arange, {start, end, step}, 1);
   n->output()->setType(Type::tensor(DType::Int64));
@@ -229,6 +268,16 @@ Value* IRBuilder::reshape(Value* t, std::vector<std::int64_t> sizes) {
   return n->output();
 }
 
+Value* IRBuilder::reshape(Value* t, std::vector<std::int64_t> sizes,
+                          std::vector<Value*> dynSizes) {
+  std::vector<Value*> inputs{t};
+  inputs.insert(inputs.end(), dynSizes.begin(), dynSizes.end());
+  Node* n = emitNode(OpKind::Reshape, std::move(inputs), 1);
+  n->attrs().set("sizes", sizes);
+  markDynSizes(n, sizes, dynSizes.size());
+  return n->output();
+}
+
 Value* IRBuilder::permute(Value* t, std::vector<std::int64_t> dims) {
   Node* n = emitNode(OpKind::Permute, {t}, 1);
   n->attrs().set("dims", std::move(dims));
@@ -245,6 +294,16 @@ Value* IRBuilder::transpose(Value* t, std::int64_t d0, std::int64_t d1) {
 Value* IRBuilder::expand(Value* t, std::vector<std::int64_t> sizes) {
   Node* n = emitNode(OpKind::Expand, {t}, 1);
   n->attrs().set("sizes", std::move(sizes));
+  return n->output();
+}
+
+Value* IRBuilder::expand(Value* t, std::vector<std::int64_t> sizes,
+                         std::vector<Value*> dynSizes) {
+  std::vector<Value*> inputs{t};
+  inputs.insert(inputs.end(), dynSizes.begin(), dynSizes.end());
+  Node* n = emitNode(OpKind::Expand, std::move(inputs), 1);
+  n->attrs().set("sizes", sizes);
+  markDynSizes(n, sizes, dynSizes.size());
   return n->output();
 }
 

@@ -62,6 +62,11 @@ class IRBuilder {
   Value* constTensor(Tensor t);
 
   // ---- Scalar arithmetic ----------------------------------------------------------
+  /// `aten::size(t)` with attr dim: the runtime extent of one dimension as a
+  /// scalar int. This is how symbolic-dim graphs stay shape-polymorphic:
+  /// trip counts and dynamic factory sizes are read off the inputs instead
+  /// of being baked in as constants.
+  Value* sizeOf(Value* t, std::int64_t dim);
   Value* scalarAdd(Value* a, Value* b);
   Value* scalarSub(Value* a, Value* b);
   Value* scalarMul(Value* a, Value* b);
@@ -135,14 +140,27 @@ class IRBuilder {
               DType dtype = DType::Float32);
   Value* arange(Value* start, Value* end, Value* step);
 
+  // Dynamic-extent variants: `sizes` holds -1 at each runtime-determined
+  // position; `dynSizes` supplies those extents as scalar int Values, in
+  // order, appended as trailing operands. The node carries a "dyn" attr so
+  // consumers can tell these -1s from aten::reshape's static infer sentinel.
+  Value* zeros(std::vector<std::int64_t> sizes, std::vector<Value*> dynSizes,
+               DType dtype = DType::Float32);
+  Value* ones(std::vector<std::int64_t> sizes, std::vector<Value*> dynSizes,
+              DType dtype = DType::Float32);
+
   // ---- Views -----------------------------------------------------------------------------
   Value* select(Value* t, std::int64_t dim, Value* index);
   Value* slice(Value* t, std::int64_t dim, Value* start, Value* end,
                std::int64_t step = 1);
   Value* reshape(Value* t, std::vector<std::int64_t> sizes);
+  Value* reshape(Value* t, std::vector<std::int64_t> sizes,
+                 std::vector<Value*> dynSizes);
   Value* permute(Value* t, std::vector<std::int64_t> dims);
   Value* transpose(Value* t, std::int64_t d0, std::int64_t d1);
   Value* expand(Value* t, std::vector<std::int64_t> sizes);
+  Value* expand(Value* t, std::vector<std::int64_t> sizes,
+                std::vector<Value*> dynSizes);
   Value* squeeze(Value* t, std::int64_t dim);
   Value* unsqueeze(Value* t, std::int64_t dim);
   Value* flatten(Value* t, std::int64_t startDim = 0,

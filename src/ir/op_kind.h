@@ -38,6 +38,7 @@ namespace tssa::ir {
   X(ScalarGe, "scalar::ge", Scalar)                                \
   X(ScalarEq, "scalar::eq", Scalar)                                \
   X(ScalarNe, "scalar::ne", Scalar)                                \
+  X(SizeOf, "aten::size", Scalar)                                  \
   /* --- elementwise binary --- */                                 \
   X(Add, "aten::add", EwiseBinary)                                 \
   X(Sub, "aten::sub", EwiseBinary)                                 \

@@ -169,16 +169,48 @@ class Parser {
     if (t.text == "float") return Type::floating();
     if (t.text == "bool") return Type::boolean();
     if (t.text == "none") return Type::none();
-    // dtype-qualified tensor: "f32 Tensor"
+    // dtype-qualified tensor: "f32 Tensor" or, with (symbolic) dims,
+    // "f32[B,C+1,32] Tensor".
     for (DType dt : {DType::Float32, DType::Int64, DType::Bool}) {
       if (t.text == dtypeName(dt)) {
+        bool hasDims = false;
+        std::vector<Dim> dims;
+        if (lex_.accept("[")) {
+          hasDims = true;
+          if (!lex_.accept("]")) {
+            do {
+              dims.push_back(parseDim(lex_.next()));
+            } while (lex_.accept(","));
+            lex_.expect("]");
+          }
+        }
         Token tensor = lex_.next();
         TSSA_CHECK(tensor.text == "Tensor",
                    "expected 'Tensor' after dtype at line " << tensor.line);
-        return Type::tensor(dt);
+        return hasDims ? Type::tensor(dt, std::move(dims)) : Type::tensor(dt);
       }
     }
     TSSA_THROW("unknown type '" << t.text << "' at line " << t.line);
+  }
+
+  // One dim list entry. The lexer folds '+'/'-' into identifier tokens, so a
+  // symbol-with-offset like "C+1" arrives as a single token to split here.
+  static Dim parseDim(const Token& t) {
+    const std::string& s = t.text;
+    TSSA_CHECK(!s.empty(), "empty dim at line " << t.line);
+    bool numeric = true;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      if (!(std::isdigit(static_cast<unsigned char>(c)) ||
+            (i == 0 && c == '-'))) {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric) return Dim(std::stoll(s));
+    const std::size_t cut = s.find_first_of("+-", 1);
+    if (cut == std::string::npos) return Dim::symbol(s);
+    return Dim::symbol(s.substr(0, cut), std::stoll(s.substr(cut)));
   }
 
   OpKind parseOpKind(const std::string& name, int line) {

@@ -223,7 +223,7 @@ Tensor Interpreter::applyView(OpKind viewKind, const Node& node,
                         scalarIn(node, operandStart + 1, env).toInt(),
                         attrs.i("step"));
     case OpKind::Reshape: {
-      Shape sizes = attrs.ints("sizes");
+      Shape sizes = resolvedSizes(node, operandStart, env);
       return base.isContiguous() ? base.view(std::move(sizes))
                                  : base.reshape(std::move(sizes));
     }
@@ -232,7 +232,7 @@ Tensor Interpreter::applyView(OpKind viewKind, const Node& node,
     case OpKind::Transpose:
       return base.transpose(attrs.i("dim0"), attrs.i("dim1"));
     case OpKind::Expand:
-      return base.expand(attrs.ints("sizes"));
+      return base.expand(resolvedSizes(node, operandStart, env));
     case OpKind::Squeeze:
       return base.squeeze(attrs.i("dim"));
     case OpKind::Unsqueeze:
@@ -242,6 +242,22 @@ Tensor Interpreter::applyView(OpKind viewKind, const Node& node,
     default:
       TSSA_THROW("not a view kind: " << opName(viewKind));
   }
+}
+
+Shape Interpreter::resolvedSizes(const Node& node, std::size_t operandStart,
+                                 const Env& env) const {
+  Shape sizes = node.attrs().ints("sizes");
+  if (!node.attrs().has("dyn")) return sizes;
+  // Symbolic-dim graphs leave runtime extents as -1 placeholders bound from
+  // trailing scalar operands, in order (IRBuilder's dynamic-size overloads).
+  std::size_t k = operandStart;
+  for (std::int64_t& s : sizes) {
+    if (s != -1) continue;
+    TSSA_CHECK(k < node.numInputs(), "dyn sizes: missing extent operand");
+    s = scalarIn(node, k++, env).toInt();
+    TSSA_CHECK(s >= 0, "dyn sizes: negative runtime extent " << s);
+  }
+  return sizes;
 }
 
 // ---- Fusion kernel cache -----------------------------------------------------------------
@@ -644,6 +660,16 @@ void Interpreter::execNode(const Node& node, Env& env, ExecContext& ctx) {
       }
       return;
     }
+    case OpKind::SizeOf: {
+      // Reads the runtime extent off the tensor: the binding step that makes
+      // a symbolically-shaped graph concrete (trip counts, factory sizes).
+      const Tensor t = tensorIn(node, 0, env);
+      std::int64_t d = attrs.i("dim");
+      if (d < 0) d += static_cast<std::int64_t>(t.sizes().size());
+      chargeOpDispatch(ctx);
+      bindOut(0, Scalar(t.size(d)));
+      return;
+    }
     case OpKind::ScalarLt:
     case OpKind::ScalarLe:
     case OpKind::ScalarGt:
@@ -861,7 +887,7 @@ void Interpreter::execNode(const Node& node, Env& env, ExecContext& ctx) {
     // ---- factories -----------------------------------------------------------------------
     case OpKind::Zeros:
     case OpKind::Ones: {
-      Shape sizes = attrs.ints("sizes");
+      Shape sizes = resolvedSizes(node, 0, env);
       const DType dt = attrs.dtype("dtype");
       Tensor out = kind == OpKind::Zeros ? Tensor::zeros(sizes, dt)
                                          : Tensor::ones(sizes, dt);
@@ -870,7 +896,7 @@ void Interpreter::execNode(const Node& node, Env& env, ExecContext& ctx) {
       return;
     }
     case OpKind::Full: {
-      Shape sizes = attrs.ints("sizes");
+      Shape sizes = resolvedSizes(node, 1, env);
       Tensor out =
           Tensor::full(sizes, scalarIn(node, 0, env), attrs.dtype("dtype"));
       chargeKernel(node, tensorBytes(out), 0, ctx);

@@ -143,10 +143,18 @@ class Interpreter {
   Scalar scalarIn(const ir::Node& node, std::size_t i, const Env& env) const;
 
   /// Applies the view rule of `viewKind` to `base`; dynamic view operands
-  /// (select index, slice bounds) start at node input `operandStart`.
+  /// (select index, slice bounds, "dyn" extents) start at node input
+  /// `operandStart`.
   Tensor applyView(ir::OpKind viewKind, const ir::Node& node,
                    const Tensor& base, std::size_t operandStart,
                    const Env& env) const;
+
+  /// The node's "sizes" attr with -1 placeholders bound from trailing scalar
+  /// operands when the node carries the "dyn" marker (symbolic-dim graphs).
+  /// Without "dyn", returns the attr untouched (-1 keeps reshape's static
+  /// infer meaning).
+  Shape resolvedSizes(const ir::Node& node, std::size_t operandStart,
+                      const Env& env) const;
 
   /// Compiled texpr kernel for a FusionGroup node, cached across runs and
   /// threads (nullptr when the body is unsupported).

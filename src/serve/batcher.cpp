@@ -61,16 +61,28 @@ MicroBatcher::~MicroBatcher() {
 
 bool MicroBatcher::compatible(const PendingRequest& a,
                               const PendingRequest& b) {
-  // Same key ⇒ same workload, same per-request input signature. Shared
-  // inputs (batch dim -1) must additionally agree on their values; in the
+  // Shared inputs (batch dim -1) must agree on their values; in the
   // registry those are always scalars (yolact num_dets, fcos normalize).
+  // Batched tensor inputs must be concatenable along the batch dim: a
+  // polymorphic key admits shape diversity (that is its point), so two
+  // requests share a batch iff every *non-batch* extent agrees — the batch
+  // extents themselves are free to differ (ragged coalescing). Under
+  // exact-shape keys the concat check is vacuously true (same signature).
   for (std::size_t i = 0; i < a.traits.inputDims.size(); ++i) {
-    if (a.traits.inputDims[i] >= 0) continue;
+    const int d = a.traits.inputDims[i];
     const runtime::RtValue& x = a.request.inputs[i];
     const runtime::RtValue& y = b.request.inputs[i];
-    if (x.isScalar() != y.isScalar()) return false;
-    if (x.isScalar() && !(x.scalar() == y.scalar())) return false;
-    if (!x.isScalar()) return false;  // shared tensors: be conservative
+    if (d < 0) {
+      if (x.isScalar() != y.isScalar()) return false;
+      if (x.isScalar() && !(x.scalar() == y.scalar())) return false;
+      if (!x.isScalar()) return false;  // shared tensors: be conservative
+      continue;
+    }
+    const Tensor& s = x.tensor();
+    const Tensor& t = y.tensor();
+    if (s.dim() != t.dim() || s.dtype() != t.dtype()) return false;
+    for (std::int64_t dim = 0; dim < s.dim(); ++dim)
+      if (dim != d && s.size(dim) != t.size(dim)) return false;
   }
   return true;
 }

@@ -77,7 +77,9 @@ class MicroBatcher {
   };
 
   /// Two requests may share a batch iff their shared (non-batched) inputs
-  /// agree; batched tensor inputs are free to differ per request.
+  /// agree and their batched tensor inputs are concatenable along the batch
+  /// dim (equal rank/dtype and equal extents everywhere else — polymorphic
+  /// keys admit ragged batch extents, nothing more).
   static bool compatible(const PendingRequest& a, const PendingRequest& b);
 
   void timerLoop();

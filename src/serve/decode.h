@@ -14,13 +14,17 @@
 // `continuous = false`, exists only as the thing to beat;
 // bench/decode_throughput.cpp measures the gap).
 //
-// Shape specialization is preserved by bucketing: a session's context length
-// is padded up to the smallest configured bucket that holds it, with an
-// additive mask neutralizing the padded rows, so the ProgramCache serves one
-// compiled program per (bucket, coalesced batch size) instead of one per
-// context length. Padding and coalescing are both bitwise-invisible
-// (tests/decode_test.cpp asserts a batched session equals its solo run bit
-// for bit).
+// Context lengths are padded up to the smallest configured bucket that
+// holds them, with an additive mask neutralizing the padded rows. Bucketing
+// used to be what kept the compile count bounded (one program per bucket ×
+// coalesced batch size); with the engine's symbolic-shape keys (DESIGN.md
+// §13) ONE polymorphic decode_step program serves every bucket and batch
+// size, and bucketing survives for what it still buys: same-bucket steps
+// share a context extent, so the inner engine's batcher can coalesce them,
+// and the largest bucket stays the admission bound. Padding and coalescing
+// are both bitwise-invisible (tests/decode_test.cpp asserts a batched
+// session equals its solo run bit for bit, including exactly at a bucket
+// edge).
 //
 // Session state lives outside the graphs: the K/V history in a paged
 // KvCache (src/tensor/kv_cache.h) reserved worst-case at admission — so a
@@ -48,9 +52,10 @@ namespace tssa::serve {
 struct DecodeOptions {
   runtime::PipelineKind kind = runtime::PipelineKind::TensorSsa;
   runtime::PipelineOptions pipeline{};
-  /// Compiled-program budget of the inner engine. Decode needs roughly
-  /// (#buckets × #distinct coalesced batch sizes) programs; the default
-  /// keeps every combination of the default buckets and maxStepBatch ≤ 8.
+  /// Compiled-program budget of the inner engine. With symbolic-shape keys
+  /// decode needs exactly one polymorphic step program (plus its fallback);
+  /// the old (#buckets × #batch sizes) sizing is kept as headroom for
+  /// engines configured back to exact-shape specialization.
   std::size_t cacheCapacity = 64;
   /// Sessions coalesced into one step execution (the inner engine's
   /// micro-batch cap).

@@ -88,13 +88,29 @@ Response Session::infer(Request request) {
   return submit(std::move(request)).get();
 }
 
-ProgramKey Engine::keyFor(const Request& request) const {
+ProgramKey Engine::keyFor(const Request& request, bool* polymorphic) const {
   ProgramKey key;
   key.workload = request.workload;
   key.kind = options_.kind;
+  key.options = options_.pipeline;
+  if (options_.symbolicShapes) {
+    const workloads::SymbolicPattern& pattern =
+        workloads::workloadSymbolicPattern(request.workload);
+    if (workloads::matchesSymbolicPattern(pattern, request.inputs)) {
+      // Polymorphic guard: the pattern plus the one config parameter that is
+      // still baked into the graph (the constant weights' seed). batch and
+      // seqLen are runtime extents of a polymorphic program — they no longer
+      // split the key, so the compile count stays flat as shape diversity
+      // grows.
+      key.signature =
+          pattern.signature + "|seed=" + std::to_string(request.config.seed);
+      if (polymorphic != nullptr) *polymorphic = true;
+      return key;
+    }
+  }
   key.signature =
       workloads::inputSignature(request.inputs) + configGuard(request.config);
-  key.options = options_.pipeline;
+  if (polymorphic != nullptr) *polymorphic = false;
   return key;
 }
 
@@ -109,36 +125,47 @@ std::future<Response> Engine::submitInternal(const std::string& sessionId,
   obs::TraceSpan span("serve", "submit");
   span.arg("workload", request.workload);
   span.arg("session", sessionId);
-  // Validation happens here, synchronously: a malformed request throws on
-  // the submitting thread rather than poisoning a shared batch later.
-  const workloads::BatchTraits& traits =
-      workloads::workloadBatchTraits(request.workload);
-  if (request.inputs.empty())
-    request.inputs = defaultInputs(request.workload, request.config);
-  TSSA_CHECK(request.inputs.size() == traits.inputDims.size(),
-             "workload '" << request.workload << "' takes "
-                          << traits.inputDims.size() << " inputs, got "
-                          << request.inputs.size());
-  for (std::size_t i = 0; i < request.inputs.size(); ++i) {
-    const int d = traits.inputDims[i];
-    if (d < 0) continue;
-    TSSA_CHECK(request.inputs[i].isTensor(),
-               "input " << i << " of '" << request.workload
-                        << "' must be a tensor");
-    const Tensor& t = request.inputs[i].tensor();
-    TSSA_CHECK(t.dim() > d && t.size(d) == request.config.batch,
-               "input " << i << " of '" << request.workload
-                        << "': batch dim " << d << " must equal config.batch="
-                        << request.config.batch);
+  // Validation happens here, synchronously: a malformed request throws a
+  // typed RejectedError(BadRequest) on the submitting thread — counted like
+  // every other refusal — rather than escaping as a raw registry error or
+  // poisoning a shared batch later.
+  const workloads::BatchTraits* traits = nullptr;
+  try {
+    traits = &workloads::workloadBatchTraits(request.workload);
+    if (request.inputs.empty())
+      request.inputs = defaultInputs(request.workload, request.config);
+    TSSA_CHECK(request.inputs.size() == traits->inputDims.size(),
+               "workload '" << request.workload << "' takes "
+                            << traits->inputDims.size() << " inputs, got "
+                            << request.inputs.size());
+    for (std::size_t i = 0; i < request.inputs.size(); ++i) {
+      const int d = traits->inputDims[i];
+      if (d < 0) continue;
+      TSSA_CHECK(request.inputs[i].isTensor(),
+                 "input " << i << " of '" << request.workload
+                          << "' must be a tensor");
+      const Tensor& t = request.inputs[i].tensor();
+      TSSA_CHECK(t.dim() > d && t.size(d) == request.config.batch,
+                 "input " << i << " of '" << request.workload
+                          << "': batch dim " << d
+                          << " must equal config.batch="
+                          << request.config.batch);
+    }
+  } catch (const RejectedError&) {
+    throw;  // already typed (should not happen; keep it intact regardless)
+  } catch (const std::exception& ex) {
+    span.arg("rejected", rejectReasonName(RejectReason::BadRequest));
+    metrics_.recordRejected(RejectReason::BadRequest);
+    throw RejectedError(RejectReason::BadRequest, ex.what());
   }
 
   auto pending = std::make_unique<PendingRequest>();
-  pending->key = keyFor(request);
+  pending->key = keyFor(request, &pending->polymorphic);
   pending->enqueueTime = Clock::now();
   pending->deadline =
       absoluteDeadline(pending->enqueueTime, request.deadlineUs);
   pending->request = std::move(request);
-  pending->traits = traits;
+  pending->traits = *traits;
   pending->sessionId = sessionId;
   pending->sessionInFlight = inFlight;
   std::future<Response> future = pending->promise.get_future();
@@ -306,9 +333,15 @@ void Engine::executeBatch(SealedBatch sealed) {
   std::exception_ptr failure;
   try {
     // 1. Coalesce inputs along the workload's batch dimension. Same program
-    //    key ⇒ identical per-request shapes, so rows are uniform.
-    const std::int64_t rowsPer = first.request.config.batch;
-    const std::int64_t totalRows = rowsPer * k;
+    //    key + batcher compatibility ⇒ per-request shapes agree on every
+    //    non-batch dimension; the batch extents themselves may be ragged
+    //    (polymorphic keys coalesce requests of different batch sizes).
+    std::vector<std::int64_t> rows(live.size());
+    std::int64_t totalRows = 0;
+    for (std::size_t j = 0; j < live.size(); ++j) {
+      rows[j] = live[j]->request.config.batch;  // validated at admission
+      totalRows += rows[j];
+    }
     std::vector<runtime::RtValue> inputs;
     inputs.reserve(first.request.inputs.size());
     for (std::size_t i = 0; i < first.request.inputs.size(); ++i) {
@@ -324,28 +357,37 @@ void Engine::executeBatch(SealedBatch sealed) {
       inputs.emplace_back(ops::cat(parts, d));
     }
 
-    // 2. Look up (or compile) the shape-specialized program for the
-    //    *batched* shapes. A solo request at batch=N and a coalesced run of
-    //    N batch-1 requests share the same program.
-    workloads::WorkloadConfig batchedConfig = first.request.config;
-    batchedConfig.batch = totalRows;
+    // 2. Look up (or compile) the program for the *batched* shapes. A
+    //    polymorphic batch keeps the head request's pattern key —
+    //    concatenating along a symbolic dim cannot leave the pattern, so the
+    //    same compiled program serves solo and coalesced runs alike. A
+    //    shape-specialized batch re-keys on the concatenated signature (a
+    //    solo request at batch=N and a coalesced run of N batch-1 requests
+    //    share the same program).
+    workloads::WorkloadConfig compileConfig = first.request.config;
     ProgramKey key;
-    key.workload = first.request.workload;
-    key.kind = options_.kind;
-    key.signature =
-        workloads::inputSignature(inputs) + configGuard(batchedConfig);
-    key.options = options_.pipeline;
+    if (first.polymorphic) {
+      key = first.key;
+      compileConfig.symbolicDims = true;
+    } else {
+      compileConfig.batch = totalRows;
+      key.workload = first.request.workload;
+      key.kind = options_.kind;
+      key.signature =
+          workloads::inputSignature(inputs) + configGuard(compileConfig);
+      key.options = options_.pipeline;
+    }
 
     ProgramCache::Lookup lookup = cache_.getOrCompile(key, [&] {
       if (injector != nullptr) injector->onCompile(key.toString());
-      // This span contains the whole shape-specialized compilation — the
-      // nested "pipeline" pass spans (functionalize, fusion, parallelize,
-      // memory-plan) land inside it on the same thread.
+      // This span contains the whole compilation — the nested "pipeline"
+      // pass spans (functionalize, fusion, parallelize, memory-plan) land
+      // inside it on the same thread.
       obs::TraceSpan compileSpan("serve", "compile");
       compileSpan.arg("workload", key.workload);
       compileSpan.arg("signature", key.signature);
       workloads::Workload w =
-          workloads::buildWorkload(key.workload, batchedConfig);
+          workloads::buildWorkload(key.workload, compileConfig);
       auto pipeline = std::make_unique<runtime::Pipeline>(
           options_.kind, *w.graph, options_.pipeline);
       // Every launch of an engine-compiled program reports to the injector
@@ -405,8 +447,10 @@ void Engine::executeBatch(SealedBatch sealed) {
     }
     metrics_.recordMemory(mem.freshAllocs, mem.reusedAllocs);
 
-    // 4. De-interleave: row block j of every output belongs to request j.
+    // 4. De-interleave: the j-th (possibly ragged) row block of every
+    //    output belongs to request j.
     const double execUs = usSince(runStart);
+    std::int64_t rowOffset = 0;
     for (int j = 0; j < k; ++j) {
       std::vector<runtime::RtValue> mine;
       mine.reserve(outputs.size());
@@ -420,12 +464,14 @@ void Engine::executeBatch(SealedBatch sealed) {
                      "workload '" << key.workload
                                   << "' output " << o
                                   << " cannot be de-interleaved");
-          mine.emplace_back(outputs[o]
-                                .tensor()
-                                .narrow(d, j * rowsPer, rowsPer)
-                                .clone());
+          mine.emplace_back(
+              outputs[o]
+                  .tensor()
+                  .narrow(d, rowOffset, rows[static_cast<std::size_t>(j)])
+                  .clone());
         }
       }
+      rowOffset += rows[static_cast<std::size_t>(j)];
       Response resp;
       resp.outputs = std::move(mine);
       resp.timing.queueUs = usBetween(
@@ -465,7 +511,8 @@ void Engine::executeSolo(std::unique_ptr<PendingRequest> request,
                          Clock::time_point execStart) {
   FaultInjector* const injector = options_.faultInjector;
   const ProgramKey key = request->key;  // the per-request (unbatched) key
-  const workloads::WorkloadConfig config = request->request.config;
+  workloads::WorkloadConfig config = request->request.config;
+  config.symbolicDims = request->polymorphic;  // match what the key promises
   ProgramCache::Lookup lookup = cache_.getOrCompile(key, [&] {
     if (injector != nullptr) injector->onCompile(key.toString());
     obs::TraceSpan compileSpan("serve", "compile");
@@ -528,7 +575,11 @@ void Engine::degradeOrReject(std::unique_ptr<PendingRequest> request,
   ProgramKey key = request->key;
   key.kind = runtime::PipelineKind::Eager;
   key.signature += "|fallback";
-  const workloads::WorkloadConfig config = request->request.config;
+  workloads::WorkloadConfig config = request->request.config;
+  // A polymorphic key caches one fallback for every shape it guards, so the
+  // fallback graph must be polymorphic too (the interpreter binds its
+  // runtime extents the same way on the eager path).
+  config.symbolicDims = request->polymorphic;
   ProgramCache::Lookup lookup = cache_.getOrCompile(key, [&] {
     obs::TraceSpan compileSpan("serve", "compile");
     compileSpan.arg("workload", key.workload);

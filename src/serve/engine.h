@@ -1,20 +1,32 @@
-// Shape-specialized inference serving engine.
+// Shape-polymorphic inference serving engine.
 //
 // The traffic-facing subsystem over the PR-1 execution engine: an Engine
 // accepts typed requests for any registered workload, amortizes compilation
-// through a ProgramCache keyed on (workload, pipeline kind, shape signature,
-// device, texpr flag), coalesces same-key requests arriving within a bounded
-// window into micro-batches along the workload's batch dimension, and
-// executes them concurrently on the shared runtime::ThreadPool. Clients talk
-// to the engine through lightweight Session handles; every response carries
-// its latency decomposition (queue / compile / exec), and the engine exports
-// an aggregate MetricsSnapshot (p50/p95/p99, throughput, cache stats).
+// through a ProgramCache, coalesces same-key requests arriving within a
+// bounded window into micro-batches along the workload's batch dimension,
+// and executes them concurrently on the shared runtime::ThreadPool. Clients
+// talk to the engine through lightweight Session handles; every response
+// carries its latency decomposition (queue / compile / exec), and the engine
+// exports an aggregate MetricsSnapshot (p50/p95/p99, throughput, cache
+// stats).
 //
-// Batching contract: a micro-batched execution of K same-shape requests is
-// bitwise identical to the K individual executions (tests/serve_test.cpp
-// asserts it). This holds because every registered workload computes
-// batch rows independently (BatchTraits in the registry) and because the
-// executor itself is deterministic at any thread count (DESIGN.md §6).
+// Specialization unit (DESIGN.md §13): with EngineOptions::symbolicShapes
+// (the default), a request whose inputs instantiate the workload's symbolic
+// pattern (workloadSymbolicPattern) is keyed on that *pattern* — one
+// compiled polymorphic program serves every batch size and sequence length,
+// so the compile count stays flat while shape diversity grows. Requests
+// whose inputs deviate from the pattern fall back to the exact-shape
+// signature and get a shape-specialized program, as does the whole engine
+// when symbolicShapes is off.
+//
+// Batching contract: a micro-batched execution of K compatible requests is
+// bitwise identical to the K individual executions (tests/serve_test.cpp,
+// tests/serve_symbolic_test.cpp assert it). This holds because every
+// registered workload computes batch rows independently (BatchTraits in the
+// registry) and because the executor itself is deterministic at any thread
+// count (DESIGN.md §6). Polymorphic requests may be *ragged* along the batch
+// dimension — requests differing only in batch size coalesce padding-free;
+// the batcher seals on any shape difference along a non-batch dimension.
 //
 // Robustness contract (DESIGN.md §10): admission is bounded (maxQueueDepth,
 // per-session in-flight caps), deadlines are enforced at admission, in the
@@ -50,6 +62,12 @@ struct EngineOptions {
   /// of the program cache key.
   runtime::PipelineOptions pipeline{};
   std::size_t cacheCapacity = 32;      ///< compiled programs kept (LRU)
+  /// Key programs on the workload's symbolic shape pattern when the
+  /// request's inputs instantiate it: one polymorphic compiled program per
+  /// (workload, seed) serves every batch size / sequence length instead of
+  /// one program per concrete shape. Off ⇒ exact-shape specialization
+  /// everywhere (the pre-§13 behavior).
+  bool symbolicShapes = true;
   int maxBatch = 8;                    ///< micro-batch request cap
   std::int64_t maxWaitUs = 200;        ///< micro-batch window; <= 0 disables
   /// Worker threads guaranteed on the shared pool for batch execution
@@ -94,7 +112,9 @@ class Session {
   /// Asynchronous submit. The future throws RejectedError when the engine
   /// refuses the request (load shed, deadline miss, shutdown, unrecoverable
   /// compile failure) and plain tssa::Error when execution itself fails;
-  /// malformed requests throw synchronously from submit.
+  /// malformed requests (unknown workload, wrong arity, batch-dim mismatch)
+  /// throw RejectedError(BadRequest) synchronously from submit, counted in
+  /// tssa_serve_rejected_total{reason="bad_request"}.
   std::future<Response> submit(Request request);
   /// Blocking convenience: submit + get.
   Response infer(Request request);
@@ -181,7 +201,11 @@ class Engine {
   void degradeOrReject(std::unique_ptr<PendingRequest> request,
                        std::chrono::steady_clock::time_point execStart,
                        const std::exception_ptr& compileError);
-  ProgramKey keyFor(const Request& request) const;
+  /// The request's program key. When symbolicShapes is on and the inputs
+  /// instantiate the workload's symbolic pattern, the key is polymorphic
+  /// (pattern signature + seed) and `*polymorphic` is set; otherwise the
+  /// exact-shape key.
+  ProgramKey keyFor(const Request& request, bool* polymorphic) const;
 
   // ---- Per-request terminal transitions (each touches the promise once,
   // ---- then releases the request's admission accounting) -----------------

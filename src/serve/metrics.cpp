@@ -16,6 +16,7 @@ std::string_view rejectReasonName(RejectReason reason) {
     case RejectReason::ShuttingDown: return "shutting_down";
     case RejectReason::CompileFailed: return "compile_failed";
     case RejectReason::KvExhausted: return "kv_exhausted";
+    case RejectReason::BadRequest: return "bad_request";
   }
   return "unknown";
 }

@@ -24,11 +24,12 @@ enum class RejectReason : int {
   ShuttingDown,    ///< submitted after Engine::shutdown() began
   CompileFailed,   ///< program compile failed and the fallback path did too
   KvExhausted,     ///< decode session shed: KV cache could not reserve pages
+  BadRequest,      ///< malformed at submit: unknown workload, bad inputs
 };
-inline constexpr int kNumRejectReasons = 5;
+inline constexpr int kNumRejectReasons = 6;
 
 /// Stable metric-label name: "deadline", "queue_full", "shutting_down",
-/// "compile_failed", "kv_exhausted".
+/// "compile_failed", "kv_exhausted", "bad_request".
 std::string_view rejectReasonName(RejectReason reason);
 
 /// Latency decomposition of one served request, all in microseconds.

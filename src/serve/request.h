@@ -104,6 +104,11 @@ struct PendingRequest {
   /// when the request carries no deadline (deadlineUs == 0).
   std::chrono::steady_clock::time_point deadline = kNoDeadline;
   ProgramKey key;                   ///< per-request (unbatched) program key
+  /// The key is the workload's symbolic-pattern key (Engine::keyFor matched
+  /// the pattern): the compiled program is shape-polymorphic, so batching
+  /// may be ragged along the batch dim and compiles must set
+  /// WorkloadConfig::symbolicDims.
+  bool polymorphic = false;
   workloads::BatchTraits traits;
   std::string sessionId;
   /// The owning session's in-flight counter; decremented exactly once when

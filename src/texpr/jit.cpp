@@ -39,14 +39,22 @@ std::string compilerCommand() {
   return TSSA_JIT_CXX;
 }
 
-/// RAII temp dir: created 0700 by mkdtemp, best-effort cleaned on exit.
+/// RAII temp dir: created 0700 by mkdtemp under $TMPDIR (fallback /tmp),
+/// best-effort cleaned on exit.
 struct TempDir {
   std::string path;
   std::vector<std::string> files;
 
   explicit TempDir() {
-    char tmpl[] = "/tmp/tssa-jit-XXXXXX";
-    if (::mkdtemp(tmpl) != nullptr) path = tmpl;
+    // Read per call, like TSSA_JIT_CC: sandboxed environments point TMPDIR
+    // at a writable scratch dir where a hardcoded /tmp would fail (and tests
+    // redirect it to assert the kernel still engages).
+    const char* base = std::getenv("TMPDIR");
+    if (base == nullptr || *base == '\0') base = "/tmp";
+    std::string tmpl = std::string(base);
+    if (tmpl.back() == '/') tmpl.pop_back();
+    tmpl += "/tssa-jit-XXXXXX";
+    if (::mkdtemp(tmpl.data()) != nullptr) path = tmpl;
   }
   ~TempDir() {
     for (const std::string& f : files) ::unlink(f.c_str());

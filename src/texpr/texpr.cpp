@@ -110,6 +110,10 @@ bool Kernel::supports(const Block& body) {
       case ir::OpCategory::EwiseTernary:
         break;
       case ir::OpCategory::Immut:
+        // Dynamic-extent view rules ("dyn" marker: sizes bound from scalar
+        // operands at run time) stay on the per-node interpreter path —
+        // viewShape below reads "sizes" as static (-1 means infer there).
+        if (node->attrs().has("dyn")) return false;
         if (node->kind() == OpKind::Access) {
           if (!supportedViewRule(viewRuleOf(*node), /*forAssign=*/false))
             return false;

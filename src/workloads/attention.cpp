@@ -38,17 +38,37 @@ Workload buildAttention(const WorkloadConfig& config) {
 
   auto graph = std::make_unique<ir::Graph>();
   IRBuilder bld(*graph);
-  Value* q = graph->addInput(Type::tensor(DType::Float32), "q");
-  Value* k = graph->addInput(Type::tensor(DType::Float32), "k");
-  Value* v = graph->addInput(Type::tensor(DType::Float32), "v");
+  const SymbolicPattern* pat =
+      config.symbolicDims ? &workloadSymbolicPattern("attention") : nullptr;
+  auto inType = [&](std::size_t i) {
+    return pat ? pat->inputs[i] : Type::tensor(DType::Float32);
+  };
+  Value* q = graph->addInput(inType(0), "q");
+  Value* k = graph->addInput(inType(1), "k");
+  Value* v = graph->addInput(inType(2), "v");
 
   Value* scale = bld.constTensor(
       Tensor::full({}, Scalar(1.0 / std::sqrt(static_cast<double>(kDim)))));
-  Value* kCache = bld.zeros({b, t, kDim});
-  Value* vCache = bld.zeros({b, t, kDim});
-  Value* out = bld.zeros({b, t, kDim});
+  Value* kCache;
+  Value* vCache;
+  Value* out;
+  Value* trip;
+  if (config.symbolicDims) {
+    // Caches and trip count sized off the inputs: one program per guard.
+    Value* rows = bld.sizeOf(q, 0);
+    Value* steps = bld.sizeOf(q, 1);
+    kCache = bld.zeros({-1, -1, kDim}, {rows, steps});
+    vCache = bld.zeros({-1, -1, kDim}, {rows, steps});
+    out = bld.zeros({-1, -1, kDim}, {rows, steps});
+    trip = steps;
+  } else {
+    kCache = bld.zeros({b, t, kDim});
+    vCache = bld.zeros({b, t, kDim});
+    out = bld.zeros({b, t, kDim});
+    trip = bld.constInt(t);
+  }
 
-  Node* loop = bld.makeLoop(bld.constInt(t), {});
+  Node* loop = bld.makeLoop(trip, {});
   Block* body = loop->block(0);
   {
     IRBuilder ib(*graph);

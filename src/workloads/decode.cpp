@@ -48,10 +48,18 @@ Workload buildDecodeStep(const WorkloadConfig& config) {
 
   auto graph = std::make_unique<ir::Graph>();
   IRBuilder bld(*graph);
-  Value* x = graph->addInput(Type::tensor(DType::Float32), "x");        // [b,d]
-  Value* kctx = graph->addInput(Type::tensor(DType::Float32), "kctx"); // [b,ctx,d]
-  Value* vctx = graph->addInput(Type::tensor(DType::Float32), "vctx"); // [b,ctx,d]
-  Value* mask = graph->addInput(Type::tensor(DType::Float32), "mask"); // [b,ctx+1]
+  // Nothing below bakes b or ctx into the graph, so the symbolic build only
+  // annotates input types ([B,d], [B,C,d], [B,C+1]): the step program is
+  // structurally polymorphic already.
+  const SymbolicPattern* pat =
+      config.symbolicDims ? &workloadSymbolicPattern("decode_step") : nullptr;
+  auto inType = [&](std::size_t i) {
+    return pat ? pat->inputs[i] : Type::tensor(DType::Float32);
+  };
+  Value* x = graph->addInput(inType(0), "x");                           // [b,d]
+  Value* kctx = graph->addInput(inType(1), "kctx");                 // [b,ctx,d]
+  Value* vctx = graph->addInput(inType(2), "vctx");                 // [b,ctx,d]
+  Value* mask = graph->addInput(inType(3), "mask");                 // [b,ctx+1]
 
   // Weights first, shapes only in terms of d: identical across buckets.
   Value* wq = bld.constTensor(rng.normal({d, d}, 0.0, 0.3));

@@ -48,16 +48,20 @@ Workload buildFcos(const WorkloadConfig& config) {
 
   auto graph = std::make_unique<ir::Graph>();
   IRBuilder bld(*graph);
+  const SymbolicPattern* pat =
+      config.symbolicDims ? &workloadSymbolicPattern("fcos") : nullptr;
+  auto inType = [&](int s, int kind) {
+    return pat ? pat->inputs[static_cast<std::size_t>(s * 3 + kind)]
+               : Type::tensor(DType::Float32);
+  };
   std::vector<Value*> clsIn, ctrIn, regIn;
   for (int s = 0; s < 3; ++s) {
-    clsIn.push_back(graph->addInput(Type::tensor(DType::Float32),
-                                    "cls" + std::to_string(s)));
-    ctrIn.push_back(graph->addInput(Type::tensor(DType::Float32),
-                                    "ctr" + std::to_string(s)));
-    regIn.push_back(graph->addInput(Type::tensor(DType::Float32),
-                                    "reg" + std::to_string(s)));
+    clsIn.push_back(graph->addInput(inType(s, 0), "cls" + std::to_string(s)));
+    ctrIn.push_back(graph->addInput(inType(s, 1), "ctr" + std::to_string(s)));
+    regIn.push_back(graph->addInput(inType(s, 2), "reg" + std::to_string(s)));
   }
   Value* normalize = graph->addInput(Type::boolean(), "normalize");
+  Value* rows = pat ? bld.sizeOf(clsIn[0], 0) : nullptr;
 
   std::vector<Value*> allBoxes, allScores;
   for (int s = 0; s < 3; ++s) {
@@ -80,7 +84,8 @@ Workload buildFcos(const WorkloadConfig& config) {
                 bld.exp(classBias)),
         Scalar(0.0), Scalar(1.0));
 
-    Value* boxes = bld.zeros({b, hw, 4});
+    Value* boxes = pat ? bld.zeros({-1, hw, 4}, {rows})
+                       : bld.zeros({b, hw, 4});
     auto dist = [&](std::int64_t c) {
       return bld.slice(regIn[s], 2, bld.constInt(c), bld.constInt(c + 1));
     };
@@ -112,7 +117,9 @@ Workload buildFcos(const WorkloadConfig& config) {
   constexpr std::int64_t kTop = 64;
   Value* best = bld.maxDim(scoresCat, 2);            // [B, sum(HW)]
   Node* top = bld.topk(best, kTop);
-  Value* idx = bld.expand(bld.unsqueeze(top->output(1), 2), {b, kTop, 4});
+  Value* unsq = bld.unsqueeze(top->output(1), 2);
+  Value* idx = pat ? bld.expand(unsq, {-1, kTop, 4}, {rows})
+                   : bld.expand(unsq, {b, kTop, 4});
   Value* selected = bld.gather(ifNode->output(0), 1, idx);
 
   graph->addOutput(selected);

@@ -31,13 +31,28 @@ Workload buildNasRnn(const WorkloadConfig& config) {
 
   auto graph = std::make_unique<ir::Graph>();
   IRBuilder bld(*graph);
-  Value* xw = graph->addInput(Type::tensor(DType::Float32), "xw");
-  Value* h0 = graph->addInput(Type::tensor(DType::Float32), "h0");
+  const SymbolicPattern* pat =
+      config.symbolicDims ? &workloadSymbolicPattern("nasrnn") : nullptr;
+  auto inType = [&](std::size_t i) {
+    return pat ? pat->inputs[i] : Type::tensor(DType::Float32);
+  };
+  Value* xw = graph->addInput(inType(0), "xw");
+  Value* h0 = graph->addInput(inType(1), "h0");
 
   Value* wh = bld.constTensor(rng.normal({kHidden, 8 * kHidden}, 0.0, 0.2));
-  Value* out = bld.zeros({b, t, kHidden});
+  Value* out;
+  Value* trip;
+  if (config.symbolicDims) {
+    Value* rows = bld.sizeOf(xw, 0);
+    Value* steps = bld.sizeOf(xw, 1);
+    out = bld.zeros({-1, -1, kHidden}, {rows, steps});
+    trip = steps;
+  } else {
+    out = bld.zeros({b, t, kHidden});
+    trip = bld.constInt(t);
+  }
 
-  Node* loop = bld.makeLoop(bld.constInt(t), {h0});
+  Node* loop = bld.makeLoop(trip, {h0});
   Block* body = loop->block(0);
   {
     IRBuilder ib(*graph);

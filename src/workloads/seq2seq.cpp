@@ -32,14 +32,29 @@ Workload buildSeq2Seq(const WorkloadConfig& config) {
 
   auto graph = std::make_unique<ir::Graph>();
   IRBuilder bld(*graph);
-  Value* enc = graph->addInput(Type::tensor(DType::Float32), "enc");
-  Value* h0 = graph->addInput(Type::tensor(DType::Float32), "h0");
+  const SymbolicPattern* pat =
+      config.symbolicDims ? &workloadSymbolicPattern("seq2seq") : nullptr;
+  auto inType = [&](std::size_t i) {
+    return pat ? pat->inputs[i] : Type::tensor(DType::Float32);
+  };
+  Value* enc = graph->addInput(inType(0), "enc");
+  Value* h0 = graph->addInput(inType(1), "h0");
 
   Value* wh = bld.constTensor(rng.normal({kHidden, kHidden}, 0.0, 0.2));
   Value* wv = bld.constTensor(rng.normal({kHidden, kVocab}, 0.0, 0.2));
-  Value* out = bld.zeros({b, t, kVocab});
+  Value* out;
+  Value* trip;
+  if (config.symbolicDims) {
+    Value* rows = bld.sizeOf(enc, 0);
+    Value* steps = bld.sizeOf(enc, 1);
+    out = bld.zeros({-1, -1, kVocab}, {rows, steps});
+    trip = steps;
+  } else {
+    out = bld.zeros({b, t, kVocab});
+    trip = bld.constInt(t);
+  }
 
-  Node* loop = bld.makeLoop(bld.constInt(t), {h0});
+  Node* loop = bld.makeLoop(trip, {h0});
   Block* body = loop->block(0);
   {
     IRBuilder ib(*graph);

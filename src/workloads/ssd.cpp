@@ -30,8 +30,13 @@ Workload buildSsd(const WorkloadConfig& config) {
 
   auto graph = std::make_unique<ir::Graph>();
   IRBuilder bld(*graph);
-  Value* loc = graph->addInput(Type::tensor(DType::Float32), "loc");
-  Value* conf = graph->addInput(Type::tensor(DType::Float32), "conf");
+  const SymbolicPattern* pat =
+      config.symbolicDims ? &workloadSymbolicPattern("ssd") : nullptr;
+  auto inType = [&](std::size_t i) {
+    return pat ? pat->inputs[i] : Type::tensor(DType::Float32);
+  };
+  Value* loc = graph->addInput(inType(0), "loc");
+  Value* conf = graph->addInput(inType(1), "conf");
 
   Value* priorCenters = bld.constTensor(rng.uniform({1, kPriors, 2}, 0.1, 0.9));
   Value* priorSizes = bld.constTensor(rng.uniform({1, kPriors, 2}, 0.05, 0.4));
@@ -46,7 +51,9 @@ Workload buildSsd(const WorkloadConfig& config) {
   Value* wh = bld.mul(bld.exp(bld.mul(lwh, varSize)), priorSizes);
   Value* halfWh = bld.mul(wh, half);
 
-  Value* boxes = bld.zeros({b, kPriors, 4});
+  Value* boxes = config.symbolicDims
+                     ? bld.zeros({-1, kPriors, 4}, {bld.sizeOf(loc, 0)})
+                     : bld.zeros({b, kPriors, 4});
   Value* bmin = bld.slice(boxes, 2, bld.constInt(0), bld.constInt(2));
   Value* bmax = bld.slice(boxes, 2, bld.constInt(2), bld.constInt(4));
   bld.copy_(bmin, bld.sub(cxcy, halfWh));

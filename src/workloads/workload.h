@@ -26,6 +26,14 @@ struct WorkloadConfig {
   std::int64_t batch = 1;
   std::int64_t seqLen = 64;   ///< used by the NLP / attention workloads
   std::uint64_t seed = 42;
+  /// Build the graph shape-polymorphically: input types carry symbolic dims
+  /// (B, T, C — see workloadSymbolicPattern), factory/view extents along
+  /// those axes are bound from the inputs at run time (aten::size + the
+  /// builders' dynamic-size overloads), and loop trip counts are read off
+  /// the inputs instead of baked as constants. `batch`/`seqLen` then only
+  /// size the sample inputs; one compiled program serves every shape that
+  /// matches the pattern.
+  bool symbolicDims = false;
 };
 
 /// Hidden width of the decode_step workload (and therefore of every decode
@@ -81,6 +89,31 @@ const std::vector<std::string>& workloadNames();
 /// serving engine consults this on every submit). Builders fill
 /// `Workload::batchTraits` from the same table. Throws on unknown names.
 const BatchTraits& workloadBatchTraits(const std::string& name);
+
+/// The symbolic input interface of a workload: one type per graph input —
+/// tensor types carry symbolic dims (`f32[B,T,32]`), scalar inputs keep
+/// their scalar type — plus the printed polymorphic signature in
+/// inputSignature's format with symbols in place of concrete extents, e.g.
+/// "f32[B,T,32];f32[B,32]". This is exactly what the builder stamps on the
+/// graph inputs when `config.symbolicDims` is set (asserted by tests), and
+/// what the serving engine canonicalizes request shapes against: every
+/// input tuple that instantiates the pattern shares one cached program.
+struct SymbolicPattern {
+  std::vector<ir::Type> inputs;
+  std::string signature;
+};
+
+/// Symbolic pattern of a workload, available without building its graph.
+/// Throws on unknown names.
+const SymbolicPattern& workloadSymbolicPattern(const std::string& name);
+
+/// True when `inputs` concretely instantiate `pattern`: same arity, tensor
+/// ranks/dtypes/static extents match exactly, scalar inputs have the right
+/// scalar type, and every symbol binds consistently across its occurrences
+/// (with each binding >= 1). This is the residual guard a polymorphic
+/// program's cache entry carries in place of the exact-shape signature.
+bool matchesSymbolicPattern(const SymbolicPattern& pattern,
+                            std::span<const runtime::RtValue> inputs);
 
 /// Builds a workload by name; throws on unknown names.
 Workload buildWorkload(const std::string& name, const WorkloadConfig& config);

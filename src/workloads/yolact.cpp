@@ -47,8 +47,13 @@ Workload buildYolact(const WorkloadConfig& config) {
 
   auto graph = std::make_unique<ir::Graph>();
   IRBuilder bld(*graph);
-  Value* coeff = graph->addInput(Type::tensor(DType::Float32), "coeff");
-  Value* boxes = graph->addInput(Type::tensor(DType::Float32), "boxes");
+  const SymbolicPattern* pat =
+      config.symbolicDims ? &workloadSymbolicPattern("yolact") : nullptr;
+  auto inType = [&](std::size_t i) {
+    return pat ? pat->inputs[i] : Type::tensor(DType::Float32);
+  };
+  Value* coeff = graph->addInput(inType(0), "coeff");
+  Value* boxes = graph->addInput(inType(1), "boxes");
   // The number of surviving detections is decided at runtime (it is the
   // output of NMS) — data-dependent control flow that trace-time unrolling
   // cannot capture, but TensorSSA's loop-level functionalization can.
@@ -57,10 +62,19 @@ Workload buildYolact(const WorkloadConfig& config) {
   // Assemble masks: [B*N, K] @ [K, H*W] -> sigmoid -> [B, N, H, W].
   Value* protoT =
       bld.constTensor(rng.normal({kProto, kSide * kSide}, 0.0, 0.5));
-  Value* coeffFlat = bld.reshape(coeff, {b * kDets, kProto});
+  Value* coeffFlat;
+  Value* rows = pat ? bld.sizeOf(coeff, 0) : nullptr;
+  if (pat) {
+    Value* flatRows = bld.scalarMul(rows, bld.constInt(kDets));
+    coeffFlat = bld.reshape(coeff, {-1, kProto}, {flatRows});
+  } else {
+    coeffFlat = bld.reshape(coeff, {b * kDets, kProto});
+  }
   Value* logits = bld.matmul(coeffFlat, protoT);
   Value* masksFlat = bld.sigmoid(logits);
-  Value* masks = bld.clone(bld.reshape(masksFlat, {b, kDets, kSide, kSide}));
+  Value* masks = bld.clone(
+      pat ? bld.reshape(masksFlat, {-1, kDets, kSide, kSide}, {rows})
+          : bld.reshape(masksFlat, {b, kDets, kSide, kSide}));
 
   Value* xs = bld.constTensor(coordinateGrid(true));
   Value* ys = bld.constTensor(coordinateGrid(false));

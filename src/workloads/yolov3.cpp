@@ -53,17 +53,24 @@ Workload buildYolov3(const WorkloadConfig& config) {
   auto graph = std::make_unique<ir::Graph>();
   IRBuilder bld(*graph);
 
+  const SymbolicPattern* pat =
+      config.symbolicDims ? &workloadSymbolicPattern("yolov3") : nullptr;
   std::vector<Value*> heads;
   for (int s = 0; s < 3; ++s) {
-    heads.push_back(graph->addInput(Type::tensor(DType::Float32),
-                                    "head" + std::to_string(s)));
+    heads.push_back(graph->addInput(
+        pat ? pat->inputs[static_cast<std::size_t>(s)]
+            : Type::tensor(DType::Float32),
+        "head" + std::to_string(s)));
   }
+  // The batch extent read off the first head sizes every per-scale buffer.
+  Value* rows = pat ? bld.sizeOf(heads[0], 0) : nullptr;
 
   std::vector<Value*> flats;
   for (int s = 0; s < 3; ++s) {
     const std::int64_t h = kGrids[s];
     Value* p = heads[static_cast<std::size_t>(s)];
-    Value* dec = bld.zeros({b, kAnchors, h, h, kBox});
+    Value* dec = pat ? bld.zeros({-1, kAnchors, h, h, kBox}, {rows})
+                     : bld.zeros({b, kAnchors, h, h, kBox});
 
     // Box centers.
     Value* pxy = bld.slice(p, 4, bld.constInt(0), bld.constInt(2));
@@ -83,7 +90,9 @@ Workload buildYolov3(const WorkloadConfig& config) {
     Value* dconf = bld.slice(dec, 4, bld.constInt(4), bld.constInt(kBox));
     bld.copy_(dconf, bld.sigmoid(pconf));
 
-    flats.push_back(bld.reshape(dec, {b, kAnchors * h * h, kBox}));
+    flats.push_back(pat
+                        ? bld.reshape(dec, {-1, kAnchors * h * h, kBox}, {rows})
+                        : bld.reshape(dec, {b, kAnchors * h * h, kBox}));
   }
 
   Value* all = bld.cat(flats, 1);
@@ -97,8 +106,9 @@ Workload buildYolov3(const WorkloadConfig& config) {
   constexpr std::int64_t kTop = 64;
   Value* best = bld.maxDim(scores, 2);             // [B, N]
   ir::Node* top = bld.topk(best, kTop);            // values, indices
-  Value* idx = bld.expand(bld.unsqueeze(top->output(1), 2),
-                          {b, kTop, 4});
+  Value* unsq = bld.unsqueeze(top->output(1), 2);
+  Value* idx = pat ? bld.expand(unsq, {-1, kTop, 4}, {rows})
+                   : bld.expand(unsq, {b, kTop, 4});
   Value* selected = bld.gather(boxes, 1, idx);     // [B, K, 4]
   graph->addOutput(selected);
   graph->addOutput(top->output(0));

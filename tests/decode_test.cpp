@@ -223,6 +223,64 @@ TEST(DecodeSchedulerTest, OversizedSessionIsShedAtSubmit) {
   EXPECT_EQ(sched.metrics().rejectedFor(RejectReason::KvExhausted), 1u);
 }
 
+// Bucket-boundary cases. A session's last step reads totalSteps-1 context
+// tokens; admission allows exactly ctxBuckets.back() and sheds one past it.
+TEST(DecodeSchedulerTest, ContextExactlyAtBucketEdgeMatchesSoloBitwise) {
+  // promptLen 3 + generate 15 ⇒ 17 steps, final context 16 == largest
+  // bucket: the edge itself is admitted and runs with zero padded rows.
+  auto makeRequest = [] {
+    DecodeRequest req;
+    req.prompt = DecodeScheduler::randomPrompt(3, 606);
+    req.generate = 15;
+    return req;
+  };
+
+  Tensor solo;
+  {
+    DecodeScheduler sched(smallOptions());
+    solo = sched.submit(makeRequest()).get().generated;
+  }
+
+  // Same session co-scheduled with a shorter one: crossing every bucket up
+  // to and including the exact edge must stay bitwise identical.
+  DecodeOptions options = smallOptions();
+  options.maxActiveSessions = 4;
+  DecodeScheduler sched(options);
+  auto edge = sched.submit(makeRequest());
+  DecodeRequest other;
+  other.prompt = DecodeScheduler::randomPrompt(2, 707);
+  other.generate = 5;
+  auto companion = sched.submit(std::move(other));
+  const Tensor batched = edge.get().generated;
+  companion.get();
+
+  ASSERT_EQ(batched.sizes(), solo.sizes());
+  EXPECT_EQ(std::memcmp(batched.data<float>(), solo.data<float>(),
+                        sizeof(float) *
+                            static_cast<std::size_t>(batched.numel())),
+            0);
+  // One polymorphic step program served every bucket the two sessions
+  // crossed (the old per-bucket specialization would have compiled one
+  // program per context bucket).
+  EXPECT_EQ(sched.engineMetrics().cacheCompiles, 1u);
+}
+
+TEST(DecodeSchedulerTest, ContextOnePastLargestBucketIsShed) {
+  DecodeScheduler sched(smallOptions());
+  DecodeRequest req;
+  req.prompt = DecodeScheduler::randomPrompt(3, 808);
+  req.generate = 16;  // 18 steps ⇒ final context 17 == bucket 16 + 1
+  auto future = sched.submit(std::move(req));
+  try {
+    future.get();
+    FAIL() << "expected RejectedError";
+  } catch (const RejectedError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::KvExhausted);
+  }
+  EXPECT_EQ(sched.metrics().rejectedFor(RejectReason::KvExhausted), 1u);
+  EXPECT_EQ(sched.metrics().sessionsCompleted, 0u);
+}
+
 TEST(DecodeSchedulerTest, KvExhaustionShedsInsteadOfWedging) {
   DecodeOptions options = smallOptions();
   options.maxActiveSessions = 8;

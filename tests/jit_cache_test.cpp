@@ -3,6 +3,9 @@
 // eviction while a compiled kernel is still in use.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -119,6 +122,57 @@ TEST(JitCacheTest, SingleFlightCompileUnderConcurrency) {
     ASSERT_NE(results[static_cast<std::size_t>(t)], nullptr);
     EXPECT_EQ(results[static_cast<std::size_t>(t)], results[0]);
   }
+  cache.clearForTesting();
+}
+
+TEST(JitCacheTest, HonorsTmpdirForScratchFiles) {
+  if (!texpr::jit::jitEnabled()) GTEST_SKIP() << "texpr JIT disabled";
+  auto& cache = KernelCache::instance();
+  cache.clearForTesting();
+
+  const char* old = std::getenv("TMPDIR");
+  const std::string saved = old != nullptr ? old : "";
+
+  // Scratch dir the compile must land in (sandboxes point TMPDIR at the one
+  // writable location; a hardcoded /tmp would miss it).
+  char scratch[] = "./tssa-jit-scratch-XXXXXX";
+  ASSERT_NE(::mkdtemp(scratch), nullptr);
+  ::setenv("TMPDIR", scratch, 1);
+
+  Graph g;
+  Block* body = addSquashBody(g);
+  Rng rng(33);
+  std::vector<RtValue> inputs{RtValue(rng.uniform({4, 4}, -1, 1)),
+                              RtValue(rng.uniform({4, 4}, -1, 1))};
+  texpr::Kernel jitted(*body, /*allowJit=*/true);
+  texpr::Kernel reference(*body, /*allowJit=*/false);
+  const auto got = jitted.run(inputs, nullptr, 1);
+
+  // The kernel engaged: one successful native compile, no fallback — with
+  // every scratch file created under TMPDIR and cleaned up afterwards.
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().compileFails, 0u);
+  EXPECT_EQ(cache.stats().size, 1u);
+  const auto want = reference.run(inputs, nullptr, 1);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_TRUE(allClose(got[i].tensor(), want[i].tensor(), 0.0));
+  EXPECT_EQ(::rmdir(scratch), 0) << "scratch dir not empty or never used";
+
+  // Counter-probe: an unusable TMPDIR must break the compile — proof the
+  // path above really came from the environment, not a /tmp fallback.
+  cache.clearForTesting();
+  ::setenv("TMPDIR", "./tssa-jit-does-not-exist", 1);
+  texpr::Kernel broken(*body, /*allowJit=*/true);
+  const auto fallback = broken.run(inputs, nullptr, 1);
+  EXPECT_EQ(cache.stats().compileFails, 1u);
+  for (std::size_t i = 0; i < fallback.size(); ++i)
+    EXPECT_TRUE(allClose(fallback[i].tensor(), want[i].tensor(), 0.0));
+
+  if (saved.empty())
+    ::unsetenv("TMPDIR");
+  else
+    ::setenv("TMPDIR", saved.c_str(), 1);
   cache.clearForTesting();
 }
 

@@ -1,0 +1,204 @@
+// Serving over symbolic shapes (DESIGN.md §13).
+//
+// With EngineOptions::symbolicShapes (the default) the program cache is
+// keyed on the workload's symbolic pattern, not the concrete input shapes:
+// the compile count and cache size stay flat while shape diversity grows,
+// requests that differ only along the batch dim coalesce raggedly, and
+// everything stays bitwise identical to solo execution.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "src/serve/engine.h"
+#include "src/tensor/shape.h"
+#include "src/workloads/workload.h"
+
+namespace tssa {
+namespace {
+
+using serve::Engine;
+using serve::EngineOptions;
+using serve::RejectedError;
+using serve::RejectReason;
+using serve::Request;
+using serve::Response;
+using runtime::RtValue;
+using workloads::WorkloadConfig;
+
+WorkloadConfig configFor(std::int64_t batch, std::int64_t seqLen) {
+  WorkloadConfig c;
+  c.batch = batch;
+  c.seqLen = seqLen;
+  return c;
+}
+
+bool bitwiseEqual(const Tensor& a, const Tensor& b) {
+  if (a.sizes() != b.sizes() || a.dtype() != b.dtype()) return false;
+  for (IndexIterator it(a.sizes()); it.valid(); it.next()) {
+    if (a.scalarAt(it.index()) != b.scalarAt(it.index())) return false;
+  }
+  return true;
+}
+
+TEST(ServeSymbolicTest, CompileCountStaysFlatAcrossShapeDiversity) {
+  EngineOptions options;
+  options.maxBatch = 1;  // isolate caching from coalescing
+  Engine engine(options);
+
+  // 12 distinct (batch, seqLen) shapes; exact-shape keys would compile 12
+  // programs, the polymorphic key compiles exactly one.
+  int requests = 0;
+  for (std::int64_t b : {1, 2, 3}) {
+    for (std::int64_t t : {4, 7, 9, 12}) {
+      Request r;
+      r.workload = "attention";
+      r.config = configFor(b, t);
+      Response resp = engine.submit(std::move(r)).get();
+      EXPECT_FALSE(resp.outputs.empty());
+      EXPECT_EQ(resp.cacheHit, requests > 0);
+      ++requests;
+    }
+  }
+  EXPECT_EQ(engine.cacheStats().compiles, 1u);
+  EXPECT_EQ(engine.cacheStats().size, 1u);
+  EXPECT_EQ(engine.metrics().errors, 0u);
+}
+
+TEST(ServeSymbolicTest, PolymorphicResponsesMatchShapeSpecializedBitwise) {
+  EngineOptions poly;
+  poly.maxBatch = 1;
+  EngineOptions exact = poly;
+  exact.symbolicShapes = false;
+  Engine polyEngine(poly);
+  Engine exactEngine(exact);
+
+  for (const char* workload : {"lstm", "seq2seq", "yolov3", "decode_step"}) {
+    for (std::int64_t b : {1, 3}) {
+      auto makeRequest = [&] {
+        Request r;
+        r.workload = workload;
+        r.config = configFor(b, 6);
+        return r;
+      };
+      const Response got = polyEngine.submit(makeRequest()).get();
+      const Response want = exactEngine.submit(makeRequest()).get();
+      ASSERT_EQ(got.outputs.size(), want.outputs.size());
+      for (std::size_t o = 0; o < got.outputs.size(); ++o) {
+        EXPECT_TRUE(
+            bitwiseEqual(got.outputs[o].tensor(), want.outputs[o].tensor()))
+            << workload << " output " << o << " at batch " << b;
+      }
+    }
+  }
+}
+
+TEST(ServeSymbolicTest, RaggedBatchCoalescesAndMatchesSoloBitwise) {
+  // Solo reference: each request alone, batching off.
+  EngineOptions soloOptions;
+  soloOptions.maxBatch = 1;
+  Engine soloEngine(soloOptions);
+  const std::int64_t batches[] = {1, 3, 2};
+  std::vector<Response> solo;
+  for (std::int64_t b : batches) {
+    Request r;
+    r.workload = "lstm";
+    r.config = configFor(b, 6);
+    solo.push_back(soloEngine.submit(std::move(r)).get());
+  }
+
+  // Ragged batch: same three requests inside one window. They share the
+  // polymorphic key and agree on every non-batch extent, so the batcher may
+  // coalesce them even though their batch sizes differ.
+  EngineOptions batchedOptions;
+  batchedOptions.maxBatch = 3;
+  batchedOptions.maxWaitUs = 200'000;  // sealed by count, not the window
+  Engine batchedEngine(batchedOptions);
+  std::vector<std::future<Response>> futures;
+  for (std::int64_t b : batches) {
+    Request r;
+    r.workload = "lstm";
+    r.config = configFor(b, 6);
+    futures.push_back(batchedEngine.submit(std::move(r)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Response got = futures[i].get();
+    EXPECT_EQ(got.batchedWith, 3) << "request " << i << " did not coalesce";
+    ASSERT_EQ(got.outputs.size(), solo[i].outputs.size());
+    for (std::size_t o = 0; o < got.outputs.size(); ++o) {
+      EXPECT_TRUE(bitwiseEqual(got.outputs[o].tensor(),
+                               solo[i].outputs[o].tensor()))
+          << "request " << i << " output " << o;
+    }
+  }
+  EXPECT_EQ(batchedEngine.cacheStats().compiles, 1u);
+  EXPECT_EQ(batchedEngine.metrics().batches, 1u);
+}
+
+TEST(ServeSymbolicTest, MismatchedSequenceLengthsDoNotCoalesce) {
+  EngineOptions options;
+  options.maxBatch = 2;
+  options.maxWaitUs = 200'000;
+  Engine engine(options);
+
+  Request a;
+  a.workload = "attention";
+  a.config = configFor(2, 6);
+  Request b;
+  b.workload = "attention";
+  b.config = configFor(2, 9);  // same key, different non-batch extent
+  auto fa = engine.submit(std::move(a));
+  auto fb = engine.submit(std::move(b));
+  // The second arrival is incompatible with the open batch (its sequence
+  // length differs), so the batcher seals the first solo — but both still
+  // run through the one polymorphic program.
+  EXPECT_EQ(fa.get().batchedWith, 1);
+  EXPECT_EQ(fb.get().batchedWith, 1);
+  EXPECT_EQ(engine.cacheStats().compiles, 1u);
+}
+
+// Satellite: an unknown workload used to escape Engine::submit as the
+// registry's raw error; it must be the same typed, counted refusal every
+// other shed path produces.
+TEST(ServeSymbolicTest, UnknownWorkloadIsTypedBadRequest) {
+  Engine engine;
+  Request bogus;
+  bogus.workload = "resnet";  // not registered
+  try {
+    engine.submit(std::move(bogus));
+    FAIL() << "expected RejectedError";
+  } catch (const RejectedError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::BadRequest);
+  }
+
+  Request wrongArity;
+  wrongArity.workload = "lstm";
+  wrongArity.config = configFor(2, 8);
+  wrongArity.inputs = {RtValue(Tensor::zeros({2, 8, 128}))};
+  try {
+    engine.submit(std::move(wrongArity));
+    FAIL() << "expected RejectedError";
+  } catch (const RejectedError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::BadRequest);
+  }
+
+  // Metrics balance: both refusals are counted under bad_request, nothing
+  // leaked into the queue, and the engine still serves.
+  serve::MetricsSnapshot snap = engine.metrics();
+  EXPECT_EQ(snap.rejectedFor(RejectReason::BadRequest), 2u);
+  EXPECT_EQ(snap.rejectedTotal(), 2u);
+  EXPECT_EQ(snap.errors, 0u);
+  EXPECT_EQ(snap.requests, 0u);
+
+  Request ok;
+  ok.workload = "attention";
+  ok.config = configFor(1, 4);
+  EXPECT_FALSE(engine.submit(std::move(ok)).get().outputs.empty());
+  snap = engine.metrics();
+  EXPECT_EQ(snap.requests, 1u);
+  EXPECT_EQ(snap.rejectedTotal(), 2u);
+}
+
+}  // namespace
+}  // namespace tssa

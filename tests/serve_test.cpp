@@ -82,7 +82,12 @@ TEST(ServeCacheTest, SecondSameShapeRequestHitsWithZeroRecompiles) {
 }
 
 TEST(ServeCacheTest, DistinctShapesMissSeparately) {
-  Engine engine(unbatchedOptions());
+  // Exercises the exact-shape specialization mode: with symbolic shapes
+  // (the default) both shapes share one polymorphic program
+  // (tests/serve_symbolic_test.cpp covers that).
+  EngineOptions options = unbatchedOptions();
+  options.symbolicShapes = false;
+  Engine engine(options);
   Request a;
   a.workload = "lstm";
   a.config = smallConfig(2, 8);
@@ -98,7 +103,11 @@ TEST(ServeCacheTest, DistinctShapesMissSeparately) {
 }
 
 TEST(ServeCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
-  Engine engine(unbatchedOptions(/*cacheCapacity=*/2));
+  // LRU mechanics need distinct keys; pin exact-shape mode so each batch
+  // size is its own program.
+  EngineOptions options = unbatchedOptions(/*cacheCapacity=*/2);
+  options.symbolicShapes = false;
+  Engine engine(options);
   auto req = [](std::int64_t batch) {
     Request r;
     r.workload = "nasrnn";
