@@ -1,0 +1,97 @@
+#include "bench/trace_gen.h"
+
+#include <cmath>
+
+namespace tssa::bench {
+
+namespace {
+
+/// splitmix64 finalizer (same constants as src/serve/router.cpp's hash
+/// finalizer — the canonical public-domain mixer).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+template <typename T>
+const T& pick(const std::vector<T>& xs, std::uint64_t draw) {
+  return xs[static_cast<std::size_t>(draw % xs.size())];
+}
+
+/// True when arrival index i falls inside a burst window.
+bool inBurst(const TraceOptions& o, int i) {
+  if (o.burstEvery <= 0 || o.burstLen <= 0) return false;
+  const int phase = i % o.burstEvery;
+  return phase > 0 && phase <= o.burstLen;
+}
+
+}  // namespace
+
+std::uint64_t traceDraw(std::uint64_t seed, std::uint64_t counter) {
+  return mix64(mix64(seed) ^ counter * 0x9e3779b97f4a7c15ULL);
+}
+
+double traceUniform(std::uint64_t seed, std::uint64_t counter) {
+  // Top 53 bits -> [0, 1) at double precision.
+  return static_cast<double>(traceDraw(seed, counter) >> 11) * 0x1.0p-53;
+}
+
+double traceExp(double meanUs, std::uint64_t seed, std::uint64_t counter) {
+  // Inverse CDF; 1 - u stays in (0, 1] so the log is finite.
+  return -meanUs * std::log(1.0 - traceUniform(seed, counter));
+}
+
+std::vector<TraceRequest> generateTrace(const TraceOptions& options) {
+  const std::vector<std::string>& mix = options.workloads.empty()
+                                            ? workloads::workloadNames()
+                                            : options.workloads;
+  std::vector<TraceRequest> trace;
+  trace.reserve(static_cast<std::size_t>(std::max(options.requests, 0)));
+  double clockUs = 0;
+  for (int i = 0; i < options.requests; ++i) {
+    const std::uint64_t base = static_cast<std::uint64_t>(i) * 8;
+    const double mean = inBurst(options, i)
+                            ? options.meanGapUs * options.burstFactor
+                            : options.meanGapUs;
+    clockUs += traceExp(mean, options.seed, base + 0);
+    TraceRequest r;
+    r.atUs = clockUs;
+    r.workload = pick(mix, traceDraw(options.seed, base + 1));
+    r.config.seed = pick(options.seeds, traceDraw(options.seed, base + 2));
+    r.config.batch = pick(options.batches, traceDraw(options.seed, base + 3));
+    r.config.seqLen = pick(options.seqLens, traceDraw(options.seed, base + 4));
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+std::vector<TraceSession> generateSessions(const TraceOptions& options) {
+  std::vector<TraceSession> sessions;
+  sessions.reserve(static_cast<std::size_t>(std::max(options.decodeSessions, 0)));
+  double clockUs = 0;
+  for (int i = 0; i < options.decodeSessions; ++i) {
+    // Disjoint counter stream from the one-shot trace (offset by 1<<32).
+    const std::uint64_t base = (1ULL << 32) + static_cast<std::uint64_t>(i) * 8;
+    clockUs += traceExp(options.decodeGapUs, options.seed, base + 0);
+    TraceSession s;
+    s.atUs = clockUs;
+    s.promptLen = 2 + static_cast<std::int64_t>(
+                          traceDraw(options.seed, base + 1) % 4);  // 2..5
+    s.generate = 4 + static_cast<std::int64_t>(
+                         traceDraw(options.seed, base + 2) % 13);  // 4..16
+    s.promptSeed = traceDraw(options.seed, base + 3);
+    sessions.push_back(s);
+  }
+  return sessions;
+}
+
+std::size_t distinctKeyCount(const TraceOptions& options) {
+  const std::size_t names = options.workloads.empty()
+                                ? workloads::workloadNames().size()
+                                : options.workloads.size();
+  return names * options.seeds.size();
+}
+
+}  // namespace tssa::bench

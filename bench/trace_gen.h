@@ -1,0 +1,89 @@
+// Deterministic open-loop arrival traces for the sharded-serving benches.
+//
+// The generator is a pure function of (seed, index): every draw is a
+// counter-based splitmix64 evaluation, never a stateful RNG, so the same
+// TraceOptions produce bit-identical traces on every machine, run, and
+// shard count — which is what lets bench/shard_scaling.cpp gate per-trace
+// compile counts exactly in CI while still exercising a bursty,
+// Poisson-like arrival process.
+//
+// Arrivals are open-loop: each request carries a scheduled offset `atUs`
+// from trace start, independent of completions. Inter-arrival gaps are
+// exponential (mean `meanGapUs`) with periodic bursts — every `burstEvery`
+// arrivals, the next `burstLen` gaps shrink to `burstFactor` of the mean —
+// so the tier sees both steady-state load and the queue spikes that trip
+// admission control. Workload, batch, seqLen, and weight seed are drawn
+// per request from small configured sets; diversifying `seeds` multiplies
+// the distinct program keys (workloads x seeds), which is what spreads the
+// trace across a consistent-hash ring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace tssa::bench {
+
+/// One scheduled one-shot request.
+struct TraceRequest {
+  double atUs = 0;  ///< scheduled arrival offset from trace start
+  std::string workload;
+  workloads::WorkloadConfig config;  ///< batch / seqLen / seed
+};
+
+/// One scheduled decode session.
+struct TraceSession {
+  double atUs = 0;
+  std::int64_t promptLen = 2;
+  std::int64_t generate = 4;
+  std::uint64_t promptSeed = 0;  ///< seed for DecodeScheduler::randomPrompt
+};
+
+struct TraceOptions {
+  std::uint64_t seed = 1;  ///< trace identity; distinct seeds = distinct traces
+  int requests = 64;       ///< one-shot arrivals to schedule
+  double meanGapUs = 400;  ///< mean exponential inter-arrival gap
+  /// Burst shape: every `burstEvery` arrivals, the following `burstLen`
+  /// gaps use `burstFactor * meanGapUs` as their mean. burstEvery <= 0
+  /// disables bursts.
+  int burstEvery = 16;
+  int burstLen = 4;
+  double burstFactor = 0.25;
+  /// Request mix. Defaults cover every registered one-shot workload; seeds
+  /// beyond one multiply the distinct program keys (cache-affinity routing
+  /// spreads keys, so more keys = better shard balance).
+  std::vector<std::string> workloads;          ///< empty = all 8 registered
+  std::vector<std::uint64_t> seeds = {42, 43, 44};
+  std::vector<std::int64_t> batches = {1, 2, 4};
+  std::vector<std::int64_t> seqLens = {8, 16, 24, 32};
+  /// Decode-session schedule (generateSessions): open-loop at a fixed
+  /// exponential gap, prompt/generate lengths drawn from small ranges.
+  int decodeSessions = 0;
+  double decodeGapUs = 800;
+};
+
+/// Counter-based uniform draw: splitmix64 of (seed, counter), mapped to
+/// [0, 1). Pure function — the whole generator is replayable from indices.
+double traceUniform(std::uint64_t seed, std::uint64_t counter);
+
+/// Counter-based exponential draw with the given mean (inverse-CDF of the
+/// uniform above). Used for inter-arrival gaps.
+double traceExp(double meanUs, std::uint64_t seed, std::uint64_t counter);
+
+/// The raw 64-bit counter-based draw behind both of the above.
+std::uint64_t traceDraw(std::uint64_t seed, std::uint64_t counter);
+
+/// The scheduled one-shot arrivals, sorted by atUs (construction order).
+std::vector<TraceRequest> generateTrace(const TraceOptions& options);
+
+/// The scheduled decode sessions (empty when decodeSessions == 0).
+std::vector<TraceSession> generateSessions(const TraceOptions& options);
+
+/// Number of distinct program keys the trace can touch (workloads x seeds) —
+/// the exact tier-wide compile count when routing is cache-affine and no
+/// request is retried onto a non-home shard.
+std::size_t distinctKeyCount(const TraceOptions& options);
+
+}  // namespace tssa::bench

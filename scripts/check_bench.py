@@ -37,8 +37,16 @@ informational: printed on drift, never fatal.
 
 Usage:
   check_bench.py --baseline bench/baseline.json out/fig5.json out/fig6.json
+  check_bench.py --baseline bench/baseline.json --filter=shard/ out/shard.json
   check_bench.py --baseline bench/baseline.json --update out/*.json   # re-baseline
   check_bench.py --self-test                      # gate-logic unit checks
+
+--filter=SUBSTRING gates only records whose "<binary>/<name>" key contains
+SUBSTRING, on both sides: non-matching baseline entries are not reported
+missing, so a CI leg that runs a single bench binary can gate just its own
+records. A filter that matches nothing is an error (a typo must not turn
+into a silent pass), and --filter cannot be combined with --update (a
+partial rewrite would drop every other baseline entry).
 
 Re-baselining (--update) rewrites the baseline from the given result files;
 commit the result. Do this when a change legitimately alters launch counts
@@ -96,6 +104,13 @@ def write_baseline(entries, path):
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"wrote baseline with {len(entries)} entries to {path}")
+
+
+def apply_filter(entries, substring):
+    """Keeps only entries whose key contains `substring` (no-op if falsy)."""
+    if not substring:
+        return entries
+    return {key: value for key, value in entries.items() if substring in key}
 
 
 def compare(current, baseline, threshold):
@@ -284,6 +299,49 @@ def self_test():
            len(failures) == 1 and failures[0].startswith("TIME"),
            repr(failures))
 
+    # Shard-scaling style: the same compile count at every shard count
+    # passes; one shard record creeping up fails by name while its siblings
+    # stay quiet.
+    baseline = {
+        f"s/scale_s{n}": entry(f"s/scale_s{n}", extra={"compiles": 38})
+        for n in (1, 2, 4)
+    }
+    current = {
+        f"s/scale_s{n}": ({"name": f"scale_s{n}",
+                           "extra": {"compiles": 38}}, 100.0)
+        for n in (1, 2, 4)
+    }
+    failures, _, checked = compare(current, baseline, 1.25)
+    expect("flat per-shard compile counts pass",
+           not failures and checked["exact"] == 3, repr(failures))
+    current["s/scale_s4"] = ({"name": "scale_s4",
+                              "extra": {"compiles": 39}}, 100.0)
+    failures, _, _ = compare(current, baseline, 1.25)
+    expect("one shard's extra compile fails by name",
+           len(failures) == 1 and failures[0].startswith("COMPILES")
+           and "s/scale_s4" in failures[0], repr(failures))
+
+    # --filter: keeps matching keys, drops the rest.
+    entries = {"shard_scaling/shard/scale_s1": 1, "serve_throughput/sweep": 2}
+    kept = apply_filter(entries, "shard_scaling/")
+    expect("filter keeps only matching keys",
+           set(kept) == {"shard_scaling/shard/scale_s1"}, repr(kept))
+    expect("empty filter is a no-op",
+           apply_filter(entries, "") is entries)
+    # Filtering both sides: a baseline-only record outside the filter is not
+    # reported missing, while a regression inside the filter still fails.
+    baseline = {
+        "b/in": entry("b/in", extra={"compiles": 1}),
+        "b/out": entry("b/out", extra={"compiles": 5}),
+    }
+    current = {"b/in": ({"name": "in", "extra": {"compiles": 2}}, 100.0)}
+    failures, notes, _ = compare(apply_filter(current, "b/in"),
+                                 apply_filter(baseline, "b/in"), 1.25)
+    expect("filtered compare still catches the in-filter regression",
+           len(failures) == 1 and "b/in" in failures[0], repr(failures))
+    expect("filtered-out baseline entry is not reported missing",
+           not any("b/out" in n for n in notes), repr(notes))
+
     bad = [(name, detail) for name, ok, detail in checks if not ok]
     for name, ok, _ in checks:
         print(f"  {'ok' if ok else 'FAIL'}  {name}")
@@ -304,6 +362,10 @@ def main():
     parser.add_argument("--threshold", type=float, default=1.25,
                         help="max allowed normalized ns_per_iter ratio "
                              "(default 1.25)")
+    parser.add_argument("--filter", default=None, metavar="SUBSTRING",
+                        help="gate only records whose <binary>/<name> key "
+                             "contains SUBSTRING (both sides: non-matching "
+                             "baseline entries are not reported missing)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the result files "
                              "instead of checking")
@@ -319,17 +381,26 @@ def main():
     if not args.results:
         parser.error("at least one result file is required")
 
+    if args.filter and args.update:
+        parser.error("--filter cannot be combined with --update: rewriting "
+                     "the baseline from a filtered subset would drop every "
+                     "other entry")
+
     current = load_results(args.results)
     if args.update:
         write_baseline(current, args.baseline)
         return
+    current = apply_filter(current, args.filter)
+    if args.filter and not current:
+        sys.exit(f"--filter={args.filter!r} matched no records in the given "
+                 "result files; a typo must not become a silent pass")
 
     with open(args.baseline) as f:
         baseline_doc = json.load(f)
     if baseline_doc.get("schema") != BASELINE_SCHEMA:
         sys.exit(f"{args.baseline}: expected schema {BASELINE_SCHEMA!r}, "
                  f"got {baseline_doc.get('schema')!r}")
-    baseline = baseline_doc["entries"]
+    baseline = apply_filter(baseline_doc["entries"], args.filter)
 
     failures, notes, checked = compare(current, baseline, args.threshold)
 

@@ -33,6 +33,16 @@ std::string promLabelValue(std::string_view v) {
   return out;
 }
 
+std::string withLabels(const std::string& key, std::string_view labels) {
+  if (labels.empty()) return key;
+  const std::size_t brace = key.find('{');
+  if (brace == std::string::npos)
+    return key + "{" + std::string(labels) + "}";
+  std::string out = key;
+  out.insert(out.size() - 1, "," + std::string(labels));
+  return out;
+}
+
 void Histogram::observe(double value) {
   std::lock_guard<std::mutex> lock(mutex_);
   samples_.push_back(value);
@@ -139,15 +149,10 @@ std::string_view baseName(std::string_view key) {
   return brace == std::string_view::npos ? key : key.substr(0, brace);
 }
 
-/// Splices extra labels into a possibly-labeled key:
-/// withLabel("m", "quantile=\"0.5\"") == "m{quantile=\"0.5\"}" and
-/// withLabel("m{k=\"v\"}", ...) == "m{k=\"v\",quantile=\"0.5\"}".
+/// Quantile-label splicing for the summary exposition (same semantics as
+/// the public obs::withLabels).
 std::string withLabel(const std::string& key, const std::string& label) {
-  const std::size_t brace = key.find('{');
-  if (brace == std::string::npos) return key + "{" + label + "}";
-  std::string out = key;
-  out.insert(out.size() - 1, "," + label);
-  return out;
+  return withLabels(key, label);
 }
 
 }  // namespace

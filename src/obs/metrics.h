@@ -34,6 +34,16 @@ double percentileNearestRank(std::vector<double> samples, double q);
 /// and newline — the only escapes the exposition format defines).
 std::string promLabelValue(std::string_view v);
 
+/// Splices a rendered label set (e.g. `shard="2"` or `a="x",b="y"`) into a
+/// possibly-already-labeled metric key:
+///   withLabels("m", "shard=\"2\"")            == "m{shard=\"2\"}"
+///   withLabels("m{k=\"v\"}", "shard=\"2\"")   == "m{k=\"v\",shard=\"2\"}"
+/// Empty labels return the key unchanged. This is how one exporter instance
+/// (an Engine shard, a per-shard DecodeScheduler) registers its series
+/// without colliding with its siblings on the canonical names: same base
+/// name, disjoint label sets (DESIGN.md §14).
+std::string withLabels(const std::string& key, std::string_view labels);
+
 struct HistogramStats {
   std::uint64_t count = 0;
   double sum = 0;

@@ -69,6 +69,8 @@ DecodeScheduler::DecodeScheduler(DecodeOptions options)
         // window; a wide window keeps the batcher timer out of the picture
         // (and batch composition deterministic under deterministic traffic).
         eo.maxWaitUs = 1'000'000;
+        eo.executePool = options_.executePool;
+        eo.shardId = options_.shardId;
         return eo;
       }()) {
   TSSA_CHECK(!options_.ctxBuckets.empty(), "ctxBuckets must not be empty");
@@ -462,42 +464,47 @@ DecodeMetricsSnapshot DecodeScheduler::metrics() const {
   return snap;
 }
 
-void DecodeScheduler::exportMetrics(obs::MetricsRegistry& registry) const {
+void DecodeScheduler::exportMetrics(obs::MetricsRegistry& registry,
+                                    std::string_view labels) const {
   const DecodeMetricsSnapshot snap = metrics();
-  registry.counterSet("tssa_decode_sessions_total",
-                      static_cast<std::int64_t>(snap.sessionsSubmitted));
-  registry.counterSet("tssa_decode_sessions_completed_total",
-                      static_cast<std::int64_t>(snap.sessionsCompleted));
-  registry.counterSet("tssa_decode_joins_total",
-                      static_cast<std::int64_t>(snap.joins));
-  registry.counterSet("tssa_decode_leaves_total",
-                      static_cast<std::int64_t>(snap.leaves));
+  const auto counter = [&](const char* name, std::int64_t value) {
+    registry.counterSet(obs::withLabels(name, labels), value);
+  };
+  const auto gauge = [&](const char* name, double value) {
+    registry.gaugeSet(obs::withLabels(name, labels), value);
+  };
+  counter("tssa_decode_sessions_total",
+          static_cast<std::int64_t>(snap.sessionsSubmitted));
+  counter("tssa_decode_sessions_completed_total",
+          static_cast<std::int64_t>(snap.sessionsCompleted));
+  counter("tssa_decode_joins_total", static_cast<std::int64_t>(snap.joins));
+  counter("tssa_decode_leaves_total", static_cast<std::int64_t>(snap.leaves));
   for (int r = 0; r < kNumRejectReasons; ++r) {
     const RejectReason reason = static_cast<RejectReason>(r);
-    registry.counterSet("tssa_decode_rejected_total{reason=\"" +
+    registry.counterSet(
+        obs::withLabels("tssa_decode_rejected_total{reason=\"" +
                             std::string(rejectReasonName(reason)) + "\"}",
-                        static_cast<std::int64_t>(snap.rejected[r]));
+                        labels),
+        static_cast<std::int64_t>(snap.rejected[r]));
   }
-  registry.counterSet("tssa_decode_steps_total",
-                      static_cast<std::int64_t>(snap.steps));
-  registry.counterSet("tssa_decode_iterations_total",
-                      static_cast<std::int64_t>(snap.iterations));
-  registry.gaugeSet("tssa_decode_steps_per_s", snap.stepsPerSec);
-  registry.gaugeSet("tssa_decode_mean_occupancy", snap.meanOccupancy);
-  registry.gaugeSet("tssa_decode_kv_pages_in_use",
-                    static_cast<double>(snap.kv.pagesInUse));
-  registry.gaugeSet("tssa_decode_kv_pages_high_water",
-                    static_cast<double>(snap.kv.pagesHighWater));
-  registry.gaugeSet("tssa_decode_kv_page_capacity",
-                    static_cast<double>(snap.kv.pageCapacity));
-  registry.counterSet("tssa_decode_kv_exhausted_total",
-                      static_cast<std::int64_t>(
-                          snap.kv.exhaustedReservations));
-  registry.counterSet("tssa_decode_kv_tokens_total",
-                      static_cast<std::int64_t>(snap.kv.appendedTokens));
+  counter("tssa_decode_steps_total", static_cast<std::int64_t>(snap.steps));
+  counter("tssa_decode_iterations_total",
+          static_cast<std::int64_t>(snap.iterations));
+  gauge("tssa_decode_steps_per_s", snap.stepsPerSec);
+  gauge("tssa_decode_mean_occupancy", snap.meanOccupancy);
+  gauge("tssa_decode_kv_pages_in_use",
+        static_cast<double>(snap.kv.pagesInUse));
+  gauge("tssa_decode_kv_pages_high_water",
+        static_cast<double>(snap.kv.pagesHighWater));
+  gauge("tssa_decode_kv_page_capacity",
+        static_cast<double>(snap.kv.pageCapacity));
+  counter("tssa_decode_kv_exhausted_total",
+          static_cast<std::int64_t>(snap.kv.exhaustedReservations));
+  counter("tssa_decode_kv_tokens_total",
+          static_cast<std::int64_t>(snap.kv.appendedTokens));
   {
     std::lock_guard<std::mutex> lock(metricsMutex_);
-    registry.observeMany("tssa_decode_step_occupancy",
+    registry.observeMany(obs::withLabels("tssa_decode_step_occupancy", labels),
                          occupancy_.samples());
   }
 }

@@ -80,6 +80,11 @@ struct DecodeOptions {
   /// batching (false): admit a wave only when the previous wave has fully
   /// finished. The baseline bench/decode_throughput.cpp compares against.
   bool continuous = true;
+  /// Forwarded to the inner engine (EngineOptions::executePool / shardId):
+  /// a Router gives each shard's scheduler the shard's own pool and
+  /// identity so decode step execution and trace spans stay shard-scoped.
+  runtime::ThreadPool* executePool = nullptr;
+  int shardId = -1;
 };
 
 /// One decode session: process `prompt` (one forced step per row), then
@@ -152,8 +157,11 @@ class DecodeScheduler {
 
   DecodeMetricsSnapshot metrics() const;
   /// Exports the snapshot under the canonical tssa_decode_* names plus the
-  /// per-iteration occupancy histogram.
-  void exportMetrics(obs::MetricsRegistry& registry) const;
+  /// per-iteration occupancy histogram. `labels` (e.g. `shard="1"`) is
+  /// spliced into every name so several schedulers can share one registry
+  /// (see serve::exportSnapshot for the disjoint-label-set contract).
+  void exportMetrics(obs::MetricsRegistry& registry,
+                     std::string_view labels = {}) const;
   /// The inner engine's view of the same traffic (batch sizes, cache hits,
   /// latency percentiles of individual steps).
   MetricsSnapshot engineMetrics() const { return engine_.metrics(); }

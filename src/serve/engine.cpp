@@ -46,6 +46,12 @@ std::string describeError(const std::exception_ptr& error) {
   }
 }
 
+/// Tags a span with the engine's shard identity (EngineOptions::shardId);
+/// no-op for standalone (shardId < 0) engines, so solo traces stay clean.
+void tagShard(obs::TraceSpan& span, int shardId) {
+  if (shardId >= 0) span.arg("shard", static_cast<std::int64_t>(shardId));
+}
+
 }  // namespace
 
 Engine::Engine(EngineOptions options)
@@ -88,15 +94,21 @@ Response Session::infer(Request request) {
   return submit(std::move(request)).get();
 }
 
-ProgramKey Engine::keyFor(const Request& request, bool* polymorphic) const {
+ProgramKey Engine::keyFor(const EngineOptions& options, const Request& request,
+                          bool* polymorphic) {
   ProgramKey key;
   key.workload = request.workload;
-  key.kind = options_.kind;
-  key.options = options_.pipeline;
-  if (options_.symbolicShapes) {
+  key.kind = options.kind;
+  key.options = options.pipeline;
+  if (options.symbolicShapes) {
     const workloads::SymbolicPattern& pattern =
         workloads::workloadSymbolicPattern(request.workload);
-    if (workloads::matchesSymbolicPattern(pattern, request.inputs)) {
+    // Empty inputs mean "use the defaults" (filled at admission); those
+    // instantiate the pattern by construction, so the polymorphic key can be
+    // decided without building the workload — a Router routes on it without
+    // materializing tensors.
+    if (request.inputs.empty() ||
+        workloads::matchesSymbolicPattern(pattern, request.inputs)) {
       // Polymorphic guard: the pattern plus the one config parameter that is
       // still baked into the graph (the constant weights' seed). batch and
       // seqLen are runtime extents of a polymorphic program — they no longer
@@ -114,6 +126,10 @@ ProgramKey Engine::keyFor(const Request& request, bool* polymorphic) const {
   return key;
 }
 
+ProgramKey Engine::keyFor(const Request& request, bool* polymorphic) const {
+  return keyFor(options_, request, polymorphic);
+}
+
 std::vector<runtime::RtValue> Engine::defaultInputs(
     const std::string& workload, const workloads::WorkloadConfig& config) {
   return workloads::buildWorkload(workload, config).inputs;
@@ -125,6 +141,7 @@ std::future<Response> Engine::submitInternal(const std::string& sessionId,
   obs::TraceSpan span("serve", "submit");
   span.arg("workload", request.workload);
   span.arg("session", sessionId);
+  tagShard(span, options_.shardId);
   // Validation happens here, synchronously: a malformed request throws a
   // typed RejectedError(BadRequest) on the submitting thread — counted like
   // every other refusal — rather than escaping as a raw registry error or
@@ -220,8 +237,10 @@ void Engine::onBatchDispatched(SealedBatch batch) {
   const int workers = options_.executeConcurrency > 0
                           ? options_.executeConcurrency
                           : runtime::ThreadPool::hardwareThreads();
-  runtime::ThreadPool::shared().submit(
-      [this, shared] { executeBatch(std::move(*shared)); }, workers);
+  runtime::ThreadPool& pool = options_.executePool != nullptr
+                                  ? *options_.executePool
+                                  : runtime::ThreadPool::shared();
+  pool.submit([this, shared] { executeBatch(std::move(*shared)); }, workers);
 }
 
 void Engine::drain() {
@@ -287,6 +306,7 @@ void Engine::executeBatch(SealedBatch sealed) {
   obs::TraceSpan batchSpan("serve", "batch");
   batchSpan.arg("workload", head.request.workload);
   batchSpan.arg("batch_size", static_cast<std::int64_t>(batch.size()));
+  tagShard(batchSpan, options_.shardId);
   // Queue spans, recorded retroactively: a request's wait is only known once
   // its batch starts. One "X" event per request, anchored at its enqueue
   // time on this (executing) thread's timeline, so queue → exec reads as a
@@ -303,6 +323,8 @@ void Engine::executeBatch(SealedBatch sealed) {
       ev.args.emplace_back("session", obs::jsonQuote(r->sessionId));
       ev.args.emplace_back("workload",
                            obs::jsonQuote(r->request.workload));
+      if (options_.shardId >= 0)
+        ev.args.emplace_back("shard", std::to_string(options_.shardId));
       tracer.record(std::move(ev));
     }
   }
@@ -386,6 +408,7 @@ void Engine::executeBatch(SealedBatch sealed) {
       obs::TraceSpan compileSpan("serve", "compile");
       compileSpan.arg("workload", key.workload);
       compileSpan.arg("signature", key.signature);
+      tagShard(compileSpan, options_.shardId);
       workloads::Workload w =
           workloads::buildWorkload(key.workload, compileConfig);
       auto pipeline = std::make_unique<runtime::Pipeline>(
@@ -412,19 +435,23 @@ void Engine::executeBatch(SealedBatch sealed) {
     const auto runStart = Clock::now();
     std::vector<runtime::RtValue> outputs;
     runtime::Profiler::MemoryCounters mem;
+    double simUs = 0;
     std::exception_ptr runError;
     {
       obs::TraceSpan execSpan("serve", "exec");
       execSpan.arg("workload", key.workload);
       execSpan.arg("batch_size", k);
+      tagShard(execSpan, options_.shardId);
       std::lock_guard<std::mutex> execLock(lookup.program->execMutex);
       if (injector != nullptr) injector->beginRun();
       try {
         outputs = lookup.program->pipeline->run(inputs);
-        // Read the per-run memory counters while still holding the exec
-        // lock: run() resets the profiler, so a concurrent batch on this
-        // program could clobber them the moment the lock drops.
+        // Read the per-run memory counters and modelled device time while
+        // still holding the exec lock: run() resets the profiler, so a
+        // concurrent batch on this program could clobber them the moment
+        // the lock drops.
         mem = lookup.program->pipeline->profiler().memoryCounters();
+        simUs = lookup.program->pipeline->profiler().simTimeUs();
       } catch (...) {
         runError = std::current_exception();
       }
@@ -446,6 +473,7 @@ void Engine::executeBatch(SealedBatch sealed) {
       return;
     }
     metrics_.recordMemory(mem.freshAllocs, mem.reusedAllocs);
+    metrics_.recordSimBusy(simUs);
 
     // 4. De-interleave: the j-th (possibly ragged) row block of every
     //    output belongs to request j.
@@ -518,6 +546,7 @@ void Engine::executeSolo(std::unique_ptr<PendingRequest> request,
     obs::TraceSpan compileSpan("serve", "compile");
     compileSpan.arg("workload", key.workload);
     compileSpan.arg("signature", key.signature);
+    tagShard(compileSpan, options_.shardId);
     workloads::Workload w = workloads::buildWorkload(key.workload, config);
     auto pipeline = std::make_unique<runtime::Pipeline>(
         options_.kind, *w.graph, options_.pipeline);
@@ -533,19 +562,23 @@ void Engine::executeSolo(std::unique_ptr<PendingRequest> request,
   const auto runStart = Clock::now();
   std::vector<runtime::RtValue> outputs;
   runtime::Profiler::MemoryCounters mem;
+  double simUs = 0;
   try {
     obs::TraceSpan execSpan("serve", "exec");
     execSpan.arg("workload", key.workload);
     execSpan.arg("batch_size", 1);
+    tagShard(execSpan, options_.shardId);
     std::lock_guard<std::mutex> execLock(lookup.program->execMutex);
     if (injector != nullptr) injector->beginRun();
     outputs = lookup.program->pipeline->run(request->request.inputs);
     mem = lookup.program->pipeline->profiler().memoryCounters();
+    simUs = lookup.program->pipeline->profiler().simTimeUs();
   } catch (...) {
     deliverError(std::move(request), std::current_exception());
     return;
   }
   metrics_.recordMemory(mem.freshAllocs, mem.reusedAllocs);
+  metrics_.recordSimBusy(simUs);
 
   Response resp;
   resp.outputs = std::move(outputs);
@@ -584,6 +617,7 @@ void Engine::degradeOrReject(std::unique_ptr<PendingRequest> request,
     obs::TraceSpan compileSpan("serve", "compile");
     compileSpan.arg("workload", key.workload);
     compileSpan.arg("signature", key.signature);
+    tagShard(compileSpan, options_.shardId);
     workloads::Workload w = workloads::buildWorkload(key.workload, config);
     return std::make_unique<runtime::Pipeline>(runtime::PipelineKind::Eager,
                                                *w.graph, options_.pipeline);
@@ -603,6 +637,7 @@ void Engine::degradeOrReject(std::unique_ptr<PendingRequest> request,
     obs::TraceSpan execSpan("serve", "exec");
     execSpan.arg("workload", key.workload);
     execSpan.arg("batch_size", 1);
+    tagShard(execSpan, options_.shardId);
     execSpan.arg("fallback", std::int64_t{1});
     std::lock_guard<std::mutex> execLock(lookup.program->execMutex);
     outputs = lookup.program->pipeline->run(request->request.inputs);
@@ -623,12 +658,15 @@ void Engine::degradeOrReject(std::unique_ptr<PendingRequest> request,
   deliver(std::move(request), std::move(resp));
 }
 
-void Engine::exportMetrics(obs::MetricsRegistry& registry) const {
-  exportSnapshot(metrics(), registry);
-  metrics_.exportTo(registry);
+void Engine::exportMetrics(obs::MetricsRegistry& registry,
+                           std::string_view labels) const {
+  exportSnapshot(metrics(), registry, labels);
+  metrics_.exportTo(registry, labels);
   // Compiled texpr kernels are shared process-wide (one KernelCache across
-  // every shard and cached program), so their counters export here too.
-  texpr::jit::KernelCache::instance().exportTo(registry);
+  // every shard and cached program), so their counters are NOT shard-scoped:
+  // they export only on an unlabeled (whole-process) export — a labeled
+  // per-shard export would attribute global state to one shard.
+  if (labels.empty()) texpr::jit::KernelCache::instance().exportTo(registry);
 }
 
 MetricsSnapshot Engine::metrics() const {

@@ -54,6 +54,10 @@
 #include "src/serve/program_cache.h"
 #include "src/serve/request.h"
 
+namespace tssa::runtime {
+class ThreadPool;
+}
+
 namespace tssa::serve {
 
 struct EngineOptions {
@@ -74,6 +78,16 @@ struct EngineOptions {
   /// (0 = hardware concurrency). Distinct cached programs execute
   /// concurrently; runs of one program are serialized.
   int executeConcurrency = 0;
+  /// Pool that executes sealed batches. Null (the default) uses the shared
+  /// process-wide runtime::ThreadPool; a Router gives each shard its own
+  /// pool so one shard's queue cannot starve another's workers. Not owned;
+  /// must outlive the Engine.
+  runtime::ThreadPool* executePool = nullptr;
+  /// Shard identity for observability: when >= 0, every trace span this
+  /// engine emits carries a `shard` arg, so one Chrome trace shows the
+  /// whole tier. Metric label scoping is chosen at export time instead
+  /// (the `labels` argument of exportMetrics).
+  int shardId = -1;
 
   // ---- Admission control & graceful degradation (DESIGN.md §10) ----------
 
@@ -168,7 +182,8 @@ class Engine {
   /// histograms (tssa_serve_request/queue/exec_latency_us) under the
   /// canonical names shared with obs::exportProfiler. The registry can then
   /// be serialized as JSON or Prometheus text (obs::MetricsRegistry).
-  void exportMetrics(obs::MetricsRegistry& registry) const;
+  void exportMetrics(obs::MetricsRegistry& registry,
+                     std::string_view labels = {}) const;
   ProgramCache::Stats cacheStats() const { return cache_.stats(); }
   const EngineOptions& options() const { return options_; }
 
@@ -177,6 +192,19 @@ class Engine {
   /// for client setup, not the request path.
   static std::vector<runtime::RtValue> defaultInputs(
       const std::string& workload, const workloads::WorkloadConfig& config);
+
+  /// The program-cache key that an engine built with `options` resolves
+  /// `request` to — static so a Router can compute routing keys without an
+  /// Engine (cache-affinity routing hashes exactly this key). With
+  /// symbolicShapes on, empty inputs resolve to the polymorphic pattern key
+  /// directly: the defaults filled at admission instantiate the pattern by
+  /// construction, so routing never has to materialize tensors. (With
+  /// symbolicShapes off, empty inputs cannot be keyed before the defaults
+  /// are filled — callers that route exact-shape traffic must send concrete
+  /// inputs.) When the key is polymorphic, `*polymorphic` is set.
+  static ProgramKey keyFor(const EngineOptions& options,
+                           const Request& request,
+                           bool* polymorphic = nullptr);
 
  private:
   friend class Session;
@@ -201,10 +229,7 @@ class Engine {
   void degradeOrReject(std::unique_ptr<PendingRequest> request,
                        std::chrono::steady_clock::time_point execStart,
                        const std::exception_ptr& compileError);
-  /// The request's program key. When symbolicShapes is on and the inputs
-  /// instantiate the workload's symbolic pattern, the key is polymorphic
-  /// (pattern signature + seed) and `*polymorphic` is set; otherwise the
-  /// exact-shape key.
+  /// Member shorthand for the static keyFor over this engine's options.
   ProgramKey keyFor(const Request& request, bool* polymorphic) const;
 
   // ---- Per-request terminal transitions (each touches the promise once,

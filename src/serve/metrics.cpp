@@ -83,6 +83,11 @@ void MetricsCollector::recordMemory(std::int64_t freshAllocs,
     arenaReused_ += static_cast<std::uint64_t>(reusedAllocs);
 }
 
+void MetricsCollector::recordSimBusy(double simUs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (simUs > 0) simBusyUs_ += simUs;
+}
+
 void MetricsCollector::fill(MetricsSnapshot& out) const {
   const obs::HistogramStats total = totalUs_.stats();
   out.requests = total.count;
@@ -100,6 +105,7 @@ void MetricsCollector::fill(MetricsSnapshot& out) const {
   out.sessionsOpened = sessions_;
   out.arenaFreshAllocs = arenaFresh_;
   out.arenaReusedAllocs = arenaReused_;
+  out.simBusyUs = simBusyUs_;
   for (int r = 0; r < kNumRejectReasons; ++r) out.rejected[r] = rejected_[r];
   out.fallbackRequests = fallbacks_;
   out.decoalescedBatches = decoalesced_;
@@ -114,61 +120,64 @@ void MetricsCollector::fill(MetricsSnapshot& out) const {
   }
 }
 
-void MetricsCollector::exportTo(obs::MetricsRegistry& registry) const {
+void MetricsCollector::exportTo(obs::MetricsRegistry& registry,
+                                std::string_view labels) const {
   const std::vector<double> total = totalUs_.samples();
   const std::vector<double> queue = queueUs_.samples();
   const std::vector<double> exec = execUs_.samples();
-  registry.observeMany("tssa_serve_request_latency_us", total);
-  registry.observeMany("tssa_serve_queue_latency_us", queue);
-  registry.observeMany("tssa_serve_exec_latency_us", exec);
+  registry.observeMany(
+      obs::withLabels("tssa_serve_request_latency_us", labels), total);
+  registry.observeMany(obs::withLabels("tssa_serve_queue_latency_us", labels),
+                       queue);
+  registry.observeMany(obs::withLabels("tssa_serve_exec_latency_us", labels),
+                       exec);
 }
 
 void exportSnapshot(const MetricsSnapshot& snapshot,
-                    obs::MetricsRegistry& registry) {
-  registry.counterSet("tssa_serve_requests_total",
-                      static_cast<std::int64_t>(snapshot.requests));
-  registry.counterSet("tssa_serve_errors_total",
-                      static_cast<std::int64_t>(snapshot.errors));
-  registry.counterSet("tssa_serve_batches_total",
-                      static_cast<std::int64_t>(snapshot.batches));
-  registry.counterSet("tssa_serve_sessions_total",
-                      static_cast<std::int64_t>(snapshot.sessionsOpened));
-  registry.counterSet("tssa_serve_cache_hits_total",
-                      static_cast<std::int64_t>(snapshot.cacheHits));
-  registry.counterSet("tssa_serve_cache_misses_total",
-                      static_cast<std::int64_t>(snapshot.cacheMisses));
-  registry.counterSet("tssa_serve_cache_evictions_total",
-                      static_cast<std::int64_t>(snapshot.cacheEvictions));
-  registry.counterSet("tssa_serve_cache_compiles_total",
-                      static_cast<std::int64_t>(snapshot.cacheCompiles));
-  registry.counterSet(
-      "tssa_serve_cache_compile_failures_total",
-      static_cast<std::int64_t>(snapshot.cacheCompileFailures));
-  registry.counterSet("tssa_serve_cache_negative_hits_total",
-                      static_cast<std::int64_t>(snapshot.cacheNegativeHits));
-  registry.gaugeSet("tssa_serve_cache_size",
-                    static_cast<double>(snapshot.cacheSize));
-  registry.gaugeSet("tssa_serve_compile_us_total", snapshot.compileUsTotal);
-  registry.gaugeSet("tssa_serve_mean_batch_size", snapshot.meanBatchSize);
-  registry.gaugeSet("tssa_serve_throughput_rps", snapshot.throughputRps);
+                    obs::MetricsRegistry& registry, std::string_view labels) {
+  const auto counter = [&](const char* name, std::uint64_t value) {
+    registry.counterSet(obs::withLabels(name, labels),
+                        static_cast<std::int64_t>(value));
+  };
+  const auto gauge = [&](const char* name, double value) {
+    registry.gaugeSet(obs::withLabels(name, labels), value);
+  };
+  counter("tssa_serve_requests_total", snapshot.requests);
+  counter("tssa_serve_errors_total", snapshot.errors);
+  counter("tssa_serve_batches_total", snapshot.batches);
+  counter("tssa_serve_sessions_total", snapshot.sessionsOpened);
+  counter("tssa_serve_cache_hits_total", snapshot.cacheHits);
+  counter("tssa_serve_cache_misses_total", snapshot.cacheMisses);
+  counter("tssa_serve_cache_evictions_total", snapshot.cacheEvictions);
+  counter("tssa_serve_cache_compiles_total", snapshot.cacheCompiles);
+  counter("tssa_serve_cache_compile_failures_total",
+          snapshot.cacheCompileFailures);
+  counter("tssa_serve_cache_negative_hits_total", snapshot.cacheNegativeHits);
+  gauge("tssa_serve_cache_size", static_cast<double>(snapshot.cacheSize));
+  gauge("tssa_serve_compile_us_total", snapshot.compileUsTotal);
+  gauge("tssa_serve_mean_batch_size", snapshot.meanBatchSize);
+  gauge("tssa_serve_throughput_rps", snapshot.throughputRps);
+  gauge("tssa_serve_sim_busy_us_total", snapshot.simBusyUs);
   for (int r = 0; r < kNumRejectReasons; ++r) {
     const RejectReason reason = static_cast<RejectReason>(r);
-    registry.counterSet("tssa_serve_rejected_total{reason=\"" +
+    registry.counterSet(
+        obs::withLabels("tssa_serve_rejected_total{reason=\"" +
                             std::string(rejectReasonName(reason)) + "\"}",
-                        static_cast<std::int64_t>(snapshot.rejected[r]));
+                        labels),
+        static_cast<std::int64_t>(snapshot.rejected[r]));
   }
-  registry.counterSet("tssa_serve_fallback_total",
-                      static_cast<std::int64_t>(snapshot.fallbackRequests));
-  registry.counterSet("tssa_serve_decoalesced_total",
-                      static_cast<std::int64_t>(snapshot.decoalescedBatches));
+  counter("tssa_serve_fallback_total", snapshot.fallbackRequests);
+  counter("tssa_serve_decoalesced_total", snapshot.decoalescedBatches);
   // Same canonical names the Profiler exporter uses: one logical metric,
   // one name, whether it comes from a single pipeline or an engine-wide
   // aggregate. (Don't export a Profiler and the Engine that aggregates it
   // into the same registry — the values describe the same traffic.)
-  registry.counterSet("tssa_arena_allocs_total{kind=\"fresh\"}",
-                      static_cast<std::int64_t>(snapshot.arenaFreshAllocs));
-  registry.counterSet("tssa_arena_allocs_total{kind=\"reused\"}",
-                      static_cast<std::int64_t>(snapshot.arenaReusedAllocs));
+  registry.counterSet(
+      obs::withLabels("tssa_arena_allocs_total{kind=\"fresh\"}", labels),
+      static_cast<std::int64_t>(snapshot.arenaFreshAllocs));
+  registry.counterSet(
+      obs::withLabels("tssa_arena_allocs_total{kind=\"reused\"}", labels),
+      static_cast<std::int64_t>(snapshot.arenaReusedAllocs));
 }
 
 std::string MetricsSnapshot::toString() const {

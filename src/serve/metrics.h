@@ -102,6 +102,17 @@ struct MetricsSnapshot {
     return rejected[static_cast<int>(reason)];
   }
 
+  // Simulated device-busy time accumulated across executed batches: the sum
+  // of each run's Profiler::simTimeUs(), i.e. total occupancy of the
+  // engine's modelled device (DESIGN.md §1 — kernels are costed analytically,
+  // numerics run on host). Each Engine models ONE device, so in a sharded
+  // tier this is the per-device makespan contribution: deterministic,
+  // machine-independent, and the honest basis for shard-scaling claims on
+  // hosts whose physical core count cannot reflect N simulated devices.
+  // Fallback (reference-pipeline) executions are not counted — they bypass
+  // the device model's specialized path.
+  double simBusyUs = 0;
+
   // Memory-planner counters accumulated across executed batches (read from
   // each program's Profiler after its run): arena allocations served fresh
   // from the heap vs. recycled from the pool. A warm engine should show the
@@ -124,8 +135,15 @@ struct MetricsSnapshot {
 /// canonical `tssa_serve_*` / `tssa_arena_*` names (DESIGN.md §9). The
 /// latency histograms need the raw samples and are exported by
 /// MetricsCollector::exportTo / Engine::exportMetrics.
+///
+/// `labels` is a rendered Prometheus label set (e.g. `shard="0"`) spliced
+/// into every exported name via obs::withLabels. Two exporters writing the
+/// same registry MUST use disjoint label sets: the canonical names are
+/// engine-scoped, so two unlabeled Engines would silently overwrite each
+/// other's counterSet values (the multi-shard collision DESIGN.md §14 fixes).
 void exportSnapshot(const MetricsSnapshot& snapshot,
-                    obs::MetricsRegistry& registry);
+                    obs::MetricsRegistry& registry,
+                    std::string_view labels = {});
 
 /// Thread-safe recorder. All recording methods may be called from pool
 /// workers; snapshots may be taken concurrently. Latency aggregation
@@ -148,14 +166,22 @@ class MetricsCollector {
   /// Records one executed batch's arena traffic (fresh vs. reused
   /// allocations, from the program profiler's memory counters).
   void recordMemory(std::int64_t freshAllocs, std::int64_t reusedAllocs);
+  /// Records one executed batch's simulated device time (the program
+  /// profiler's simTimeUs, read under the same exec lock as the memory
+  /// counters — run() resets the profiler).
+  void recordSimBusy(double simUs);
 
   /// Fills the latency / throughput / batching part of `out` (the engine
   /// adds cache stats on top).
   void fill(MetricsSnapshot& out) const;
 
   /// Copies the latency samples into `registry` as
-  /// tssa_serve_{request,queue,exec}_latency_us histograms.
-  void exportTo(obs::MetricsRegistry& registry) const;
+  /// tssa_serve_{request,queue,exec}_latency_us histograms, with `labels`
+  /// spliced into the names (see exportSnapshot). Histograms accumulate, so
+  /// several collectors exporting *unlabeled* into one registry merge their
+  /// samples — that is how a Router builds the tier-wide latency view.
+  void exportTo(obs::MetricsRegistry& registry,
+                std::string_view labels = {}) const;
 
  private:
   obs::Histogram totalUs_;
@@ -168,6 +194,7 @@ class MetricsCollector {
   std::uint64_t sessions_ = 0;
   std::uint64_t arenaFresh_ = 0;
   std::uint64_t arenaReused_ = 0;
+  double simBusyUs_ = 0;
   std::uint64_t rejected_[kNumRejectReasons] = {};
   std::uint64_t fallbacks_ = 0;
   std::uint64_t decoalesced_ = 0;

@@ -511,8 +511,9 @@ std::map<std::string, double> parsePrometheus(const std::string& text) {
     const std::string key = line.substr(0, space);
     // Labels, when present, must be balanced and close at the key's end.
     const std::size_t brace = key.find('{');
-    if (brace != std::string::npos)
+    if (brace != std::string::npos) {
       EXPECT_EQ(key.back(), '}') << "unterminated labels: " << line;
+    }
     out[key] = std::stod(line.substr(space + 1));
   }
   return out;
@@ -569,7 +570,69 @@ TEST(ObsMetricsTest, PrometheusExpositionRoundTrips) {
   EXPECT_EQ(typeCount, 1u);
 }
 
+TEST(ObsMetricsTest, TwoShardLabeledEnginesShareOneRegistry) {
+  // The multi-shard collision fix (DESIGN.md §14): the canonical names are
+  // engine-scoped, so two engines exporting unlabeled into one registry
+  // would silently overwrite each other's counterSet values. Shard labels
+  // keep the series disjoint end to end, through the Prometheus exposition.
+  serve::EngineOptions options;
+  options.maxBatch = 1;
+  serve::Engine a(options);
+  serve::Engine b(options);
+  auto run = [](serve::Engine& engine, int n) {
+    for (int i = 0; i < n; ++i) {
+      serve::Request r;
+      r.workload = "lstm";
+      r.config = tinyConfig();
+      engine.submit(std::move(r)).get();
+    }
+    engine.drain();
+  };
+  run(a, 3);
+  run(b, 1);
+
+  MetricsRegistry registry;
+  a.exportMetrics(registry, "shard=\"0\"");
+  b.exportMetrics(registry, "shard=\"1\"");
+  const MetricsRegistry::Snapshot reg = registry.snapshot();
+
+  EXPECT_EQ(reg.counter("tssa_serve_requests_total{shard=\"0\"}"), 3);
+  EXPECT_EQ(reg.counter("tssa_serve_requests_total{shard=\"1\"}"), 1);
+  // Already-labeled names get the shard label spliced in, not nested.
+  EXPECT_EQ(reg.counter(
+                "tssa_serve_rejected_total{reason=\"queue_full\",shard=\"0\"}"),
+            0);
+  EXPECT_EQ(reg.histogram("tssa_serve_request_latency_us{shard=\"0\"}").count,
+            3u);
+  EXPECT_EQ(reg.histogram("tssa_serve_request_latency_us{shard=\"1\"}").count,
+            1u);
+  // Nothing leaked onto the unlabeled canonical names.
+  EXPECT_EQ(reg.counter("tssa_serve_requests_total"), 0);
+  EXPECT_EQ(reg.histogram("tssa_serve_request_latency_us").count, 0u);
+
+  // Round-trip through the text exposition: both series present with their
+  // own values, sharing one # TYPE line per base name.
+  const std::string text = reg.toPrometheus();
+  const std::map<std::string, double> samples = parsePrometheus(text);
+  EXPECT_EQ(samples.at("tssa_serve_requests_total{shard=\"0\"}"), 3.0);
+  EXPECT_EQ(samples.at("tssa_serve_requests_total{shard=\"1\"}"), 1.0);
+  std::size_t typeCount = 0, pos = 0;
+  while ((pos = text.find("# TYPE tssa_serve_requests_total counter", pos)) !=
+         std::string::npos) {
+    ++typeCount;
+    ++pos;
+  }
+  EXPECT_EQ(typeCount, 1u);
+}
+
 // ---- unit coverage ---------------------------------------------------------
+
+TEST(ObsMetricsTest, WithLabelsSplicesIntoExistingLabelSets) {
+  EXPECT_EQ(obs::withLabels("m", "shard=\"2\""), "m{shard=\"2\"}");
+  EXPECT_EQ(obs::withLabels("m{k=\"v\"}", "shard=\"2\""),
+            "m{k=\"v\",shard=\"2\"}");
+  EXPECT_EQ(obs::withLabels("m", ""), "m");
+}
 
 TEST(ObsMetricsTest, NearestRankPercentiles) {
   std::vector<double> xs;
