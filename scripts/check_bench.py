@@ -72,6 +72,11 @@ EXACT_EXTRA_GATES = {
                  "§13)"),
 }
 
+# The autotuner's measured-win floor: a tune_search summary record whose
+# extra.tuned_wins falls below this means the measured shortlist stopped
+# finding wall-clock wins on enough workloads (DESIGN.md §15).
+TUNED_WINS_FLOOR = 2
+
 
 def load_results(paths):
     """Returns {key: (record, calib_ns)} for every record in every file."""
@@ -122,9 +127,33 @@ def compare(current, baseline, threshold):
     """
     failures = []
     notes = []
-    checked = {"exact": 0, "times": 0, "shedding": 0}
+    checked = {"exact": 0, "times": 0, "shedding": 0, "tuning": 0}
 
     for key, (record, calib) in sorted(current.items()):
+        # Tuner honesty gates are intrinsic to the record (the default run in
+        # the same result file is the reference), so they apply whether or
+        # not the key has a baseline entry yet.
+        extra = record.get("extra", {})
+        tuned_sim = extra.get("tuned_sim_us")
+        default_sim = extra.get("default_sim_us")
+        if tuned_sim is not None and default_sim is not None:
+            checked["tuning"] += 1
+            if tuned_sim > default_sim:
+                failures.append(
+                    f"TUNED_SIM {key}: tuned config modelled at "
+                    f"{tuned_sim:.1f}us vs default {default_sim:.1f}us; the "
+                    "search must never install a config it scored worse than "
+                    "the default it started from")
+        tuned_wins = extra.get("tuned_wins")
+        if tuned_wins is not None:
+            checked["tuning"] += 1
+            if tuned_wins < TUNED_WINS_FLOOR:
+                failures.append(
+                    f"TUNED_WINS {key}: only {tuned_wins:.0f} workload(s) "
+                    f"with a measured ns/iter win (floor "
+                    f"{TUNED_WINS_FLOOR}); the measured shortlist stopped "
+                    "beating the default heuristics")
+
         base = baseline.get(key)
         if base is None:
             notes.append(f"NEW       {key} (not in baseline; run --update "
@@ -242,7 +271,38 @@ def self_test():
     failures, notes, checked = compare(current, baseline, 1.25)
     expect("clean pass has no failures", not failures, repr(failures))
     expect("clean pass checked 2 exact + 1 time + 1 shed",
-           checked == {"exact": 2, "times": 1, "shedding": 1}, repr(checked))
+           checked == {"exact": 2, "times": 1, "shedding": 1, "tuning": 0},
+           repr(checked))
+
+    # Tuner honesty: a record whose tuned analytic score exceeds the default
+    # fails by name, even when the key is not in the baseline yet (the gate
+    # is intrinsic to the record, not baseline-relative).
+    current = {"t/tune/lstm": ({"name": "tune/lstm",
+                                "extra": {"tuned_sim_us": 120.0,
+                                          "default_sim_us": 100.0}}, 100.0)}
+    failures, _, checked = compare(current, {}, 1.25)
+    expect("tuned sim regression fails without a baseline entry",
+           len(failures) == 1 and failures[0].startswith("TUNED_SIM")
+           and "t/tune/lstm" in failures[0], repr(failures))
+    expect("tuning gate counted", checked["tuning"] == 1, repr(checked))
+    current = {"t/tune/lstm": ({"name": "tune/lstm",
+                                "extra": {"tuned_sim_us": 90.0,
+                                          "default_sim_us": 100.0}}, 100.0)}
+    failures, _, _ = compare(current, {}, 1.25)
+    expect("tuned sim improvement passes", not failures, repr(failures))
+
+    # Measured-win floor: fewer than TUNED_WINS_FLOOR winning workloads in
+    # the summary record fails; meeting the floor passes.
+    current = {"t/summary": ({"name": "summary",
+                              "extra": {"tuned_wins": 1.0}}, 100.0)}
+    failures, _, _ = compare(current, {}, 1.25)
+    expect("tuned-wins below floor fails",
+           len(failures) == 1 and failures[0].startswith("TUNED_WINS"),
+           repr(failures))
+    current = {"t/summary": ({"name": "summary",
+                              "extra": {"tuned_wins": 2.0}}, 100.0)}
+    failures, _, _ = compare(current, {}, 1.25)
+    expect("tuned-wins at floor passes", not failures, repr(failures))
 
     # Zero-ns baseline record: must fail cleanly NAMING the record, not
     # crash with ZeroDivisionError.
@@ -407,7 +467,8 @@ def main():
     for note in notes:
         print(note)
     print(f"checked {checked['exact']} exact counters, {checked['times']} "
-          f"gated times, and {checked['shedding']} shed/fallback counters "
+          f"gated times, {checked['shedding']} shed/fallback counters, and "
+          f"{checked['tuning']} tuner-honesty gates "
           f"against {len(baseline)} baseline entries")
 
     if failures:

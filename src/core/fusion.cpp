@@ -202,6 +202,8 @@ std::size_t fuseInBlock(Graph& graph, Block& block,
     if (node->isDestroyed()) continue;
     if (policyFusable(policy, *node)) {
       run.push_back(node);
+      if (policy.maxKernelOps != 0 && run.size() >= policy.maxKernelOps)
+        flush();
       continue;
     }
     // Optional single reduction closing the group.

@@ -26,6 +26,11 @@ struct FusionPolicy {
   bool fuseReductions = false;    ///< reductions as full members (TE codegen)
   bool fuseShapeOps = false;      ///< cat/stack codegen (Inductor-style)
   std::size_t minKernelOps = 2;   ///< don't group fewer kernel ops than this
+  /// Cap on ops per group: a run is flushed when it reaches this size, so
+  /// longer chains split into several groups. 0 = unlimited (the historical
+  /// behaviour and every preset's default); the autotuner (src/tune) sets it
+  /// to trade launch count against per-kernel working-set size.
+  std::size_t maxKernelOps = 0;
 
   static FusionPolicy nnc() { return {false, false, false, false, false, 2}; }
   static FusionPolicy nvfuser() {

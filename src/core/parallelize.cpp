@@ -1,5 +1,6 @@
 #include "src/core/parallelize.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "src/analysis/alias_graph.h"
@@ -146,13 +147,19 @@ bool loopIsParallelizable(const Node& loop, const AliasInfo* alias,
   return true;
 }
 
-std::size_t parallelizeInBlock(Block& block, const AliasInfo& alias) {
+std::size_t parallelizeInBlock(Block& block, const AliasInfo& alias,
+                               std::uint64_t mask, std::size_t& candidate) {
   std::size_t converted = 0;
   for (Node* node : block.nodesSnapshot()) {
-    for (Block* b : node->blocks()) converted += parallelizeInBlock(*b, alias);
+    for (Block* b : node->blocks())
+      converted += parallelizeInBlock(*b, alias, mask, candidate);
     std::vector<std::int64_t> writeDims;
     if (node->kind() == OpKind::Loop &&
         loopIsParallelizable(*node, &alias, &writeDims)) {
+      // Candidates are numbered in discovery order whether or not the mask
+      // admits them, so a mask bit always names the same loop.
+      const std::size_t bit = std::min<std::size_t>(candidate++, 63);
+      if ((mask >> bit & 1) == 0) continue;
       node->setKind(OpKind::ParallelMap);
       // The proof travels with the node: the runtime's threaded executor
       // needs the written dimension of each carried slot to pre-allocate
@@ -171,9 +178,10 @@ bool isParallelizableLoop(const Node& loop) {
   return loopIsParallelizable(loop, nullptr);
 }
 
-std::size_t parallelizeLoops(ir::Graph& graph) {
+std::size_t parallelizeLoops(ir::Graph& graph, std::uint64_t mask) {
   AliasInfo alias = AliasInfo::analyze(graph);
-  return parallelizeInBlock(*graph.topBlock(), alias);
+  std::size_t candidate = 0;
+  return parallelizeInBlock(*graph.topBlock(), alias, mask, candidate);
 }
 
 }  // namespace tssa::core

@@ -41,9 +41,7 @@ std::string_view pipelineName(PipelineKind kind) {
   return "?";
 }
 
-namespace {
-
-HostSpec hostFor(PipelineKind kind) {
+HostSpec hostSpecFor(PipelineKind kind) {
   switch (kind) {
     case PipelineKind::Eager:
       return HostSpec::eagerPython();
@@ -56,6 +54,8 @@ HostSpec hostFor(PipelineKind kind) {
   }
   return HostSpec::torchscriptVm();
 }
+
+namespace {
 
 /// Per-pass graph statistics carried as span args: the delta tells what the
 /// pass actually did (torch.fx's inspectability argument — a transformation
@@ -104,10 +104,18 @@ void tracedPass(const char* name, ir::Graph& graph, Fn&& fn) {
   }
 }
 
+}  // namespace
+
 /// Applies the capability envelope of `kind` to `graph` (in place).
-void compileFor(PipelineKind kind, ir::Graph& graph) {
+void compileGraph(PipelineKind kind, ir::Graph& graph,
+                  const PipelineOptions& options) {
   using core::ConversionOptions;
   using core::FusionPolicy;
+  // The tunable knobs ride on the per-kind policy presets.
+  auto withCap = [&](FusionPolicy policy) {
+    policy.maxKernelOps = options.fusionMaxOps;
+    return policy;
+  };
   obs::TraceSpan compileSpan("pipeline", "compile");
   compileSpan.arg("pipeline", pipelineName(kind));
   switch (kind) {
@@ -117,14 +125,16 @@ void compileFor(PipelineKind kind, ir::Graph& graph) {
     case PipelineKind::TorchScriptNnc:
       tracedPass("hoist-constants", graph,
                  [&] { core::hoistConstants(graph); });
-      tracedPass("fusion", graph,
-                 [&] { core::fuseKernels(graph, FusionPolicy::nnc()); });
+      tracedPass("fusion", graph, [&] {
+        core::fuseKernels(graph, withCap(FusionPolicy::nnc()));
+      });
       break;
     case PipelineKind::TorchScriptNvfuser:
       tracedPass("hoist-constants", graph,
                  [&] { core::hoistConstants(graph); });
-      tracedPass("fusion", graph,
-                 [&] { core::fuseKernels(graph, FusionPolicy::nvfuser()); });
+      tracedPass("fusion", graph, [&] {
+        core::fuseKernels(graph, withCap(FusionPolicy::nvfuser()));
+      });
       break;
     case PipelineKind::DynamoInductor: {
       tracedPass("lower-inplace", graph,
@@ -145,7 +155,7 @@ void compileFor(PipelineKind kind, ir::Graph& graph) {
       tracedPass("hoist-constants", graph,
                  [&] { core::hoistConstants(graph); });
       tracedPass("fusion", graph, [&] {
-        core::fuseKernels(graph, FusionPolicy::inductor());
+        core::fuseKernels(graph, withCap(FusionPolicy::inductor()));
       });
       tracedPass("mark-inplace", graph,
                  [&] { core::markInplaceAssigns(graph); });
@@ -159,12 +169,13 @@ void compileFor(PipelineKind kind, ir::Graph& graph) {
       tracedPass("views-to-access", graph, [&] {
         core::readonlyViewsToAccess(graph, FusionPolicy::tensorssa());
       });
-      tracedPass("parallelize", graph,
-                 [&] { core::parallelizeLoops(graph); });
+      tracedPass("parallelize", graph, [&] {
+        core::parallelizeLoops(graph, options.parallelizeMask);
+      });
       tracedPass("hoist-constants", graph,
                  [&] { core::hoistConstants(graph); });
       tracedPass("fusion", graph, [&] {
-        core::fuseKernels(graph, FusionPolicy::tensorssa());
+        core::fuseKernels(graph, withCap(FusionPolicy::tensorssa()));
       });
       tracedPass("mark-inplace", graph,
                  [&] { core::markInplaceAssigns(graph); });
@@ -174,8 +185,6 @@ void compileFor(PipelineKind kind, ir::Graph& graph) {
   tracedPass("dce", graph, [&] { core::eliminateDeadCode(graph); });
   tracedPass("verify", graph, [&] { ir::verify(graph); });
 }
-
-}  // namespace
 
 std::size_t hashValue(const PipelineOptions& options) {
   std::size_t h = std::hash<std::string>{}(options.device.name);
@@ -190,6 +199,8 @@ std::size_t hashValue(const PipelineOptions& options) {
   mix(std::hash<bool>{}(options.useTexpr));
   mix(std::hash<bool>{}(options.memoryPlan));
   mix(std::hash<bool>{}(options.texprJit));
+  mix(std::hash<std::size_t>{}(options.fusionMaxOps));
+  mix(std::hash<std::uint64_t>{}(options.parallelizeMask));
   return h;
 }
 
@@ -197,10 +208,10 @@ Pipeline::Pipeline(PipelineKind kind, const ir::Graph& source,
                    const PipelineOptions& options)
     : kind_(kind),
       graph_(ir::cloneGraph(source)),
-      profiler_(options.device, hostFor(kind)),
+      profiler_(options.device, hostSpecFor(kind)),
       interpreter_(&profiler_, options.useTexpr, options.threads,
                    options.texprJit) {
-  compileFor(kind, *graph_);
+  compileGraph(kind, *graph_, options);
   // The plan is built once per compiled program; in the serving engine it
   // travels with the cached Pipeline, so every request hitting the same
   // shape signature reuses both the compilation AND the buffer plan.

@@ -8,6 +8,8 @@
 // dispatch model differ, which is what produces the paper's metrics.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +57,15 @@ struct PipelineOptions {
   /// differential fuzz suite enforces this), so it defaults on; the toggle
   /// exists for that cross-check and for toolchain-less deployments.
   bool texprJit = true;
+  /// Cap on ops per fusion group (FusionPolicy::maxKernelOps): 0 keeps the
+  /// unlimited heuristic; the autotuner sets small caps when the device
+  /// model favours splitting long chains. Only affects pipelines that fuse.
+  std::size_t fusionMaxOps = 0;
+  /// Per-candidate-loop parallelization gate (see parallelizeLoops): bit i
+  /// admits parallelizable loop i in discovery order. All-ones keeps the
+  /// parallelize-everything heuristic. Only the TensorSSA pipeline
+  /// parallelizes, so other kinds ignore it.
+  std::uint64_t parallelizeMask = ~std::uint64_t{0};
 
   friend bool operator==(const PipelineOptions&,
                          const PipelineOptions&) = default;
@@ -63,6 +74,16 @@ struct PipelineOptions {
 /// Order-insensitive hash consistent with PipelineOptions::operator==, for
 /// keying compiled-program caches (see src/serve/program_cache.h).
 std::size_t hashValue(const PipelineOptions& options);
+
+/// The host dispatch model `kind` executes (and is priced) under.
+HostSpec hostSpecFor(PipelineKind kind);
+
+/// Applies the capability envelope of `kind` to `graph` in place — the same
+/// pass sequence the Pipeline constructor runs, exposed so the autotuner can
+/// compile candidate configurations and price them with the analytic cost
+/// model (src/analysis/cost.h) without constructing an executable Pipeline.
+void compileGraph(PipelineKind kind, ir::Graph& graph,
+                  const PipelineOptions& options = {});
 
 class Pipeline {
  public:

@@ -88,7 +88,16 @@ bool MicroBatcher::compatible(const PendingRequest& a,
 }
 
 void MicroBatcher::enqueue(std::unique_ptr<PendingRequest> request) {
-  const bool batchingOff = options_.maxBatch <= 1 || options_.maxWaitUs <= 0;
+  // Per-request tuner overrides (0 / -1 = keep the engine defaults). All
+  // requests sharing a program key carry the same overrides, so using the
+  // arriving request's values for its batch is consistent.
+  const int maxBatch = request->maxBatchOverride > 0
+                           ? request->maxBatchOverride
+                           : options_.maxBatch;
+  const std::int64_t maxWaitUs = request->maxWaitUsOverride >= 0
+                                     ? request->maxWaitUsOverride
+                                     : options_.maxWaitUs;
+  const bool batchingOff = maxBatch <= 1 || maxWaitUs <= 0;
   if (batchingOff || !request->traits.batchable()) {
     std::vector<std::unique_ptr<PendingRequest>> solo;
     solo.push_back(std::move(request));
@@ -113,8 +122,8 @@ void MicroBatcher::enqueue(std::unique_ptr<PendingRequest> request) {
     }
     if (it == open_.end()) {
       OpenBatch batch;
-      batch.sealAt = std::min(
-          now + std::chrono::microseconds(options_.maxWaitUs), bound);
+      batch.sealAt =
+          std::min(now + std::chrono::microseconds(maxWaitUs), bound);
       batch.requests.push_back(std::move(request));
       const bool due = batch.sealAt <= now;
       open_.emplace(keyStr, std::move(batch));
@@ -125,7 +134,7 @@ void MicroBatcher::enqueue(std::unique_ptr<PendingRequest> request) {
       // earliest seal time (a tighter deadline shortens the wait).
       it->second.sealAt = std::min(it->second.sealAt, bound);
       it->second.requests.push_back(std::move(request));
-      if (static_cast<int>(it->second.requests.size()) >= options_.maxBatch) {
+      if (static_cast<int>(it->second.requests.size()) >= maxBatch) {
         // Full: seal right here, don't wait for the window.
         sealed = std::move(it->second.requests);
         open_.erase(it);

@@ -62,7 +62,9 @@ class MicroBatcher {
   /// Adds a request to the open batch for its key (sealing first when the
   /// request is incompatible with it), or dispatches immediately when
   /// batching is disabled (maxBatch <= 1 or maxWaitUs <= 0) or the workload
-  /// is not batchable. A request with a deadline pulls the batch's seal time
+  /// is not batchable. A request carrying tuner overrides
+  /// (PendingRequest::maxBatchOverride / maxWaitUsOverride) is grouped under
+  /// those values instead of the engine-wide defaults. A request with a deadline pulls the batch's seal time
   /// forward to now + (deadline - now) / 2; the timer thread is woken so a
   /// tighter seal time shortens its current wait.
   void enqueue(std::unique_ptr<PendingRequest> request);

@@ -11,6 +11,7 @@
 #include "src/support/error.h"
 #include "src/tensor/ops.h"
 #include "src/texpr/jit.h"
+#include "src/tune/tuner.h"
 
 namespace tssa::serve {
 
@@ -99,7 +100,15 @@ ProgramKey Engine::keyFor(const EngineOptions& options, const Request& request,
   ProgramKey key;
   key.workload = request.workload;
   key.kind = options.kind;
-  key.options = options.pipeline;
+  // The tuned config (when a tuner is installed and has an entry for this
+  // workload × kind) replaces the fixed heuristics *in the key*: programs
+  // are compiled with key.options, so a config change is a different key —
+  // distinct tuned configs can never collide in the cache, and routing on
+  // the rendered key stays cache-affine per config.
+  key.options = options.tuner != nullptr
+                    ? options.tuner->pipelineFor(request.workload,
+                                                 options.kind, options.pipeline)
+                    : options.pipeline;
   if (options.symbolicShapes) {
     const workloads::SymbolicPattern& pattern =
         workloads::workloadSymbolicPattern(request.workload);
@@ -178,6 +187,12 @@ std::future<Response> Engine::submitInternal(const std::string& sessionId,
 
   auto pending = std::make_unique<PendingRequest>();
   pending->key = keyFor(request, &pending->polymorphic);
+  if (options_.tuner != nullptr) {
+    const tune::Autotuner::BatchOverride bo =
+        options_.tuner->batchOverride(request.workload, options_.kind);
+    pending->maxBatchOverride = bo.maxBatch;
+    pending->maxWaitUsOverride = bo.maxWaitUs;
+  }
   pending->enqueueTime = Clock::now();
   pending->deadline =
       absoluteDeadline(pending->enqueueTime, request.deadlineUs);
@@ -397,7 +412,11 @@ void Engine::executeBatch(SealedBatch sealed) {
       key.kind = options_.kind;
       key.signature =
           workloads::inputSignature(inputs) + configGuard(compileConfig);
-      key.options = options_.pipeline;
+      key.options =
+          options_.tuner != nullptr
+              ? options_.tuner->pipelineFor(key.workload, options_.kind,
+                                            options_.pipeline)
+              : options_.pipeline;
     }
 
     ProgramCache::Lookup lookup = cache_.getOrCompile(key, [&] {
@@ -411,8 +430,10 @@ void Engine::executeBatch(SealedBatch sealed) {
       tagShard(compileSpan, options_.shardId);
       workloads::Workload w =
           workloads::buildWorkload(key.workload, compileConfig);
+      // Compile with the key's options, not the engine defaults: the key IS
+      // the config contract (a tuned key must yield a tuned program).
       auto pipeline = std::make_unique<runtime::Pipeline>(
-          options_.kind, *w.graph, options_.pipeline);
+          options_.kind, *w.graph, key.options);
       // Every launch of an engine-compiled program reports to the injector
       // (the kernel-fault seam). The fallback pipeline never gets a probe.
       if (injector != nullptr)
@@ -459,6 +480,10 @@ void Engine::executeBatch(SealedBatch sealed) {
     metrics_.recordBatch(k);
 
     if (runError != nullptr) {
+      // A fault under a tuned config rejects the tuned entry immediately:
+      // the retries below (and all future traffic) run on the defaults.
+      if (options_.tuner != nullptr && key.options != options_.pipeline)
+        options_.tuner->recordFailure(key.workload, options_.kind);
       if (k == 1) {
         batchSpan.finish();
         deliverError(std::move(live.front()), runError);
@@ -478,6 +503,13 @@ void Engine::executeBatch(SealedBatch sealed) {
     // 4. De-interleave: the j-th (possibly ragged) row block of every
     //    output belongs to request j.
     const double execUs = usSince(runStart);
+    // Online refinement: runs under a tuned config report their measured
+    // per-request latency back; a tuned entry whose served mean drifts past
+    // the tuner's rejection threshold is dropped and serving falls back to
+    // the defaults. Default-config runs carry no signal for the tuner.
+    if (options_.tuner != nullptr && key.options != options_.pipeline)
+      options_.tuner->recordMeasurement(key.workload, options_.kind,
+                                        execUs * 1000.0 / k);
     std::int64_t rowOffset = 0;
     for (int j = 0; j < k; ++j) {
       std::vector<runtime::RtValue> mine;
@@ -549,7 +581,7 @@ void Engine::executeSolo(std::unique_ptr<PendingRequest> request,
     tagShard(compileSpan, options_.shardId);
     workloads::Workload w = workloads::buildWorkload(key.workload, config);
     auto pipeline = std::make_unique<runtime::Pipeline>(
-        options_.kind, *w.graph, options_.pipeline);
+        options_.kind, *w.graph, key.options);
     if (injector != nullptr)
       pipeline->setLaunchProbe([injector] { injector->onKernelLaunch(); });
     return pipeline;
@@ -574,11 +606,16 @@ void Engine::executeSolo(std::unique_ptr<PendingRequest> request,
     mem = lookup.program->pipeline->profiler().memoryCounters();
     simUs = lookup.program->pipeline->profiler().simTimeUs();
   } catch (...) {
+    if (options_.tuner != nullptr && key.options != options_.pipeline)
+      options_.tuner->recordFailure(key.workload, options_.kind);
     deliverError(std::move(request), std::current_exception());
     return;
   }
   metrics_.recordMemory(mem.freshAllocs, mem.reusedAllocs);
   metrics_.recordSimBusy(simUs);
+  if (options_.tuner != nullptr && key.options != options_.pipeline)
+    options_.tuner->recordMeasurement(key.workload, options_.kind,
+                                      usSince(runStart) * 1000.0);
 
   Response resp;
   resp.outputs = std::move(outputs);

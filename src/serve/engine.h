@@ -58,6 +58,10 @@ namespace tssa::runtime {
 class ThreadPool;
 }
 
+namespace tssa::tune {
+class Autotuner;
+}
+
 namespace tssa::serve {
 
 struct EngineOptions {
@@ -114,6 +118,16 @@ struct EngineOptions {
   /// Not owned; must outlive the Engine. Null (production) costs a pointer
   /// check on the compile/run/seal paths and nothing on the request path.
   FaultInjector* faultInjector = nullptr;
+  /// Cost-model-guided autotuner (src/tune/tuner.h). When set, programs are
+  /// keyed and compiled with tuner->pipelineFor(workload, kind, pipeline)
+  /// instead of `pipeline` — the tuned config is hashed into the cache key's
+  /// config guard, so distinct configs never collide and a Router hashing
+  /// the key keeps shards cache-affine per config. Micro-batching honors the
+  /// tuned window overrides, and every run under a tuned config reports its
+  /// measured ns/iter back for online refinement (a rejected entry falls
+  /// back to `pipeline`'s heuristics). Not owned; must outlive the Engine.
+  /// Null = the fixed heuristics.
+  tune::Autotuner* tuner = nullptr;
 };
 
 class Engine;

@@ -9,11 +9,22 @@
 namespace tssa::serve {
 
 std::string ProgramKey::toString() const {
+  // Every config knob that splits the key must render here too: the batcher
+  // groups open batches and the Router routes shards on this string, so a
+  // knob missing from it would let two differently-configured programs share
+  // a batch or a shard slot.
+  // Tuned knobs render only at non-default values: a default-config key
+  // keeps the exact string it had before the knob existed, so adding a knob
+  // never re-shuffles untuned traffic across the Router's hash ring.
   std::ostringstream os;
   os << workload << "/" << runtime::pipelineName(kind) << "/" << signature
      << "/" << options.device.name << "/threads=" << options.threads
-     << "/texpr=" << (options.useTexpr ? 1 : 0)
-     << "/jit=" << (options.texprJit ? 1 : 0);
+     << "/texpr=" << (options.useTexpr ? 1 : 0);
+  if (!options.texprJit) os << "/jit=0";
+  if (!options.memoryPlan) os << "/mem=0";
+  if (options.fusionMaxOps != 0) os << "/fuse=" << options.fusionMaxOps;
+  if (options.parallelizeMask != ~std::uint64_t{0})
+    os << "/par=" << std::hex << options.parallelizeMask << std::dec;
   return os.str();
 }
 

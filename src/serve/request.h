@@ -110,6 +110,12 @@ struct PendingRequest {
   /// WorkloadConfig::symbolicDims.
   bool polymorphic = false;
   workloads::BatchTraits traits;
+  /// Micro-batch knobs from the autotuner (EngineOptions::tuner), resolved
+  /// at admission so the batcher never touches the tuner: 0 / -1 keep the
+  /// engine-wide defaults. Same program key ⇒ same overrides (the tuner is
+  /// keyed by workload × kind), so every member of a batch agrees on them.
+  int maxBatchOverride = 0;
+  std::int64_t maxWaitUsOverride = -1;
   std::string sessionId;
   /// The owning session's in-flight counter; decremented exactly once when
   /// the promise is fulfilled (response, exception, or rejection). Null for
